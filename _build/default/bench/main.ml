@@ -1,0 +1,231 @@
+(* Benchmark and experiment driver.
+
+   Usage:
+     dune exec bench/main.exe                  -- everything: all paper
+                                                  tables + micro benches
+     dune exec bench/main.exe -- table1-comm   -- one experiment
+     dune exec bench/main.exe -- micro         -- Bechamel microbenches
+     dune exec bench/main.exe -- list          -- list experiment names
+
+   Each table regenerates one artifact of the paper (DESIGN.md §4 maps
+   table/figure -> experiment id); EXPERIMENTS.md records paper-claimed
+   vs measured values. *)
+
+let experiments :
+    (string * string * (unit -> Harness.Experiments.table)) list =
+  [ ( "table1-comm",
+      "Table 1 communication complexity column (E1)",
+      fun () -> Harness.Experiments.table1_communication () );
+    ( "table1-time",
+      "Table 1 expected time complexity column (E2)",
+      fun () -> Harness.Experiments.table1_time () );
+    ( "table1-fairness",
+      "Table 1 eventual fairness + post-quantum columns (E3)",
+      fun () -> Harness.Experiments.table1_fairness () );
+    ( "table1",
+      "Table 1 combined reproduction",
+      fun () -> Harness.Experiments.table1_combined () );
+    ( "claim6-waves",
+      "Claim 6: expected waves per commit (E6)",
+      fun () -> Harness.Experiments.claim6_waves () );
+    ( "chain-quality",
+      "Chain quality bound of section 3 (E7)",
+      fun () -> Harness.Experiments.chain_quality () );
+    ( "batching",
+      "Section 6.2 batching amortization (E8)",
+      fun () -> Harness.Experiments.batching () );
+    ( "ablation-waves",
+      "Ablation: wave length 2..6",
+      fun () -> Harness.Experiments.ablation_wave_length () );
+    ( "ablation-rbc",
+      "Ablation: reliable-broadcast backends",
+      fun () -> Harness.Experiments.ablation_rbc () );
+    ( "ablation-weak-edges",
+      "Ablation: weak edges vs censorship",
+      fun () -> Harness.Experiments.ablation_weak_edges () );
+    ( "ablation-coin",
+      "Ablation: coin transport (footnote 1 in-DAG shares)",
+      fun () -> Harness.Experiments.ablation_coin () );
+    ( "latency",
+      "Proposal-to-delivery latency distribution",
+      fun () -> Harness.Experiments.latency () );
+    ( "ablation-gc",
+      "Ablation: garbage collection window",
+      fun () -> Harness.Experiments.ablation_gc () );
+    ( "throughput",
+      "Throughput scaling with n (DAG-Rider+AVID)",
+      fun () -> Harness.Experiments.throughput () );
+    ( "related-work",
+      "Section 7: Aleph-style baseline vs DAG-Rider",
+      fun () -> Harness.Experiments.related_work () ) ]
+
+(* ---- Bechamel microbenches (E9) plus one Test.make per paper table:
+   each table's test runs a scaled-down instance of the simulation that
+   regenerates it, so the cost of reproducing every artifact is itself
+   tracked. ---- *)
+
+let micro_tests () =
+  let open Bechamel in
+  let payload_1k = String.init 1024 (fun i -> Char.chr (i mod 256)) in
+  let rs_coder = Crypto.Reed_solomon.make ~k:3 ~n:10 in
+  let rs_frags = Crypto.Reed_solomon.encode rs_coder payload_1k in
+  let rs_pieces = [ (0, rs_frags.(0)); (4, rs_frags.(4)); (9, rs_frags.(9)) ] in
+  let merkle_leaves =
+    Array.init 16 (fun i -> Printf.sprintf "leaf-%d-%s" i payload_1k)
+  in
+  let merkle_tree = Crypto.Merkle.build merkle_leaves in
+  let merkle_proof = Crypto.Merkle.prove merkle_tree 7 in
+  let coin = Crypto.Threshold_coin.setup ~rng:(Stdx.Rng.create 1) ~n:10 ~f:3 in
+  let coin_shares =
+    List.init 4 (fun holder ->
+        Crypto.Threshold_coin.make_share coin ~holder ~instance:5)
+  in
+  (* a 40-round full DAG for path/history queries *)
+  let dag =
+    let dag = Dagrider.Dag.create ~n:4 in
+    for round = 1 to 40 do
+      let prev =
+        List.map Dagrider.Vertex.vref_of
+          (Dagrider.Dag.round_vertices dag (round - 1))
+      in
+      for source = 0 to 3 do
+        Dagrider.Dag.add dag
+          { Dagrider.Vertex.round; source; block = "b"; strong_edges = prev;
+            weak_edges = [] }
+      done
+    done;
+    dag
+  in
+  let vx =
+    { Dagrider.Vertex.round = 9;
+      source = 2;
+      block = payload_1k;
+      strong_edges =
+        List.init 7 (fun source -> { Dagrider.Vertex.round = 8; source });
+      weak_edges = [ { Dagrider.Vertex.round = 3; source = 1 } ] }
+  in
+  let vx_payload = Dagrider.Vertex.encode vx in
+  let mini_run backend () =
+    let opts =
+      { (Harness.Runner.default_options ~n:4) with backend; block_bytes = 32 }
+    in
+    let h = Harness.Runner.build opts in
+    Harness.Runner.run h ~until:10.0
+  in
+  let mini_smr protocol () =
+    let rng = Stdx.Rng.create 3 in
+    let engine = Sim.Engine.create () in
+    let counters = Metrics.Counters.create () in
+    let sched = Net.Sched.uniform_random ~rng:(Stdx.Rng.split rng) in
+    let auth = Crypto.Auth.setup ~rng:(Stdx.Rng.split rng) ~n:4 in
+    let coin = Crypto.Threshold_coin.setup ~rng:(Stdx.Rng.split rng) ~n:4 ~f:1 in
+    let smr =
+      Baselines.Smr.create ~engine ~counters ~sched ~auth ~coin ~protocol ~n:4
+        ~f:1 ~concurrency:4 ~total_slots:4
+        ~batch:(fun ~slot ~me -> Printf.sprintf "s%d-p%d" slot me)
+        ~on_output:(fun ~slot:_ ~value:_ ~time:_ -> ())
+        ()
+    in
+    Baselines.Smr.start smr;
+    ignore (Sim.Engine.run engine ~until:100.0 ())
+  in
+  [ Test.make ~name:"sha256/1KiB"
+      (Staged.stage (fun () -> ignore (Crypto.Sha256.digest_string payload_1k)));
+    Test.make ~name:"rs/encode-1KiB-k3n10"
+      (Staged.stage (fun () ->
+           ignore (Crypto.Reed_solomon.encode rs_coder payload_1k)));
+    Test.make ~name:"rs/decode-1KiB-k3n10"
+      (Staged.stage (fun () ->
+           ignore (Crypto.Reed_solomon.decode rs_coder ~data_len:1024 rs_pieces)));
+    Test.make ~name:"merkle/build-16"
+      (Staged.stage (fun () -> ignore (Crypto.Merkle.build merkle_leaves)));
+    Test.make ~name:"merkle/verify"
+      (Staged.stage (fun () ->
+           ignore
+             (Crypto.Merkle.verify
+                ~root:(Crypto.Merkle.root merkle_tree)
+                ~leaf_count:16 ~leaf:merkle_leaves.(7) merkle_proof)));
+    Test.make ~name:"coin/combine-f3"
+      (Staged.stage (fun () ->
+           ignore (Crypto.Threshold_coin.combine coin ~instance:5 coin_shares)));
+    Test.make ~name:"vertex/encode"
+      (Staged.stage (fun () -> ignore (Dagrider.Vertex.encode vx)));
+    Test.make ~name:"vertex/decode"
+      (Staged.stage (fun () ->
+           ignore (Dagrider.Vertex.decode ~round:9 ~source:2 vx_payload)));
+    Test.make ~name:"dag/strong-path-depth-39"
+      (Staged.stage (fun () ->
+           ignore
+             (Dagrider.Dag.strong_path dag
+                { Dagrider.Vertex.round = 40; source = 0 }
+                { Dagrider.Vertex.round = 1; source = 3 })));
+    Test.make ~name:"dag/causal-history-r40"
+      (Staged.stage (fun () ->
+           ignore
+             (Dagrider.Dag.causal_history dag
+                { Dagrider.Vertex.round = 40; source = 0 })));
+    (* one Test.make per paper table: scaled-down regeneration cost *)
+    Test.make ~name:"table1-comm/dagrider-bracha-n4"
+      (Staged.stage (mini_run Harness.Runner.Bracha));
+    Test.make ~name:"table1-comm/dagrider-avid-n4"
+      (Staged.stage (mini_run Harness.Runner.Avid));
+    Test.make ~name:"table1-comm/dagrider-gossip-n4"
+      (Staged.stage (mini_run Harness.Runner.Gossip));
+    Test.make ~name:"table1-time/vaba-smr-n4"
+      (Staged.stage (mini_smr Baselines.Smr.Vaba_smr));
+    Test.make ~name:"table1-time/dumbo-smr-n4"
+      (Staged.stage (mini_smr Baselines.Smr.Dumbo_smr)) ]
+
+let run_micro () =
+  let open Bechamel in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let cfg = Benchmark.cfg ~limit:100 ~quota:(Time.second 0.25) () in
+  print_endline "== E9 / microbenchmarks (Bechamel, monotonic clock) ==";
+  Printf.printf "%-36s %14s\n" "benchmark" "time/run";
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg [ instance ] test in
+      Hashtbl.iter
+        (fun name result ->
+          let ols =
+            Analyze.one
+              (Analyze.ols ~bootstrap:0 ~r_square:false
+                 ~predictors:[| Measure.run |])
+              instance result
+          in
+          match Analyze.OLS.estimates ols with
+          | Some [ t ] -> Printf.printf "%-36s %11.0f ns\n" name t
+          | Some _ | None -> Printf.printf "%-36s %14s\n" name "n/a")
+        results)
+    (micro_tests ())
+
+let run_experiment (_name, _desc, f) =
+  let t0 = Sys.time () in
+  let table = f () in
+  let dt = Sys.time () -. t0 in
+  print_string (Harness.Experiments.render table);
+  Printf.printf "  (regenerated in %.1fs cpu)\n\n" dt
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  match args with
+  | [ "list" ] ->
+    List.iter
+      (fun (name, desc, _) -> Printf.printf "%-22s %s\n" name desc)
+      experiments;
+    print_endline "micro                  Bechamel microbenchmarks (E9)"
+  | [ "micro" ] -> run_micro ()
+  | [ name ] -> (
+    match List.find_opt (fun (n, _, _) -> n = name) experiments with
+    | Some exp -> run_experiment exp
+    | None ->
+      Printf.eprintf "unknown experiment %S; try 'list'\n" name;
+      exit 1)
+  | [] ->
+    print_endline
+      "DAG-Rider reproduction: regenerating every paper table/figure\n";
+    List.iter run_experiment experiments;
+    run_micro ()
+  | _ ->
+    prerr_endline "usage: main.exe [list | micro | <experiment>]";
+    exit 1

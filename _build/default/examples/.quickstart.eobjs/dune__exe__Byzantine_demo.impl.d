@@ -1,0 +1,1 @@
+examples/byzantine_demo.ml: Dagrider Harness List Metrics Net Printf

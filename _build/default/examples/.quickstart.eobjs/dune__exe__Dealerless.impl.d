@@ -1,0 +1,1 @@
+examples/dealerless.ml: Adkg Array Crypto Dagrider Harness List Metrics Net Option Printf Sim Stdx String

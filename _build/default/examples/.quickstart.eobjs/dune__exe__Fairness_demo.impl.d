@@ -1,0 +1,1 @@
+examples/fairness_demo.ml: Baselines Crypto Dagrider Harness List Metrics Net Printf Sim Stdx String

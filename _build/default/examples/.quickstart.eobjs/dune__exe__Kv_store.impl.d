@@ -1,0 +1,1 @@
+examples/kv_store.ml: Array Dagrider Harness List Map Printf String Workload

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Dagrider Harness List Printf Sim String

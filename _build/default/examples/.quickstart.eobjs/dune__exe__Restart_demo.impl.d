@@ -1,0 +1,1 @@
+examples/restart_demo.ml: Dagrider Harness Printf String

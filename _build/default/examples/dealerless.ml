@@ -1,0 +1,76 @@
+(* Dealerless bootstrap: run the asynchronous distributed key generation
+   ceremony (the paper's §2 relaxation of the trusted-dealer assumption),
+   build the threshold coin from its output keys, and then run DAG-Rider
+   on that coin — end to end, no dealer for the production keys.
+
+   Run with: dune exec examples/dealerless.exe *)
+
+let n = 4
+let f = 1
+
+let () =
+  print_endline "phase 1: distributed key generation (no dealer for the output)";
+  let rng = Stdx.Rng.create 2026 in
+  let engine = Sim.Engine.create () in
+  let counters = Metrics.Counters.create () in
+  let sched = Net.Sched.uniform_random ~rng:(Stdx.Rng.split rng) in
+  let net = Net.Network.create ~engine ~sched ~counters ~n in
+  let vaba_net = Net.Network.create ~engine ~sched ~counters ~n in
+  let auth = Crypto.Auth.setup ~rng:(Stdx.Rng.split rng) ~n in
+  (* the agreement step inside the ceremony is bootstrapped by a
+     pre-shared coin (DESIGN.md documents the substitution for the
+     full KMS'20 proposal election); the generated key is dealer-free *)
+  let bootstrap = Crypto.Threshold_coin.setup ~rng:(Stdx.Rng.split rng) ~n ~f in
+  let keys = Array.make n None in
+  let quals = Array.make n None in
+  let parties =
+    Array.init n (fun me ->
+        Adkg.create ~net ~vaba_net ~auth ~bootstrap_coin:bootstrap
+          ~rng:(Stdx.Rng.split rng) ~me ~f
+          ~on_key:(fun ~key ~qualified ->
+            keys.(me) <- Some key;
+            quals.(me) <- Some qualified)
+          ())
+  in
+  Array.iter Adkg.start parties;
+  ignore (Sim.Engine.run engine ());
+  let qualified = Option.get quals.(0) in
+  Printf.printf
+    "  ceremony done at t=%.1f: qualified dealers = {%s}, %d messages, %d bits\n"
+    (Sim.Engine.now engine)
+    (String.concat ", " (List.map (fun i -> Printf.sprintf "p%d" i) qualified))
+    (Metrics.Counters.total_messages counters)
+    (Metrics.Counters.total_bits counters);
+  (* sanity: all f+1-subsets of keys interpolate to one master secret *)
+  let key_arr = Array.map Option.get keys in
+  let s_a = Crypto.Field.lagrange_at_zero [ (1, key_arr.(0)); (2, key_arr.(1)) ] in
+  let s_b = Crypto.Field.lagrange_at_zero [ (3, key_arr.(2)); (4, key_arr.(3)) ] in
+  Printf.printf "  sharing consistent across subsets: %b\n\n" (s_a = s_b);
+
+  print_endline "phase 2: DAG-Rider on the generated coin (shares ride the DAG)";
+  let coin = Crypto.Threshold_coin.of_keys ~n ~f ~keys:key_arr in
+  let opts =
+    { (Harness.Runner.default_options ~n) with
+      seed = 2027;
+      coin_override = Some coin;
+      coin_in_dag = true (* footnote 1: no separate coin messages either *) }
+  in
+  let fleet = Harness.Runner.build opts in
+  Harness.Runner.run fleet ~until:60.0;
+  let node = Harness.Runner.node fleet 0 in
+  Printf.printf "  delivered %d vertices over %d waves\n"
+    (Dagrider.Ordering.delivered_count (Dagrider.Node.ordering node))
+    (Dagrider.Node.waves_completed node);
+  (match Harness.Runner.check_total_order fleet with
+  | Ok () -> print_endline "  total order across all processes: OK"
+  | Error e -> print_endline ("  TOTAL ORDER VIOLATION: " ^ e));
+  let coin_msgs =
+    List.assoc_opt "coin-share"
+      (Metrics.Counters.bits_by_kind (Harness.Runner.counters fleet))
+  in
+  Printf.printf "  separate coin messages sent: %s\n"
+    (match coin_msgs with None -> "0 (shares ride vertices)" | Some b -> string_of_int b);
+  print_endline
+    "\nthe production keys came from the ceremony, not a dealer, and the\n\
+     coin's agreement property is information-theoretic in those keys —\n\
+     the paper's post-quantum-safety argument, end to end."

@@ -1,0 +1,42 @@
+(* Crash recovery: one process checkpoints (DAG snapshot + delivered
+   log, through the real serialization), "crashes", restarts from the
+   checkpoint, and catches back up with the live fleet through the sync
+   protocol — no equivocation, no re-delivery, no divergence.
+
+   Run with: dune exec examples/restart_demo.exe *)
+
+let () =
+  let fleet =
+    Harness.Runner.build { (Harness.Runner.default_options ~n:4) with seed = 404 }
+  in
+  Harness.Runner.run fleet ~until:40.0;
+  let progress i =
+    Dagrider.Ordering.delivered_count
+      (Dagrider.Node.ordering (Harness.Runner.node fleet i))
+  in
+  Printf.printf "t=40: all nodes delivered %d vertices; crashing p2...\n"
+    (progress 2);
+  let snapshot_size =
+    String.length
+      (Dagrider.Snapshot.dag_to_string
+         (Dagrider.Node.dag (Harness.Runner.node fleet 2)))
+  in
+  (* restart_node serializes the checkpoint through Dagrider.Snapshot
+     (checksummed), rebuilds the node, and schedules catch-up syncs *)
+  Harness.Runner.restart_node fleet 2;
+  Printf.printf "p2 restarted from a %d-byte DAG snapshot (round %d)\n"
+    snapshot_size
+    (Dagrider.Node.current_round (Harness.Runner.node fleet 2));
+  Harness.Runner.run fleet ~until:100.0;
+  Printf.printf "\nt=100 progress per node:\n";
+  for i = 0 to 3 do
+    Printf.printf "  p%d: %d vertices delivered%s\n" i (progress i)
+      (if i = 2 then "  <- the restarted one" else "")
+  done;
+  (match Harness.Runner.check_total_order fleet with
+  | Ok () -> print_endline "\ntotal order including the restarted node: OK"
+  | Error e -> print_endline ("\nDIVERGENCE: " ^ e));
+  Printf.printf
+    "the restarted process neither re-broadcast an old round (no\n\
+     equivocation) nor re-delivered anything; the sync protocol filled\n\
+     the gap its reliable-broadcast instances missed while it was down.\n"

@@ -1,0 +1,1 @@
+lib/baselines/abba.ml: Buffer Crypto Hashtbl Iset List Net Rbc Wire

@@ -1,0 +1,1 @@
+lib/baselines/abba.mli: Crypto Net

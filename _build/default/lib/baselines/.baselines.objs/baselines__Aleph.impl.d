@@ -1,0 +1,1 @@
+lib/baselines/aleph.ml: Abba Array Crypto Dagrider Hashtbl List Metrics Net Option Printf Rbc Sim

@@ -1,0 +1,1 @@
+lib/baselines/aleph.mli: Crypto Dagrider Metrics Net Sim

@@ -1,0 +1,1 @@
+lib/baselines/dispersal.ml: Array Buffer Char Crypto Hashtbl Iset List Net Printf Rbc String Wire

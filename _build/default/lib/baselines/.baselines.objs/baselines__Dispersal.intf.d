@@ -1,0 +1,1 @@
+lib/baselines/dispersal.mli: Crypto Net

@@ -1,0 +1,1 @@
+lib/baselines/dumbo.ml: Dispersal Printf String Vaba

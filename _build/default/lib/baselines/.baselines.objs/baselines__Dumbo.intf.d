@@ -1,0 +1,1 @@
+lib/baselines/dumbo.mli: Crypto Dispersal Net Vaba

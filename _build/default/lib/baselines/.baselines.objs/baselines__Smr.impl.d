@@ -1,0 +1,1 @@
+lib/baselines/smr.ml: Crypto Dumbo Hashtbl List Metrics Net Sim Vaba

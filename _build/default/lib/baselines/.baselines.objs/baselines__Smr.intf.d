@@ -1,0 +1,1 @@
+lib/baselines/smr.mli: Crypto Metrics Net Sim

@@ -1,0 +1,1 @@
+lib/baselines/vaba.ml: Buffer Crypto Hashtbl Iset List Net Rbc String Wire

@@ -1,0 +1,1 @@
+lib/baselines/vaba.mli: Crypto Net

@@ -1,0 +1,54 @@
+(** Asynchronous binary Byzantine agreement, signature-free
+    (Mostéfaoui, Moumen, Raynal, PODC 2014 / JACM 2015) — the building
+    block the paper's §7 credits Aleph [24] with using ("a more
+    efficient binary agreement protocol [13]"); we implement the
+    modern signature-free variant with the same interface.
+
+    Per internal round [r], starting from an estimate [est]:
+    + {b BV-broadcast}: broadcast [Bval (r, est)]. On [f+1] [Bval]s for
+      a value [v] from distinct senders, relay [Bval (r, v)] (once per
+      value) — so a value backed by at least one correct process spreads
+      to all. On [2f+1] [Bval]s, [v] joins [bin_values_r]: a value in
+      any correct process's [bin_values] was proposed by a correct
+      process (no Byzantine-only values survive).
+    + {b AUX}: once [bin_values_r] is non-empty, broadcast the first
+      such value. Wait for [2f+1] [Aux] messages carrying values that
+      are in our [bin_values_r]; call the set of carried values [vals].
+    + {b coin}: flip the common coin for round [r]. If
+      [vals = {v}] and [v] equals the coin, decide [v]; if [vals = {v}]
+      otherwise, set [est := v]; if [vals = {0, 1}], set [est := coin].
+
+    Expected O(1) rounds (each round decides with probability >= 1/2
+    once estimates converge); O(n^2) messages of O(1) bits per round.
+    A decided process keeps answering [Bval]/[Aux] for later rounds so
+    that stragglers' rounds complete (natural quiescence once everyone
+    has decided — rounds only advance on message receipt). *)
+
+type msg
+
+val encode_msg : msg -> string
+(** Canonical wire encoding (5–6 bytes per message — binary agreement's
+    costs are in message {e counts}, not sizes); senders charge exactly
+    its size. *)
+
+type t
+
+val create :
+  net:msg Net.Network.t ->
+  coin:Crypto.Threshold_coin.t ->
+  me:int ->
+  f:int ->
+  tag:int ->
+  decide:(bool -> unit) ->
+  unit ->
+  t
+(** [tag] domain-separates coin instances across concurrent ABBA
+    instances sharing one coin (Aleph runs n per DAG round). *)
+
+val propose : t -> bool -> unit
+(** Start with this binary input. At most one call per instance. *)
+
+val decided : t -> bool option
+
+val rounds_used : t -> int
+(** Internal rounds advanced so far (complexity measurements). *)

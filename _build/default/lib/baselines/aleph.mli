@@ -1,0 +1,52 @@
+(** A compact Aleph-style atomic broadcast (Gągol, Leśniak, Straszak,
+    Świętek, AFT 2019) — the closest prior DAG protocol the paper
+    compares against in §7.
+
+    Like DAG-Rider, processes build a round-structured DAG over reliable
+    broadcast. Unlike DAG-Rider, the ordering layer runs a {e binary
+    agreement per vertex}: once a process is two rounds past round [r],
+    it proposes, for every slot [(r, p)], whether that vertex is in its
+    local DAG ({!Abba}). A round is ordered when all [n] of its
+    instances decide; the vertices decided "in" are delivered (with
+    their causal histories) in source order, and vertices decided "out"
+    are only ever delivered if some later included vertex reaches them.
+
+    The two §7 contrasts this reproduces measurably:
+    + {b no validity}: there are no weak edges, so a slow process's
+      vertices — absent from others' DAGs at voting time — are decided
+      out {e and} unreachable from later vertices: they are never
+      ordered (DAG-Rider's weak edges exist precisely to prevent this);
+    + {b cost}: n binary agreements per round, each O(n^2) messages,
+      with no amortization across decisions.
+
+    The driver owns all [n] processes (each binary-agreement instance
+    needs its own broadcast channel, created on demand), mirroring how
+    {!Smr} hosts the slot protocols. *)
+
+type t
+
+val create :
+  engine:Sim.Engine.t ->
+  counters:Metrics.Counters.t ->
+  sched:Net.Sched.t ->
+  coin:Crypto.Threshold_coin.t ->
+  n:int ->
+  f:int ->
+  block:(round:int -> me:int -> string) ->
+  t
+
+val start : t -> unit
+
+val run : t -> until:float -> unit
+
+val delivered_log : t -> int -> Dagrider.Vertex.t list
+(** Process [i]'s totally ordered output so far. *)
+
+val check_total_order : t -> (unit, string) result
+(** All processes' logs must be prefix-comparable. *)
+
+val ordered_rounds : t -> int -> int
+(** Rounds fully ordered at process [i]. *)
+
+val abba_instances_run : t -> int
+(** Binary-agreement instances created so far (cost accounting). *)

@@ -1,0 +1,51 @@
+(** Asynchronous provable dispersal with deferred recast — the APDB
+    building block of Dumbo-MVBA (Lu, Lu, Tang, Wang, PODC 2020).
+
+    Unlike AVID-as-broadcast (which reconstructs eagerly), Dumbo first
+    {e disperses} every party's batch and only {e recasts} the single
+    batch whose dispersal certificate wins the MVBA:
+
+    + [disperse]: Reed–Solomon encode ([k = f+1]), Merkle-commit, send
+      each party its fragment ([Store]); parties holding a valid
+      fragment answer [Stored] (a signature share). [2f+1] [Stored]s
+      form the {e dispersal certificate} — constant-size evidence that
+      enough correct parties hold fragments for reconstruction.
+    + [recast cert]: broadcast a request; every party holding a
+      fragment for that dispersal broadcasts it once ([Refrag]); any
+      [f+1] valid fragments reconstruct, with the same re-encoding
+      root-check as AVID.
+
+    Certificates serialize to strings so they can ride through VABA as
+    constant-size proposals. *)
+
+type msg
+
+type cert = {
+  id : string;      (** dispersal identifier, e.g. ["slot:proposer"] *)
+  root : string;    (** Merkle root over the fragment vector *)
+  data_len : int;
+  signers : int list;
+}
+
+val cert_to_string : cert -> string
+val cert_of_string : string -> cert option
+
+type t
+
+val create :
+  net:msg Net.Network.t ->
+  auth:Crypto.Auth.t ->
+  me:int ->
+  f:int ->
+  on_reconstruct:(id:string -> payload:string -> unit) ->
+  t
+
+val disperse : t -> id:string -> payload:string -> on_cert:(cert -> unit) -> unit
+(** Start a dispersal; [on_cert] fires once when 2f+1 parties confirmed
+    storage. *)
+
+val recast : t -> cert -> unit
+(** Trigger reconstruction of a certified dispersal; every party's
+    [on_reconstruct] eventually fires with the payload (or never, if the
+    certificate is a Byzantine forgery for a non-codeword — all correct
+    parties then agree to skip it). *)

@@ -1,0 +1,74 @@
+type t = {
+  mutable dispersal : Dispersal.t option;
+  mutable vaba : Vaba.t option;
+  me : int;
+  tag : int;
+  batch : string;
+  decide_cb : batch:string -> unit;
+  mutable my_cert : Dispersal.cert option;
+  mutable winning_cert : Dispersal.cert option;
+  mutable decided : string option;
+  mutable started : bool;
+}
+
+let dispersal_id ~tag ~me = Printf.sprintf "%d:%d" tag me
+
+let on_reconstruct t ~id ~payload =
+  match (t.decided, t.winning_cert) with
+  | None, Some cert when String.equal cert.Dispersal.id id ->
+    t.decided <- Some payload;
+    t.decide_cb ~batch:payload
+  | _ -> ()
+
+let on_vaba_decide t ~value ~view:_ =
+  match (Dispersal.cert_of_string value, t.dispersal) with
+  | Some cert, Some dispersal ->
+    t.winning_cert <- Some cert;
+    Dispersal.recast dispersal cert
+  | _ -> () (* unreachable: VABA's validity predicate rejects non-certs *)
+
+let create ~disp_net ~vaba_net ~auth ~coin ~me ~f ~tag ~batch ~decide () =
+  let t =
+    { dispersal = None;
+      vaba = None;
+      me;
+      tag;
+      batch;
+      decide_cb = decide;
+      my_cert = None;
+      winning_cert = None;
+      decided = None;
+      started = false }
+  in
+  t.dispersal <-
+    Some
+      (Dispersal.create ~net:disp_net ~auth ~me ~f
+         ~on_reconstruct:(fun ~id ~payload -> on_reconstruct t ~id ~payload));
+  t.vaba <-
+    Some
+      (Vaba.create ~net:vaba_net ~auth ~coin ~me ~f ~tag
+         ~valid:(fun v -> Dispersal.cert_of_string v <> None)
+         ~proposal:(fun ~me:_ ->
+           match t.my_cert with
+           | Some cert -> Dispersal.cert_to_string cert
+           | None -> "")
+         ~decide:(fun ~value ~view -> on_vaba_decide t ~value ~view)
+         ());
+  t
+
+let start t =
+  if not t.started then begin
+    t.started <- true;
+    match t.dispersal with
+    | None -> ()
+    | Some dispersal ->
+      Dispersal.disperse dispersal ~id:(dispersal_id ~tag:t.tag ~me:t.me)
+        ~payload:t.batch
+        ~on_cert:(fun cert ->
+          t.my_cert <- Some cert;
+          match t.vaba with
+          | Some v -> Vaba.start v
+          | None -> ())
+  end
+
+let decided t = t.decided

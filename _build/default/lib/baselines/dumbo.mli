@@ -1,0 +1,38 @@
+(** Dumbo-MVBA (Lu, Lu, Tang, Wang, PODC 2020): the amortized-O(n)
+    baseline of Table 1's "Dumbo SMR" row.
+
+    Structure per instance, following the paper's
+    dispersal-then-agree-then-recast recipe:
+    + every party {!Dispersal.disperse}s its batch and waits for its own
+      dispersal certificate (constant size);
+    + parties run {!Vaba} with the {e serialized certificate} as
+      proposal — agreement on O(lambda) bits instead of O(|batch|);
+    + the winning certificate is {!Dispersal.recast} and the
+      reconstructed batch is the instance's decision.
+
+    Bits per instance: n dispersals of O(|B| + n log n · lambda) + VABA
+    on constants O(n^2 lambda) + one recast O(n |B|) — with batches of
+    n log n transactions, amortized O(n) bits per transaction, which is
+    the row the paper compares against. Only the MVBA winner's batch is
+    delivered; everyone else re-proposes — hence no eventual fairness,
+    also per Table 1. *)
+
+type t
+
+val create :
+  disp_net:Dispersal.msg Net.Network.t ->
+  vaba_net:Vaba.msg Net.Network.t ->
+  auth:Crypto.Auth.t ->
+  coin:Crypto.Threshold_coin.t ->
+  me:int ->
+  f:int ->
+  tag:int ->
+  batch:string ->
+  decide:(batch:string -> unit) ->
+  unit ->
+  t
+(** [decide] fires once with the reconstructed winning batch. *)
+
+val start : t -> unit
+
+val decided : t -> string option

@@ -1,0 +1,113 @@
+type protocol = Vaba_smr | Dumbo_smr
+
+type t = {
+  engine : Sim.Engine.t;
+  counters : Metrics.Counters.t;
+  sched : Net.Sched.t;
+  auth : Crypto.Auth.t;
+  coin : Crypto.Threshold_coin.t;
+  protocol : protocol;
+  n : int;
+  f : int;
+  concurrency : int;
+  total_slots : int;
+  batch : slot:int -> me:int -> string;
+  on_output : slot:int -> value:string -> time:float -> unit;
+  decisions : (int, string) Hashtbl.t;
+  mutable next_to_open : int;
+  mutable next_to_output : int;
+  mutable started : bool;
+}
+
+let create ~engine ~counters ~sched ~auth ~coin ~protocol ~n ~f ~concurrency
+    ~total_slots ~batch ~on_output () =
+  if concurrency < 1 then invalid_arg "Smr.create: concurrency < 1";
+  { engine;
+    counters;
+    sched;
+    auth;
+    coin;
+    protocol;
+    n;
+    f;
+    concurrency;
+    total_slots;
+    batch;
+    on_output;
+    decisions = Hashtbl.create 64;
+    next_to_open = 0;
+    next_to_output = 0;
+    started = false }
+
+let rec flush_outputs t =
+  match Hashtbl.find_opt t.decisions t.next_to_output with
+  | Some value ->
+    let slot = t.next_to_output in
+    t.next_to_output <- slot + 1;
+    t.on_output ~slot ~value ~time:(Sim.Engine.now t.engine);
+    flush_outputs t
+  | None -> ()
+
+let rec open_slot t slot =
+  if slot < t.total_slots then begin
+    let on_decide value =
+      if not (Hashtbl.mem t.decisions slot) then begin
+        Hashtbl.add t.decisions slot value;
+        flush_outputs t;
+        open_next t
+      end
+    in
+    (match t.protocol with
+    | Vaba_smr ->
+      let net =
+        Net.Network.create ~engine:t.engine ~sched:t.sched ~counters:t.counters
+          ~n:t.n
+      in
+      let instances =
+        List.init t.n (fun me ->
+            Vaba.create ~net ~auth:t.auth ~coin:t.coin ~me ~f:t.f ~tag:slot
+              ~proposal:(fun ~me -> t.batch ~slot ~me)
+              ~decide:(fun ~value ~view:_ -> on_decide value)
+              ())
+      in
+      List.iter Vaba.start instances
+    | Dumbo_smr ->
+      let disp_net =
+        Net.Network.create ~engine:t.engine ~sched:t.sched ~counters:t.counters
+          ~n:t.n
+      in
+      let vaba_net =
+        Net.Network.create ~engine:t.engine ~sched:t.sched ~counters:t.counters
+          ~n:t.n
+      in
+      let instances =
+        List.init t.n (fun me ->
+            Dumbo.create ~disp_net ~vaba_net ~auth:t.auth ~coin:t.coin ~me
+              ~f:t.f ~tag:slot
+              ~batch:(t.batch ~slot ~me)
+              ~decide:(fun ~batch -> on_decide batch)
+              ())
+      in
+      List.iter Dumbo.start instances)
+  end
+
+and open_next t =
+  (* keep [concurrency] slots in flight past the output frontier *)
+  while
+    t.next_to_open < t.total_slots
+    && t.next_to_open < t.next_to_output + t.concurrency
+  do
+    let slot = t.next_to_open in
+    t.next_to_open <- slot + 1;
+    open_slot t slot
+  done
+
+let start t =
+  if not t.started then begin
+    t.started <- true;
+    open_next t
+  end
+
+let output_count t = t.next_to_output
+
+let decided_value t slot = Hashtbl.find_opt t.decisions slot

@@ -1,0 +1,46 @@
+(** State machine replication from single-shot consensus — the "VABA
+    SMR" / "Dumbo SMR" constructions of Table 1.
+
+    The paper (§1) compares DAG-Rider against SMRs that "run an
+    unbounded sequence of the VABA or Dumbo protocols to independently
+    agree on every slot", allowing up to [n] slots to run concurrently
+    but requiring slot decisions to be {e output in sequential order}
+    (no gaps). The in-order constraint is what produces the O(log n)
+    expected time to clear n slots (the max of n geometric view counts;
+    Ben-Or & El-Yaniv): one slow slot holds up every later one.
+
+    Each slot gets fresh networks over the shared engine/scheduler/
+    counters, so the bit accounting covers the whole SMR. *)
+
+type protocol = Vaba_smr | Dumbo_smr
+
+type t
+
+val create :
+  engine:Sim.Engine.t ->
+  counters:Metrics.Counters.t ->
+  sched:Net.Sched.t ->
+  auth:Crypto.Auth.t ->
+  coin:Crypto.Threshold_coin.t ->
+  protocol:protocol ->
+  n:int ->
+  f:int ->
+  concurrency:int ->
+  total_slots:int ->
+  batch:(slot:int -> me:int -> string) ->
+  on_output:(slot:int -> value:string -> time:float -> unit) ->
+  unit ->
+  t
+(** [batch] supplies party [me]'s proposal for a slot. [on_output] fires
+    for each slot {e in slot order} (the SMR's execution feed), stamped
+    with the virtual time the slot became deliverable. The driver stops
+    opening slots after [total_slots]. *)
+
+val start : t -> unit
+
+val output_count : t -> int
+(** Slots output in order so far. *)
+
+val decided_value : t -> int -> string option
+(** Decision of a slot (possibly not yet output if a predecessor slot is
+    still running). *)

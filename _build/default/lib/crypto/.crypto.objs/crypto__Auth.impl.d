@@ -1,0 +1,1 @@
+lib/crypto/auth.ml: Array Char List Sha256 Stdx String

@@ -1,0 +1,1 @@
+lib/crypto/field.ml: Array Char List String

@@ -1,0 +1,1 @@
+lib/crypto/threshold_coin.ml: Array Field List Printf Sha256 Stdx

@@ -1,0 +1,46 @@
+(** Arithmetic in the prime field Z_p with p = 2^31 - 1 (a Mersenne
+    prime).
+
+    Products of two reduced elements fit in OCaml's 63-bit native [int],
+    so no big-number library is needed. This field hosts the Shamir
+    secret sharing behind the global perfect coin. Elements are [int] in
+    [\[0, p)]. *)
+
+val p : int
+(** The modulus, 2147483647. *)
+
+val of_int : int -> int
+(** Canonical representative (handles negatives). *)
+
+val add : int -> int -> int
+val sub : int -> int -> int
+val mul : int -> int -> int
+val neg : int -> int
+
+val pow : int -> int -> int
+(** [pow x k] for [k >= 0], by square-and-multiply. *)
+
+val inv : int -> int
+(** Multiplicative inverse via Fermat's little theorem.
+    @raise Division_by_zero on 0. *)
+
+val div : int -> int -> int
+(** @raise Division_by_zero if the divisor is 0. *)
+
+val eval_poly : int array -> int -> int
+(** Horner evaluation of [coeffs.(0) + coeffs.(1)*x + ...]. *)
+
+val lagrange_at_zero : (int * int) list -> int
+(** [lagrange_at_zero points] interpolates the unique polynomial of
+    degree [< length points] through the [(x, y)] pairs and returns its
+    value at 0. The x-coordinates must be distinct and non-zero.
+    @raise Invalid_argument otherwise. *)
+
+val interpolate_at : (int * int) list -> x:int -> int
+(** [interpolate_at points ~x] evaluates, at [x], the unique polynomial
+    of degree [< length points] through the [(x_i, y_i)] pairs. The
+    x-coordinates must be distinct. Used by the ADKG share-recovery
+    path. @raise Invalid_argument on duplicate x-coordinates. *)
+
+val element_of_digest : string -> int
+(** Map a (SHA-256) digest to a field element, for hash-to-field uses. *)

@@ -1,0 +1,71 @@
+type tree = {
+  levels : string array array;
+      (* levels.(0) = leaf digests; last level has length 1 = root *)
+}
+
+type proof = { leaf_index : int; path : string list }
+
+let hash_leaf payload = Sha256.digest_string ("\x00" ^ payload)
+let hash_node l r = Sha256.digest_string ("\x01" ^ l ^ r)
+
+let next_level nodes =
+  let n = Array.length nodes in
+  let m = (n + 1) / 2 in
+  Array.init m (fun i ->
+      let l = nodes.(2 * i) in
+      let r = if (2 * i) + 1 < n then nodes.((2 * i) + 1) else l in
+      hash_node l r)
+
+let build leaves =
+  if Array.length leaves = 0 then invalid_arg "Merkle.build: no leaves";
+  let rec go acc nodes =
+    if Array.length nodes = 1 then List.rev (nodes :: acc)
+    else go (nodes :: acc) (next_level nodes)
+  in
+  let levels = go [] (Array.map hash_leaf leaves) in
+  { levels = Array.of_list levels }
+
+let root t =
+  let top = t.levels.(Array.length t.levels - 1) in
+  top.(0)
+
+let leaf_count t = Array.length t.levels.(0)
+
+let prove t index =
+  let n = leaf_count t in
+  if index < 0 || index >= n then invalid_arg "Merkle.prove: index out of range";
+  let rec go level i acc =
+    if level >= Array.length t.levels - 1 then List.rev acc
+    else begin
+      let nodes = t.levels.(level) in
+      let sib = if i land 1 = 0 then i + 1 else i - 1 in
+      let sib_digest =
+        if sib < Array.length nodes then nodes.(sib) else nodes.(i)
+      in
+      go (level + 1) (i / 2) (sib_digest :: acc)
+    end
+  in
+  { leaf_index = index; path = go 0 index [] }
+
+let verify ~root:expected ~leaf_count ~leaf proof =
+  if proof.leaf_index < 0 || proof.leaf_index >= leaf_count then false
+  else begin
+    (* expected path length = tree height *)
+    let height =
+      let rec go n acc = if n <= 1 then acc else go ((n + 1) / 2) (acc + 1) in
+      go leaf_count 0
+    in
+    if List.length proof.path <> height then false
+    else begin
+      let digest = ref (hash_leaf leaf) in
+      let i = ref proof.leaf_index in
+      List.iter
+        (fun sib ->
+          digest :=
+            if !i land 1 = 0 then hash_node !digest sib
+            else hash_node sib !digest;
+          i := !i / 2)
+        proof.path;
+      String.equal !digest expected
+    end
+  end

@@ -1,0 +1,33 @@
+(** Merkle trees over SHA-256 with inclusion proofs.
+
+    AVID commits to the vector of Reed–Solomon fragments with a Merkle
+    root; each fragment travels with its authentication path so receivers
+    can verify fragments from Byzantine relayers without seeing the whole
+    vector. Leaves are domain-separated from inner nodes (prefix bytes
+    [\x00] / [\x01]) to prevent second-preimage splicing attacks. *)
+
+type tree
+
+type proof = {
+  leaf_index : int;
+  path : string list;
+      (** Sibling digests from the leaf's level up to (excluding) the root. *)
+}
+
+val build : string array -> tree
+(** Build a tree over the given leaves (payload bytes, hashed internally).
+    Odd levels duplicate the last node, so any positive arity works.
+    @raise Invalid_argument on an empty array. *)
+
+val root : tree -> string
+(** 32-byte root digest. *)
+
+val leaf_count : tree -> int
+
+val prove : tree -> int -> proof
+(** Inclusion proof for the leaf at the given index.
+    @raise Invalid_argument if the index is out of range. *)
+
+val verify : root:string -> leaf_count:int -> leaf:string -> proof -> bool
+(** [verify ~root ~leaf_count ~leaf proof] checks that [leaf]'s payload
+    sits at [proof.leaf_index] in a tree with the given root and size. *)

@@ -1,0 +1,188 @@
+type digest = string
+
+(* Round constants: first 32 bits of the fractional parts of the cube
+   roots of the first 64 primes (FIPS 180-4 §4.2.2). *)
+let k =
+  [| 0x428a2f98l; 0x71374491l; 0xb5c0fbcfl; 0xe9b5dba5l; 0x3956c25bl;
+     0x59f111f1l; 0x923f82a4l; 0xab1c5ed5l; 0xd807aa98l; 0x12835b01l;
+     0x243185bel; 0x550c7dc3l; 0x72be5d74l; 0x80deb1fel; 0x9bdc06a7l;
+     0xc19bf174l; 0xe49b69c1l; 0xefbe4786l; 0x0fc19dc6l; 0x240ca1ccl;
+     0x2de92c6fl; 0x4a7484aal; 0x5cb0a9dcl; 0x76f988dal; 0x983e5152l;
+     0xa831c66dl; 0xb00327c8l; 0xbf597fc7l; 0xc6e00bf3l; 0xd5a79147l;
+     0x06ca6351l; 0x14292967l; 0x27b70a85l; 0x2e1b2138l; 0x4d2c6dfcl;
+     0x53380d13l; 0x650a7354l; 0x766a0abbl; 0x81c2c92el; 0x92722c85l;
+     0xa2bfe8a1l; 0xa81a664bl; 0xc24b8b70l; 0xc76c51a3l; 0xd192e819l;
+     0xd6990624l; 0xf40e3585l; 0x106aa070l; 0x19a4c116l; 0x1e376c08l;
+     0x2748774cl; 0x34b0bcb5l; 0x391c0cb3l; 0x4ed8aa4al; 0x5b9cca4fl;
+     0x682e6ff3l; 0x748f82eel; 0x78a5636fl; 0x84c87814l; 0x8cc70208l;
+     0x90befffal; 0xa4506cebl; 0xbef9a3f7l; 0xc67178f2l |]
+
+type state = {
+  h : int32 array; (* 8 chaining words *)
+  buf : Bytes.t;   (* 64-byte block buffer *)
+  mutable buf_len : int;
+  mutable total : int64; (* total bytes fed *)
+}
+
+type ctx = { mutable st : state option }
+
+let initial_h () =
+  [| 0x6a09e667l; 0xbb67ae85l; 0x3c6ef372l; 0xa54ff53al;
+     0x510e527fl; 0x9b05688cl; 0x1f83d9abl; 0x5be0cd19l |]
+
+let rotr x n = Int32.logor (Int32.shift_right_logical x n)
+    (Int32.shift_left x (32 - n))
+
+let ( +% ) = Int32.add
+let ( ^% ) = Int32.logxor
+let ( &% ) = Int32.logand
+
+let compress h block off =
+  let w = Array.make 64 0l in
+  for t = 0 to 15 do
+    let base = off + (t * 4) in
+    let b i = Int32.of_int (Char.code (Bytes.get block (base + i))) in
+    w.(t) <-
+      Int32.logor
+        (Int32.shift_left (b 0) 24)
+        (Int32.logor
+           (Int32.shift_left (b 1) 16)
+           (Int32.logor (Int32.shift_left (b 2) 8) (b 3)))
+  done;
+  for t = 16 to 63 do
+    let s0 =
+      rotr w.(t - 15) 7 ^% rotr w.(t - 15) 18
+      ^% Int32.shift_right_logical w.(t - 15) 3
+    in
+    let s1 =
+      rotr w.(t - 2) 17 ^% rotr w.(t - 2) 19
+      ^% Int32.shift_right_logical w.(t - 2) 10
+    in
+    w.(t) <- w.(t - 16) +% s0 +% w.(t - 7) +% s1
+  done;
+  let a = ref h.(0) and b = ref h.(1) and c = ref h.(2) and d = ref h.(3) in
+  let e = ref h.(4) and f = ref h.(5) and g = ref h.(6) and hh = ref h.(7) in
+  for t = 0 to 63 do
+    let s1 = rotr !e 6 ^% rotr !e 11 ^% rotr !e 25 in
+    let ch = (!e &% !f) ^% (Int32.lognot !e &% !g) in
+    let t1 = !hh +% s1 +% ch +% k.(t) +% w.(t) in
+    let s0 = rotr !a 2 ^% rotr !a 13 ^% rotr !a 22 in
+    let maj = (!a &% !b) ^% (!a &% !c) ^% (!b &% !c) in
+    let t2 = s0 +% maj in
+    hh := !g;
+    g := !f;
+    f := !e;
+    e := !d +% t1;
+    d := !c;
+    c := !b;
+    b := !a;
+    a := t1 +% t2
+  done;
+  h.(0) <- h.(0) +% !a;
+  h.(1) <- h.(1) +% !b;
+  h.(2) <- h.(2) +% !c;
+  h.(3) <- h.(3) +% !d;
+  h.(4) <- h.(4) +% !e;
+  h.(5) <- h.(5) +% !f;
+  h.(6) <- h.(6) +% !g;
+  h.(7) <- h.(7) +% !hh
+
+let fresh_state () =
+  { h = initial_h (); buf = Bytes.create 64; buf_len = 0; total = 0L }
+
+let feed_state st s =
+  let len = String.length s in
+  st.total <- Int64.add st.total (Int64.of_int len);
+  let pos = ref 0 in
+  (* fill the partial block first *)
+  if st.buf_len > 0 then begin
+    let take = min (64 - st.buf_len) len in
+    Bytes.blit_string s 0 st.buf st.buf_len take;
+    st.buf_len <- st.buf_len + take;
+    pos := take;
+    if st.buf_len = 64 then begin
+      compress st.h st.buf 0;
+      st.buf_len <- 0
+    end
+  end;
+  (* whole blocks directly from the input *)
+  let tmp = Bytes.create 64 in
+  while len - !pos >= 64 do
+    Bytes.blit_string s !pos tmp 0 64;
+    compress st.h tmp 0;
+    pos := !pos + 64
+  done;
+  if !pos < len then begin
+    Bytes.blit_string s !pos st.buf 0 (len - !pos);
+    st.buf_len <- len - !pos
+  end
+
+let finalize_state st =
+  let bit_len = Int64.mul st.total 8L in
+  (* padding: 0x80, zeros, 8-byte big-endian bit length *)
+  let zeros =
+    let rem = (st.buf_len + 1) mod 64 in
+    if rem <= 56 then 56 - rem else 56 + 64 - rem
+  in
+  let tail = Bytes.create (1 + zeros + 8) in
+  Bytes.fill tail 0 (Bytes.length tail) '\000';
+  Bytes.set tail 0 '\x80';
+  for i = 0 to 7 do
+    let shift = 8 * (7 - i) in
+    Bytes.set tail
+      (1 + zeros + i)
+      (Char.chr
+         (Int64.to_int (Int64.logand (Int64.shift_right_logical bit_len shift) 0xFFL)))
+  done;
+  feed_state st (Bytes.to_string tail);
+  assert (st.buf_len = 0);
+  let out = Bytes.create 32 in
+  for i = 0 to 7 do
+    let v = st.h.(i) in
+    let byte shift =
+      Char.chr (Int32.to_int (Int32.logand (Int32.shift_right_logical v shift) 0xFFl))
+    in
+    Bytes.set out (4 * i) (byte 24);
+    Bytes.set out ((4 * i) + 1) (byte 16);
+    Bytes.set out ((4 * i) + 2) (byte 8);
+    Bytes.set out ((4 * i) + 3) (byte 0)
+  done;
+  Bytes.to_string out
+
+let init () = { st = Some (fresh_state ()) }
+
+let feed ctx s =
+  match ctx.st with
+  | None -> invalid_arg "Sha256.feed: context already finalized"
+  | Some st -> feed_state st s
+
+let finalize ctx =
+  match ctx.st with
+  | None -> invalid_arg "Sha256.finalize: context already finalized"
+  | Some st ->
+    ctx.st <- None;
+    finalize_state st
+
+let digest_string s =
+  let st = fresh_state () in
+  feed_state st s;
+  finalize_state st
+
+let digest_bytes b = digest_string (Bytes.to_string b)
+
+let to_hex d =
+  let buf = Buffer.create 64 in
+  String.iter (fun c -> Buffer.add_string buf (Printf.sprintf "%02x" (Char.code c))) d;
+  Buffer.contents buf
+
+let hmac ~key msg =
+  let block = 64 in
+  let key = if String.length key > block then digest_string key else key in
+  let key_padded = Bytes.make block '\000' in
+  Bytes.blit_string key 0 key_padded 0 (String.length key);
+  let xor_with c =
+    String.init block (fun i ->
+        Char.chr (Char.code (Bytes.get key_padded i) lxor Char.code c))
+  in
+  let ipad = xor_with '\x36' and opad = xor_with '\x5c' in
+  digest_string (opad ^ digest_string (ipad ^ msg))

@@ -1,0 +1,22 @@
+type share = { x : int; y : int }
+
+let deal ~rng ~secret ~threshold ~shares =
+  if threshold < 1 || threshold > shares then
+    invalid_arg "Shamir.deal: need 1 <= threshold <= shares";
+  if shares >= Field.p then invalid_arg "Shamir.deal: too many shares";
+  let coeffs =
+    Array.init threshold (fun i ->
+        if i = 0 then Field.of_int secret else Stdx.Rng.int rng Field.p)
+  in
+  List.init shares (fun i ->
+      let x = i + 1 in
+      { x; y = Field.eval_poly coeffs x })
+
+let reconstruct ~threshold shares =
+  let dedup =
+    List.sort_uniq (fun a b -> compare a.x b.x) shares
+  in
+  if List.length dedup < threshold then
+    invalid_arg "Shamir.reconstruct: not enough distinct shares";
+  let chosen = List.filteri (fun i _ -> i < threshold) dedup in
+  Field.lagrange_at_zero (List.map (fun s -> (s.x, s.y)) chosen)

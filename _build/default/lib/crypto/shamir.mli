@@ -1,0 +1,24 @@
+(** Shamir secret sharing over Z_(2^31-1) (Shamir 1979).
+
+    A secret [s] is embedded as the constant term of a uniformly random
+    polynomial of degree [threshold - 1]; the share of party [i]
+    (1-indexed) is the evaluation at [x = i]. Any [threshold] shares
+    reconstruct [s] by Lagrange interpolation at 0; fewer reveal nothing
+    information-theoretically. The threshold coin combines [f + 1] shares
+    this way, which is what gives DAG-Rider's coin its
+    information-theoretic agreement guarantee (paper §2). *)
+
+type share = { x : int; y : int }
+(** [x] is the party index (>= 1), [y] the polynomial evaluation. *)
+
+val deal :
+  rng:Stdx.Rng.t -> secret:int -> threshold:int -> shares:int -> share list
+(** [deal ~rng ~secret ~threshold ~shares] produces [shares] shares of
+    which any [threshold] reconstruct [secret].
+    @raise Invalid_argument unless [1 <= threshold <= shares]. *)
+
+val reconstruct : threshold:int -> share list -> int
+(** Reconstruct the secret from at least [threshold] shares with distinct
+    indices. Extra shares are ignored (the first [threshold] in index
+    order are used).
+    @raise Invalid_argument if fewer than [threshold] distinct shares. *)

@@ -1,0 +1,1 @@
+lib/dagrider/dag.ml: Hashtbl List Queue Vertex

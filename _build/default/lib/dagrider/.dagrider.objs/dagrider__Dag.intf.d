@@ -1,0 +1,1 @@
+lib/dagrider/dag.mli: Vertex

@@ -1,0 +1,1 @@
+lib/dagrider/node.ml: Char Crypto Dag Hashtbl List Net Ordering Queue Rbc String Vertex

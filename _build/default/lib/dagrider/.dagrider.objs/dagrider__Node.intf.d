@@ -1,0 +1,1 @@
+lib/dagrider/node.mli: Crypto Dag Net Ordering Rbc Vertex

@@ -1,0 +1,1 @@
+lib/dagrider/ordering.ml: Dag Hashtbl List Vertex

@@ -1,0 +1,1 @@
+lib/dagrider/ordering.mli: Dag Vertex

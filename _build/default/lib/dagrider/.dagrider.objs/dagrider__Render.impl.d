@@ -1,0 +1,1 @@
+lib/dagrider/render.ml: Buffer Dag List Ordering Printf Vertex

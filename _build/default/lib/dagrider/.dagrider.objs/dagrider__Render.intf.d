@@ -1,0 +1,1 @@
+lib/dagrider/render.mli: Dag Vertex

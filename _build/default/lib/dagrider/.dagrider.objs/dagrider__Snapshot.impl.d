@@ -1,0 +1,1 @@
+lib/dagrider/snapshot.ml: Buffer Char Crypto Dag List Printf Result String Vertex

@@ -1,0 +1,1 @@
+lib/dagrider/snapshot.mli: Dag Vertex

@@ -1,0 +1,1 @@
+lib/dagrider/vertex.ml: Buffer Char Crypto Format List Option Printf String

@@ -1,0 +1,1 @@
+lib/dagrider/vertex.mli: Format

@@ -1,0 +1,67 @@
+(** A process's local view of the round-structured DAG (paper §4).
+
+    [DAG_i[r]] is the set of round-[r] vertices the process has
+    incorporated; a vertex is only added once all its strong- and
+    weak-edge targets are present (Algorithm 2 line 7), so by
+    construction every vertex's full causal history is in the store
+    (Claim 1) — an invariant [add] enforces.
+
+    Round 0 holds [n] genesis vertices (one per source, no edges) that
+    bootstrap round 1's strong edges; see DESIGN.md §6 on this reading
+    of the paper's "predefined hardcoded set". *)
+
+type t
+
+val create : n:int -> t
+(** Fresh DAG containing only the genesis round. *)
+
+val n : t -> int
+
+val find : t -> Vertex.vref -> Vertex.t option
+
+val contains : t -> Vertex.vref -> bool
+
+val round_vertices : t -> int -> Vertex.t list
+(** Vertices of a round, sorted by source (deterministic iteration). *)
+
+val round_size : t -> int -> int
+
+val highest_round : t -> int
+(** Largest round with at least one vertex (0 for a fresh DAG). *)
+
+val can_add : t -> Vertex.t -> bool
+(** All edge targets present? (Algorithm 2 line 7.) *)
+
+val add : t -> Vertex.t -> unit
+(** Insert a vertex.
+    @raise Invalid_argument if a predecessor is missing (the buffer in
+    {!Node} must hold the vertex back until {!can_add}), or if a
+    different vertex already occupies [(round, source)] — reliable
+    broadcast makes that impossible for honest stacks, so it indicates a
+    harness bug. Re-adding the identical vertex is a no-op. *)
+
+val strong_path : t -> Vertex.vref -> Vertex.vref -> bool
+(** [strong_path t v u]: is [u] reachable from [v] via strong edges only
+    (Algorithm 1 line 3)? Reflexive: [strong_path t v v = true] when [v]
+    is present. *)
+
+val path : t -> Vertex.vref -> Vertex.vref -> bool
+(** Reachability via strong or weak edges (Algorithm 1 line 1). *)
+
+val causal_history : t -> Vertex.vref -> Vertex.t list
+(** Every vertex reachable from [v] (inclusive), i.e. the set
+    [{u | path v u}], sorted by {!Vertex.compare_vref}. Empty if [v] is
+    absent. Genesis vertices are excluded — they carry no blocks. *)
+
+val reachable_from : t -> Vertex.vref -> via_strong_only:bool -> Vertex.vref list
+(** Lower-level reachability (inclusive, genesis included); used by weak
+    edge computation and the renderer. *)
+
+val vertices : t -> Vertex.t list
+(** All non-genesis vertices, sorted. *)
+
+val prune_below : t -> round:int -> unit
+(** Garbage-collection extension (DESIGN.md §6): drop all rounds
+    [< round]. Reachability queries then treat missing targets as dead
+    ends; only call with rounds at or below the lowest undelivered
+    committed history. Off by default everywhere. *)

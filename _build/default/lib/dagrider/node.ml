@@ -1,0 +1,500 @@
+type rbc_handle = { rbc_bcast : payload:string -> round:int -> unit }
+
+type rbc_factory = me:int -> deliver:Rbc.Rbc_intf.deliver -> rbc_handle
+
+type coin_msg = Coin_share of Crypto.Threshold_coin.share
+
+type sync_msg =
+  | Sync_request of { from_round : int }
+  | Sync_response of { vertices : (string * int * int) list }
+
+type coin_mode = Separate_network | In_dag
+
+type config = {
+  n : int;
+  f : int;
+  wave_length : int;
+  commit_quorum : int option;
+  enable_weak_edges : bool;
+  gc_depth : int option;
+  coin_mode : coin_mode;
+}
+
+let default_config ~n ~f =
+  { n;
+    f;
+    wave_length = 4;
+    commit_quorum = None;
+    enable_weak_edges = true;
+    gc_depth = None;
+    coin_mode = Separate_network }
+
+type t = {
+  config : config;
+  me : int;
+  coin : Crypto.Threshold_coin.t;
+  coin_net : coin_msg Net.Network.t;
+  mutable sync_net : sync_msg Net.Network.t option;
+  dag : Dag.t;
+  ordering : Ordering.t;
+  mutable rbc : rbc_handle option;
+  blocks_to_propose : string Queue.t;
+  block_source : round:int -> string;
+  a_deliver : block:string -> round:int -> source:int -> unit;
+  on_commit : Ordering.commit -> unit;
+  mutable buffer : Vertex.t list;
+  mutable round : int; (* current round r of Algorithm 2 *)
+  mutable started : bool;
+  (* wave machinery *)
+  mutable waves_completed : int; (* highest w with wave_ready fired *)
+  shares : (int, Crypto.Threshold_coin.share list ref) Hashtbl.t;
+  leaders : (int, int) Hashtbl.t; (* resolved coin: wave -> process *)
+  mutable share_sent_up_to : int;
+  mutable next_wave_to_order : int;
+}
+
+let me t = t.me
+let current_round t = t.round
+let dag t = t.dag
+let ordering t = t.ordering
+let delivered_log t = Ordering.delivered_log t.ordering
+let buffered t = List.length t.buffer
+let waves_completed t = t.waves_completed
+let coin_instances_resolved t = Hashtbl.length t.leaders
+let leader_of t ~wave = Hashtbl.find_opt t.leaders wave
+
+let rbc t =
+  match t.rbc with
+  | Some r -> r
+  | None -> invalid_arg "Node: rbc backend not wired (internal error)"
+
+(* ---- vertex creation (Algorithm 2, lines 16-21 and 27-31) ---- *)
+
+let next_block t ~round =
+  match Queue.take_opt t.blocks_to_propose with
+  | Some b -> b
+  | None -> t.block_source ~round
+
+let set_weak_edges t ~strong_edges ~round =
+  if (not t.config.enable_weak_edges) || round < 3 then []
+  else begin
+    (* vertices already reachable through the strong edges *)
+    let reachable = Hashtbl.create 128 in
+    let absorb vref =
+      List.iter
+        (fun r -> Hashtbl.replace reachable r ())
+        (Dag.reachable_from t.dag vref ~via_strong_only:false)
+    in
+    List.iter absorb strong_edges;
+    let weak = ref [] in
+    for r = round - 2 downto 1 do
+      List.iter
+        (fun u ->
+          let uref = Vertex.vref_of u in
+          if not (Hashtbl.mem reachable uref) then begin
+            weak := uref :: !weak;
+            absorb uref
+          end)
+        (Dag.round_vertices t.dag r)
+    done;
+    !weak
+  end
+
+(* In [In_dag] coin mode the RBC payload is the vertex encoding plus a
+   trailing share record and a flag byte:
+     <vertex bytes> <u32 holder> <u32 instance> <u32 value> '\001'
+   or just <vertex bytes> '\000'. The suffix parses backwards, so the
+   vertex codec itself stays unchanged. *)
+
+let put_u32_str v =
+  String.init 4 (fun i -> Char.chr ((v lsr (8 * (3 - i))) land 0xFF))
+
+let read_u32 s pos =
+  let b i = Char.code s.[pos + i] in
+  (b 0 lsl 24) lor (b 1 lsl 16) lor (b 2 lsl 8) lor b 3
+
+let wrap_payload ~vertex_bytes ~share =
+  match share with
+  | None -> vertex_bytes ^ "\000"
+  | Some (s : Crypto.Threshold_coin.share) ->
+    vertex_bytes
+    ^ put_u32_str s.holder
+    ^ put_u32_str s.instance
+    ^ put_u32_str s.value
+    ^ "\001"
+
+let unwrap_payload payload =
+  let len = String.length payload in
+  if len = 0 then None
+  else
+    match payload.[len - 1] with
+    | '\000' -> Some (String.sub payload 0 (len - 1), None)
+    | '\001' when len >= 13 ->
+      let base = len - 13 in
+      let share =
+        { Crypto.Threshold_coin.holder = read_u32 payload base;
+          instance = read_u32 payload (base + 4);
+          value = read_u32 payload (base + 8) }
+      in
+      Some (String.sub payload 0 base, Some share)
+    | _ -> None
+
+(* the share this vertex must carry in [In_dag] mode: round w*L + 1 is
+   the first round a process can only enter after completing wave w *)
+let in_dag_share t ~round =
+  if t.config.coin_mode <> In_dag then None
+  else begin
+    let wave_length = t.config.wave_length in
+    if round > wave_length && (round - 1) mod wave_length = 0 then begin
+      let wave = (round - 1) / wave_length in
+      Some (Crypto.Threshold_coin.make_share t.coin ~holder:t.me ~instance:wave)
+    end
+    else None
+  end
+
+let create_and_broadcast_vertex t ~round =
+  let strong_edges =
+    List.map Vertex.vref_of (Dag.round_vertices t.dag (round - 1))
+  in
+  let weak_edges = set_weak_edges t ~strong_edges ~round in
+  let v =
+    { Vertex.round;
+      source = t.me;
+      block = next_block t ~round;
+      strong_edges;
+      weak_edges }
+  in
+  let payload =
+    match t.config.coin_mode with
+    | Separate_network -> Vertex.encode v
+    | In_dag ->
+      wrap_payload ~vertex_bytes:(Vertex.encode v)
+        ~share:(in_dag_share t ~round)
+  in
+  (rbc t).rbc_bcast ~payload ~round
+
+(* ---- coin handling ---- *)
+
+(* coin shares and sync messages are charged at their exact encoded
+   size, like every other message in the stack *)
+let coin_share_bits (s : Crypto.Threshold_coin.share) =
+  ignore s;
+  (* u32 holder + u32 instance + u32 field element *)
+  8 * 12
+
+let broadcast_share t ~wave =
+  let share = Crypto.Threshold_coin.make_share t.coin ~holder:t.me ~instance:wave in
+  Net.Network.broadcast t.coin_net ~src:t.me ~kind:"coin-share"
+    ~bits:(coin_share_bits share) (Coin_share share)
+
+let shares_for t wave =
+  match Hashtbl.find_opt t.shares wave with
+  | Some r -> r
+  | None ->
+    let r = ref [] in
+    Hashtbl.add t.shares wave r;
+    r
+
+let maybe_gc t =
+  match t.config.gc_depth with
+  | None -> ()
+  | Some depth ->
+    let decided = Ordering.decided_wave t.ordering in
+    if decided > 0 then begin
+      let decided_start =
+        Ordering.round_of ~wave_length:t.config.wave_length ~wave:decided ~k:1 ()
+      in
+      let cutoff = decided_start - depth in
+      (* only prune rounds whose vertices were all delivered: anything
+         in the decided leader's past is, stragglers might not be *)
+      let rec safe_cutoff r =
+        if r >= cutoff then cutoff
+        else if
+          List.for_all
+            (fun v -> Ordering.is_delivered t.ordering (Vertex.vref_of v))
+            (Dag.round_vertices t.dag r)
+        then safe_cutoff (r + 1)
+        else r
+      in
+      let bound = safe_cutoff 1 in
+      if bound > 1 then Dag.prune_below t.dag ~round:bound
+    end
+
+(* Run the ordering step for every wave that is both locally complete
+   and coin-resolved, strictly in wave order (Algorithm 3 needs leaders
+   of all waves <= w when processing w). *)
+let rec try_order_waves t =
+  let w = t.next_wave_to_order in
+  if w <= t.waves_completed && Hashtbl.mem t.leaders w then begin
+    let commits =
+      Ordering.process_wave t.ordering ~dag:t.dag ~wave:w
+        ~choose_leader:(fun w' -> Hashtbl.find t.leaders w')
+    in
+    List.iter
+      (fun (c : Ordering.commit) ->
+        t.on_commit c;
+        List.iter
+          (fun v ->
+            t.a_deliver ~block:v.Vertex.block ~round:v.Vertex.round
+              ~source:v.Vertex.source)
+          c.delivered)
+      commits;
+    if commits <> [] then maybe_gc t;
+    t.next_wave_to_order <- w + 1;
+    try_order_waves t
+  end
+
+let try_resolve_coin t ~wave =
+  if not (Hashtbl.mem t.leaders wave) then begin
+    let shares = !(shares_for t wave) in
+    match Crypto.Threshold_coin.combine t.coin ~instance:wave shares with
+    | Some leader ->
+      Hashtbl.add t.leaders wave leader;
+      try_order_waves t
+    | None -> ()
+  end
+
+let on_coin_msg t ~src:_ (Coin_share share) =
+  if Crypto.Threshold_coin.verify_share t.coin share then begin
+    let bucket = shares_for t share.instance in
+    bucket := share :: !bucket;
+    try_resolve_coin t ~wave:share.instance
+  end
+
+(* ---- round advancement (Algorithm 2, lines 5-15) ---- *)
+
+let wave_ready t ~wave =
+  if wave > t.waves_completed then begin
+    t.waves_completed <- wave;
+    (* the coin for w is flipped only now that w is complete; in In_dag
+       mode the share rides the next vertex broadcast instead *)
+    if t.config.coin_mode = Separate_network && wave > t.share_sent_up_to
+    then begin
+      for w = t.share_sent_up_to + 1 to wave do
+        broadcast_share t ~wave:w
+      done;
+      t.share_sent_up_to <- wave
+    end;
+    try_resolve_coin t ~wave;
+    try_order_waves t
+  end
+
+let rec try_advance t =
+  (* move buffered vertices whose causal history is present into the DAG
+     (lines 6-9); iterate to a fixpoint since additions enable others *)
+  let progressed = ref true in
+  while !progressed do
+    progressed := false;
+    let ready, waiting =
+      List.partition (fun v -> Dag.can_add t.dag v) t.buffer
+    in
+    if ready <> [] then begin
+      List.iter (fun v -> Dag.add t.dag v) ready;
+      t.buffer <- waiting;
+      progressed := true
+    end
+  done;
+  (* lines 10-15: complete rounds while quorums are in *)
+  if Dag.round_size t.dag t.round >= (2 * t.config.f) + 1 then begin
+    (match
+       Ordering.wave_of_completed_round ~wave_length:t.config.wave_length t.round
+     with
+    | Some w -> wave_ready t ~wave:w
+    | None -> ());
+    t.round <- t.round + 1;
+    create_and_broadcast_vertex t ~round:t.round;
+    try_advance t
+  end
+
+let accept_embedded_share t ~round ~source share =
+  match share with
+  | None -> ()
+  | Some (share : Crypto.Threshold_coin.share) ->
+    let wave_length = t.config.wave_length in
+    (* bind the share to the authenticated broadcast: its holder must be
+       the vertex's source and its instance the wave this round proves
+       complete — otherwise a Byzantine process could replay shares *)
+    if
+      share.holder = source
+      && round > wave_length
+      && (round - 1) mod wave_length = 0
+      && share.instance = (round - 1) / wave_length
+      && Crypto.Threshold_coin.verify_share t.coin share
+    then begin
+      let bucket = shares_for t share.instance in
+      bucket := share :: !bucket;
+      try_resolve_coin t ~wave:share.instance
+    end
+
+let on_r_deliver t ~payload ~round ~source =
+  let parsed =
+    match t.config.coin_mode with
+    | Separate_network -> Some (payload, None)
+    | In_dag -> unwrap_payload payload
+  in
+  match parsed with
+  | None -> () (* malformed Byzantine payload *)
+  | Some (vertex_bytes, share) -> (
+    match Vertex.decode ~round ~source vertex_bytes with
+    | None -> () (* malformed Byzantine payload *)
+    | Some v -> (
+      match Vertex.validate ~n:t.config.n ~f:t.config.f v with
+      | Error _ -> () (* fails Algorithm 2 line 25's checks *)
+      | Ok () ->
+        accept_embedded_share t ~round ~source share;
+        if not (Dag.contains t.dag (Vertex.vref_of v)) then begin
+          t.buffer <- v :: t.buffer;
+          try_advance t
+        end))
+
+(* ---- catch-up sync (for restarted processes) ---- *)
+
+(* first round that might still be missing vertices: the lowest round
+   below the frontier that has fewer than n vertices *)
+let first_incomplete_round t =
+  let rec go r =
+    if r >= t.round then r
+    else if Dag.round_size t.dag r < t.config.n then r
+    else go (r + 1)
+  in
+  go 1
+
+let request_sync t =
+  match t.sync_net with
+  | None -> ()
+  | Some net ->
+    (* u8 tag + u32 from_round *)
+    Net.Network.broadcast net ~src:t.me ~kind:"sync-request" ~bits:(8 * 5)
+      (Sync_request { from_round = first_incomplete_round t })
+
+let max_sync_vertices = 500
+
+let on_sync_msg t ~src msg =
+  match msg with
+  | Sync_request { from_round } -> (
+    match t.sync_net with
+    | None -> ()
+    | Some net ->
+      let from_round = max 1 from_round in
+      let vertices = ref [] in
+      let count = ref 0 in
+      (try
+         for r = from_round to Dag.highest_round t.dag do
+           List.iter
+             (fun v ->
+               if !count < max_sync_vertices then begin
+                 incr count;
+                 vertices :=
+                   (Vertex.encode v, v.Vertex.round, v.Vertex.source)
+                   :: !vertices
+               end
+               else raise Exit)
+             (Dag.round_vertices t.dag r)
+         done
+       with Exit -> ());
+      if !vertices <> [] then begin
+        (* u8 tag + u32 count + per vertex: u32 round + u32 source +
+           u32 len + payload bytes *)
+        let bits =
+          List.fold_left
+            (fun acc (payload, _, _) -> acc + (8 * (String.length payload + 12)))
+            (8 * 5) !vertices
+        in
+        Net.Network.send net ~src:t.me ~dst:src ~kind:"sync-response" ~bits
+          (Sync_response { vertices = List.rev !vertices })
+      end)
+  | Sync_response { vertices } ->
+    (* identical admission path as reliable-broadcast deliveries; the
+       wrapped coin share (if any, In_dag mode) is accepted too *)
+    List.iter
+      (fun (payload, round, source) ->
+        on_r_deliver t ~payload ~round ~source)
+      vertices
+
+(* ---- construction ---- *)
+
+let create ~config ~me ~coin ~coin_net ~make_rbc ?sync_net
+    ?(block_source = fun ~round:_ -> "")
+    ?(a_deliver = fun ~block:_ ~round:_ ~source:_ -> ())
+    ?(on_commit = fun _ -> ()) () =
+  if config.n < 1 || config.f < 0 then invalid_arg "Node.create: bad config";
+  if me < 0 || me >= config.n then invalid_arg "Node.create: bad process id";
+  let t =
+    { config;
+      me;
+      coin;
+      coin_net;
+      sync_net;
+      dag = Dag.create ~n:config.n;
+      ordering =
+        Ordering.create ~wave_length:config.wave_length
+          ?commit_quorum:config.commit_quorum ~f:config.f ();
+      rbc = None;
+      blocks_to_propose = Queue.create ();
+      block_source;
+      a_deliver;
+      on_commit;
+      buffer = [];
+      round = 0;
+      started = false;
+      waves_completed = 0;
+      shares = Hashtbl.create 16;
+      leaders = Hashtbl.create 16;
+      share_sent_up_to = 0;
+      next_wave_to_order = 1 }
+  in
+  let deliver ~payload ~round ~source =
+    on_r_deliver t ~payload ~round ~source
+  in
+  t.rbc <- Some (make_rbc ~me ~deliver);
+  Net.Network.register coin_net me (fun ~src msg -> on_coin_msg t ~src msg);
+  (match sync_net with
+  | Some net ->
+    Net.Network.register net me (fun ~src msg -> on_sync_msg t ~src msg)
+  | None -> ());
+  t
+
+type checkpoint = {
+  ck_dag : Dag.t;
+  ck_delivered : Vertex.t list;
+  ck_decided_wave : int;
+  ck_round : int;
+}
+
+let checkpoint t =
+  { ck_dag = t.dag;
+    ck_delivered = Ordering.delivered_log t.ordering;
+    ck_decided_wave = Ordering.decided_wave t.ordering;
+    ck_round = t.round }
+
+let restore ~config ~me ~coin ~coin_net ~make_rbc ?sync_net ?block_source
+    ?a_deliver ?on_commit ck =
+  let t =
+    create ~config ~me ~coin ~coin_net ~make_rbc ?sync_net ?block_source
+      ?a_deliver ?on_commit ()
+  in
+  (* graft the persisted DAG in: rebuild through Dag.add to re-establish
+     the causal-closure invariant *)
+  List.iter (fun v -> Dag.add t.dag v) (Dag.vertices ck.ck_dag);
+  Ordering.restore t.ordering ~delivered:ck.ck_delivered
+    ~decided_wave:ck.ck_decided_wave;
+  t.round <- ck.ck_round;
+  (* wave_ready(w) fires when advancing from round L*w to L*w + 1, so a
+     node in round r has completed exactly (r - 1) / L waves; their
+     shares were sent before the checkpoint and must not be re-sent *)
+  t.waves_completed <- max 0 ((ck.ck_round - 1) / config.wave_length);
+  t.share_sent_up_to <- t.waves_completed;
+  t.next_wave_to_order <- ck.ck_decided_wave + 1;
+  t.started <- true;
+  request_sync t;
+  t
+
+let start t =
+  if not t.started then begin
+    t.started <- true;
+    (* round 0 (genesis) is complete by construction; enter round 1 *)
+    t.round <- 1;
+    create_and_broadcast_vertex t ~round:1
+  end
+
+let a_bcast t block = Queue.add block t.blocks_to_propose

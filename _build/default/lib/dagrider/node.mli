@@ -1,0 +1,150 @@
+(** A complete DAG-Rider process: Algorithm 2 (DAG construction) driving
+    Algorithm 3 (ordering) over a pluggable reliable-broadcast backend
+    and the threshold coin.
+
+    Lifecycle: [create] wires the handlers, [start] broadcasts the
+    round-1 vertex; from then on the process is purely reactive —
+    reliable-broadcast deliveries fill the buffer, buffered vertices
+    whose causal history is present join the DAG, completing a round
+    broadcasts the next vertex, completing a wave broadcasts a coin
+    share, and a resolved coin triggers the local ordering step. The
+    paper's [while true] loop (Algorithm 2 line 5) becomes this event
+    chain; no behaviour is lost because every iteration of the paper's
+    loop is enabled by exactly one of these events.
+
+    Coin timing: a share for instance [w] is released only when this
+    process {e completes} wave [w] (paper §5, "parties flip the global
+    coin only after they complete w"), and ordering for wave [w] runs
+    only once instances [1..w] have all resolved, so leaders are always
+    processed in wave order. *)
+
+type rbc_handle = { rbc_bcast : payload:string -> round:int -> unit }
+(** What the node needs from a reliable-broadcast backend. *)
+
+type rbc_factory = me:int -> deliver:Rbc.Rbc_intf.deliver -> rbc_handle
+(** Backend constructor; see {!Backend} for the stock ones. *)
+
+type coin_msg = Coin_share of Crypto.Threshold_coin.share
+(** Message type of the coin-share network. *)
+
+type sync_msg =
+  | Sync_request of { from_round : int }
+  | Sync_response of { vertices : (string * int * int) list }
+      (** (encoded vertex, round, source) triples *)
+(** Catch-up channel for restarted processes: reliable broadcast never
+    re-delivers instances that completed while a process was down, so a
+    restarted node asks its peers for the missing DAG region. Responses
+    go through exactly the same decode/validate/buffer path as reliable
+    broadcast deliveries — a Byzantine responder can only feed vertices
+    the (restarting) node would have accepted anyway, and conflicting
+    fabrications are caught by the DAG's one-vertex-per-(round, source)
+    check against reliably-broadcast copies. *)
+
+type coin_mode =
+  | Separate_network
+      (** shares travel on their own broadcast channel (the default
+          wiring; simplest to reason about) *)
+  | In_dag
+      (** the paper's footnote 1: a process's share for wave [w]'s coin
+          rides inside the vertex it broadcasts in round
+          [wave_length * w + 1] — the first vertex it can only create
+          after completing wave [w], preserving unpredictability. No
+          separate coin messages are sent at all; shares arrive with
+          reliable-broadcast deliveries and are bound to their holder by
+          the broadcast's authenticated source. *)
+
+type config = {
+  n : int;
+  f : int;
+  wave_length : int;       (** rounds per wave; the paper's value is 4 *)
+  commit_quorum : int option; (** [None] = the paper's [2f+1] *)
+  enable_weak_edges : bool;(** [false] only for the validity ablation *)
+  gc_depth : int option;   (** prune rounds this far behind the decided
+                               wave; [None] (default) keeps everything *)
+  coin_mode : coin_mode;
+}
+
+val default_config : n:int -> f:int -> config
+
+type t
+
+val create :
+  config:config ->
+  me:int ->
+  coin:Crypto.Threshold_coin.t ->
+  coin_net:coin_msg Net.Network.t ->
+  make_rbc:rbc_factory ->
+  ?sync_net:sync_msg Net.Network.t ->
+  ?block_source:(round:int -> string) ->
+  ?a_deliver:(block:string -> round:int -> source:int -> unit) ->
+  ?on_commit:(Ordering.commit -> unit) ->
+  unit ->
+  t
+(** [block_source] supplies a block when [blocksToPropose] is empty —
+    the paper assumes processes always have blocks (Algorithm 2 line
+    17); the default returns an empty block. [a_deliver] is the BAB
+    output upcall; [on_commit] observes committed leaders (experiment
+    instrumentation). *)
+
+type checkpoint = {
+  ck_dag : Dag.t;
+  ck_delivered : Vertex.t list; (** the ordered log, oldest first *)
+  ck_decided_wave : int;
+  ck_round : int; (** the round whose vertex was last broadcast *)
+}
+(** Everything a process must persist to restart without equivocating:
+    its DAG ({!Snapshot} serializes it), its delivered log and decided
+    wave (so nothing is re-delivered), and its last broadcast round (so
+    it never signs two different vertices for one round). *)
+
+val checkpoint : t -> checkpoint
+
+val restore : config:config -> me:int ->
+  coin:Crypto.Threshold_coin.t ->
+  coin_net:coin_msg Net.Network.t ->
+  make_rbc:rbc_factory ->
+  ?sync_net:sync_msg Net.Network.t ->
+  ?block_source:(round:int -> string) ->
+  ?a_deliver:(block:string -> round:int -> source:int -> unit) ->
+  ?on_commit:(Ordering.commit -> unit) ->
+  checkpoint ->
+  t
+(** Rebuild a node from a checkpoint. The node resumes at the
+    checkpointed round: it does not re-broadcast that round's vertex
+    (it may already be delivered elsewhere — re-broadcasting a fresh
+    one would be equivocation) and advances as soon as the round's
+    quorum assembles. Coin shares for waves completed before the
+    checkpoint are not re-sent; unresolved waves re-resolve from
+    incoming shares. *)
+
+val start : t -> unit
+(** Broadcast the first vertex. Idempotent; a no-op on restored nodes
+    (their current round's vertex is already out). *)
+
+val a_bcast : t -> string -> unit
+(** Enqueue a transaction block; it rides in this process's next unsent
+    vertex (Algorithm 3 lines 32–33). *)
+
+val me : t -> int
+val current_round : t -> int
+val dag : t -> Dag.t
+val ordering : t -> Ordering.t
+
+val delivered_log : t -> Vertex.t list
+(** Totally ordered output so far. *)
+
+val buffered : t -> int
+(** Vertices delivered by RBC but still missing predecessors. *)
+
+val waves_completed : t -> int
+val coin_instances_resolved : t -> int
+
+val leader_of : t -> wave:int -> int option
+(** The coin's choice for a wave, once this node resolved that instance
+    ([None] before f+1 shares arrived). Used by the renderers. *)
+
+val request_sync : t -> unit
+(** Ask every peer for the DAG region this node is missing (no-op
+    without a [sync_net]). Called once by {!restore}; the restart driver
+    should re-call it a few virtual-time units later to collect vertices
+    whose broadcasts straddled the restart. *)

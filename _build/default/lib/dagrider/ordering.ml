@@ -1,0 +1,131 @@
+type t = {
+  f : int;
+  wave_length : int;
+  commit_quorum : int;
+  mutable decided_wave : int;
+  delivered_set : (Vertex.vref, unit) Hashtbl.t;
+  mutable log_rev : Vertex.t list;
+  mutable delivered_count : int;
+}
+
+type commit = {
+  wave : int;
+  leader : Vertex.t;
+  delivered : Vertex.t list;
+  direct : bool;
+}
+
+let create ?(wave_length = 4) ?commit_quorum ~f () =
+  if wave_length < 1 then invalid_arg "Ordering.create: wave_length < 1";
+  let commit_quorum =
+    match commit_quorum with Some q -> q | None -> (2 * f) + 1
+  in
+  { f;
+    wave_length;
+    commit_quorum;
+    decided_wave = 0;
+    delivered_set = Hashtbl.create 256;
+    log_rev = [];
+    delivered_count = 0 }
+
+let round_of ?(wave_length = 4) ~wave ~k () =
+  if k < 1 || k > wave_length then
+    invalid_arg "Ordering.round_of: k out of wave";
+  if wave < 1 then invalid_arg "Ordering.round_of: wave must be >= 1";
+  (wave_length * (wave - 1)) + k
+
+let wave_of_completed_round ?(wave_length = 4) r =
+  if r >= wave_length && r mod wave_length = 0 then Some (r / wave_length)
+  else None
+
+let leader_vertex ?(wave_length = 4) ~dag ~wave ~leader_source () =
+  Dag.find dag
+    { Vertex.round = round_of ~wave_length ~wave ~k:1 (); source = leader_source }
+
+let commit_rule_met ?(wave_length = 4) ?commit_quorum ~dag ~f ~wave ~leader () =
+  let commit_quorum =
+    match commit_quorum with Some q -> q | None -> (2 * f) + 1
+  in
+  let last_round = round_of ~wave_length ~wave ~k:wave_length () in
+  let supporters =
+    List.filter
+      (fun v -> Dag.strong_path dag (Vertex.vref_of v) (Vertex.vref_of leader))
+      (Dag.round_vertices dag last_round)
+  in
+  List.length supporters >= commit_quorum
+
+let deliver_leader t ~dag ~wave ~leader ~direct =
+  let history = Dag.causal_history dag (Vertex.vref_of leader) in
+  let fresh =
+    List.filter
+      (fun v -> not (Hashtbl.mem t.delivered_set (Vertex.vref_of v)))
+      history
+  in
+  List.iter
+    (fun v ->
+      Hashtbl.add t.delivered_set (Vertex.vref_of v) ();
+      t.log_rev <- v :: t.log_rev;
+      t.delivered_count <- t.delivered_count + 1)
+    fresh;
+  { wave; leader; delivered = fresh; direct }
+
+let process_wave t ~dag ~wave ~choose_leader =
+  if wave <= t.decided_wave then []
+  else
+    let wave_length = t.wave_length in
+    match
+      leader_vertex ~wave_length ~dag ~wave ~leader_source:(choose_leader wave) ()
+    with
+    | None -> []
+    | Some leader ->
+      if
+        not
+          (commit_rule_met ~wave_length ~commit_quorum:t.commit_quorum ~dag
+             ~f:t.f ~wave ~leader ())
+      then []
+      else begin
+        (* Lines 38-43: push this wave's leader, then walk back through
+           undecided waves, chaining any leader the current one reaches
+           by a strong path. *)
+        let stack = ref [ (wave, leader) ] in
+        let current = ref leader in
+        let w' = ref (wave - 1) in
+        while !w' > t.decided_wave do
+          (match
+             leader_vertex ~wave_length ~dag ~wave:!w'
+               ~leader_source:(choose_leader !w') ()
+           with
+          | Some v'
+            when Dag.strong_path dag (Vertex.vref_of !current) (Vertex.vref_of v') ->
+            stack := (!w', v') :: !stack;
+            current := v'
+          | Some _ | None -> ());
+          decr w'
+        done;
+        t.decided_wave <- wave;
+        (* Lines 51-57: pop in increasing wave order and deliver causal
+           histories not yet delivered. *)
+        List.map
+          (fun (w, v) ->
+            deliver_leader t ~dag ~wave:w ~leader:v ~direct:(w = wave))
+          !stack
+      end
+
+let restore t ~delivered ~decided_wave =
+  if t.delivered_count > 0 || t.decided_wave > 0 then
+    invalid_arg "Ordering.restore: state is not fresh";
+  List.iter
+    (fun v ->
+      Hashtbl.replace t.delivered_set (Vertex.vref_of v) ();
+      t.log_rev <- v :: t.log_rev;
+      t.delivered_count <- t.delivered_count + 1)
+    delivered;
+  t.decided_wave <- decided_wave
+
+let decided_wave t = t.decided_wave
+
+let delivered_log t = List.rev t.log_rev
+
+let delivered_count t = t.delivered_count
+
+let is_delivered t vref = Hashtbl.mem t.delivered_set vref

@@ -1,0 +1,80 @@
+(** The zero-communication ordering layer (paper §5, Algorithm 3).
+
+    The DAG is split into waves of four rounds; [round (w, k)] is round
+    [4(w-1) + k] for [k] in [1..4]. When a process completes a wave it
+    elects that wave's leader vertex retrospectively with the global
+    coin and commits it if at least [2f+1] vertices of the wave's last
+    round have a strong path to it. Committed leaders chain backwards
+    through waves whose commit rule this process missed (Lines 39–43),
+    and each leader's not-yet-delivered causal history is output in a
+    deterministic order.
+
+    This module is purely local: it reads the DAG and the (resolved)
+    coin values and produces delivery events — exactly the paper's
+    "zero extra communication" claim, kept testable by construction. *)
+
+type t
+
+type commit = {
+  wave : int;               (** wave whose leader this is *)
+  leader : Vertex.t;        (** the committed leader vertex *)
+  delivered : Vertex.t list;(** newly delivered causal history, in order *)
+  direct : bool;            (** committed by its own wave's commit rule
+                                ([false] = chained from a later wave) *)
+}
+
+val create : ?wave_length:int -> ?commit_quorum:int -> f:int -> unit -> t
+(** Defaults are the paper's: [wave_length = 4] and
+    [commit_quorum = 2f + 1]. The ablation benches override them to
+    demonstrate {e why} those are the right values (DESIGN.md §5) —
+    shorter waves break the common-core argument, a weaker quorum breaks
+    Lemma 1. *)
+
+val round_of : ?wave_length:int -> wave:int -> k:int -> unit -> int
+(** [round(w, k) = L(w-1) + k] for wave length [L] (default 4); [k] must
+    be in [1..L]. @raise Invalid_argument otherwise. *)
+
+val wave_of_completed_round : ?wave_length:int -> int -> int option
+(** [Some w] if completing this round completes wave [w]
+    (i.e. the round is [round(w, L)]), else [None]. *)
+
+val leader_vertex :
+  ?wave_length:int ->
+  dag:Dag.t -> wave:int -> leader_source:int -> unit -> Vertex.t option
+(** [get_wave_vertex_leader] (Line 46): the chosen process's vertex in
+    the wave's first round, if the local DAG has it. *)
+
+val commit_rule_met :
+  ?wave_length:int -> ?commit_quorum:int ->
+  dag:Dag.t -> f:int -> wave:int -> leader:Vertex.t -> unit -> bool
+(** Line 36: do [>= commit_quorum] vertices in [round(w, L)] have a
+    strong path to the leader? *)
+
+val process_wave :
+  t ->
+  dag:Dag.t ->
+  wave:int ->
+  choose_leader:(int -> int) ->
+  commit list
+(** Handle [wave_ready w] with the coin outputs for all waves [<= w]
+    available through [choose_leader]. Returns the commits produced (in
+    delivery order: earliest wave first), each with its newly delivered
+    vertices. Empty when the commit rule is not met — the wave is then
+    left for a later wave's backward chain, exactly as in the paper.
+    Waves at or below the decided wave are ignored. *)
+
+val restore : t -> delivered:Vertex.t list -> decided_wave:int -> unit
+(** Reload persisted progress into a {e fresh} ordering state: the
+    vertices are marked delivered (in the given order) and the decided
+    wave is set, so a restarted node neither re-delivers nor re-decides
+    old waves. @raise Invalid_argument if the state is not fresh. *)
+
+val decided_wave : t -> int
+
+val delivered_log : t -> Vertex.t list
+(** Every vertex delivered so far, oldest first — the process's totally
+    ordered output (for cross-process agreement checks). *)
+
+val delivered_count : t -> int
+
+val is_delivered : t -> Vertex.vref -> bool

@@ -1,0 +1,31 @@
+(** DAG rendering: the repo's regeneration of the paper's Figure 1
+    (DAG structure) and Figure 2 (cross-wave commit) from live runs.
+
+    Two output formats: an ASCII grid (process rows × round columns,
+    like the paper's horizontal layout) and Graphviz DOT for exact
+    edge-level inspection. *)
+
+val ascii :
+  ?highlight:(Vertex.vref -> bool) ->
+  ?min_round:int ->
+  ?max_round:int ->
+  Dag.t ->
+  string
+(** Grid rendering: one row per process, one column per round. Cells
+    show [*] for a present vertex, [@] for a highlighted one (e.g. a
+    committed leader), [.] for absent; a weak-edge count is appended as
+    [*w2] when a vertex carries weak edges. *)
+
+val dot :
+  ?highlight:(Vertex.vref -> bool) ->
+  ?max_round:int ->
+  Dag.t ->
+  string
+(** Graphviz digraph; strong edges solid, weak edges dashed, highlighted
+    vertices filled. Rounds are ranked as columns. *)
+
+val wave_summary :
+  Dag.t -> wave_length:int -> f:int -> leader_of:(int -> int option) -> string
+(** Per-wave table: leader source, whether the leader vertex is present,
+    and its round-4 strong-path support count vs the 2f+1 commit
+    threshold — the data behind Figure 2's narrative. *)

@@ -1,0 +1,1 @@
+lib/harness/experiments.ml: Baselines Buffer Crypto Dagrider Float Fun List Metrics Net Printf Runner Sim Stdx String

@@ -1,0 +1,1 @@
+lib/harness/runner.ml: Array Char Crypto Dagrider Hashtbl List Metrics Net Option Printf Rbc Sim Stdx String

@@ -1,0 +1,1 @@
+lib/harness/runner.mli: Crypto Dagrider Metrics Net Sim Stdx

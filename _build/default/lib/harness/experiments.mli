@@ -1,0 +1,88 @@
+(** Experiment harnesses that regenerate the paper's Table 1 and the
+    measured claims (DESIGN.md §4 index). Each function returns a
+    rendered table plus the raw numbers the render came from, so the
+    bench driver can print and EXPERIMENTS.md can quote them.
+
+    Absolute numbers are simulator-specific; the reproduced artifact is
+    the {e shape}: orderings between systems, growth exponents, and
+    threshold positions. *)
+
+type table = {
+  title : string;
+  header : string list;
+  rows : string list list;
+  notes : string list;
+}
+
+val render : table -> string
+
+(** E1 — Table 1, communication complexity column. Bits sent by honest
+    processes per ordered value, for each system and system size, plus
+    log-log growth exponents. *)
+val table1_communication : ?ns:int list -> ?seed:int -> unit -> table
+
+(** E2 — Table 1, expected time complexity column. Virtual time units
+    until O(n) values from distinct correct proposers are ordered
+    (DAG-Rider) / until n concurrent slots are output in order (VABA and
+    Dumbo SMRs, the Ben-Or–El-Yaniv O(log n) effect). *)
+val table1_time : ?ns:int list -> ?seed:int -> unit -> table
+
+(** E3 — Table 1, eventual fairness + post-quantum safety columns.
+    Fairness is measured (victim share under a 25x targeted delay);
+    post-quantum safety is structural (which primitives sit on each
+    system's safety path). *)
+val table1_fairness : ?seed:int -> unit -> table
+
+(** The combined Table 1 reproduction: one row per system, all four
+    columns, measured where measurable. *)
+val table1_combined : ?seed:int -> unit -> table
+
+(** E6 — Claim 6: expected number of waves until the commit rule fires.
+    The paper proves <= 3/2 against the worst-case adversary; random and
+    skewed schedules should sit well under that. *)
+val claim6_waves : ?seed:int -> ?runs:int -> unit -> table
+
+(** E7 — chain quality (§3): worst prefix ratio of correct-process
+    vertices with f Byzantine-but-live processes. Bound: (f+1)/(2f+1). *)
+val chain_quality : ?seed:int -> unit -> table
+
+(** E8 — §6.2 batching amortization: bits per transaction as the batch
+    size grows from 1 to n log n transactions per vertex. *)
+val batching : ?seed:int -> unit -> table
+
+(** Ablation — wave length (DESIGN.md §5): direct-commit probability and
+    rounds per committed wave for wave lengths 2..6. *)
+val ablation_wave_length : ?seed:int -> unit -> table
+
+(** Ablation — reliable broadcast instantiation: bits per ordered value
+    and delivery latency for Bracha / AVID / gossip at one system size,
+    with small and large blocks (the Table 1 trade-off rows). *)
+val ablation_rbc : ?seed:int -> unit -> table
+
+(** Ablation — weak edges: victim inclusion with and without weak edges
+    under censorship (the Validity mechanism). *)
+val ablation_weak_edges : ?seed:int -> unit -> table
+
+(** Ablation — coin transport: separate share channel vs the paper's
+    footnote-1 in-DAG shares (bits, messages, progress). *)
+val ablation_coin : ?seed:int -> unit -> table
+
+(** Supporting measurement — proposal-to-delivery latency distribution
+    per backend and coin transport (mean / p50 / p99 in time units). *)
+val latency : ?seed:int -> unit -> table
+
+(** Ablation — garbage collection: vertices retained vs delivered with
+    pruning on/off, plus output equivalence. *)
+val ablation_gc : ?seed:int -> unit -> table
+
+(** Supporting measurement — throughput scaling: ordered transactions
+    per time unit as n grows (DAG-Rider+AVID with batching). *)
+val throughput : ?seed:int -> unit -> table
+
+(** Related work (paper §7) — Aleph-style per-vertex binary agreement
+    vs DAG-Rider: validity under censorship, per-vertex cost, agreement
+    instance counts. *)
+val related_work : ?seed:int -> unit -> table
+
+val all : ?seed:int -> unit -> table list
+(** Every table above, in DESIGN.md §4 order. *)

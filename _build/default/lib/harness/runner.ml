@@ -1,0 +1,403 @@
+type backend = Bracha | Avid | Gossip
+
+type schedule =
+  | Synchronous
+  | Uniform_random
+  | Skewed_random
+  | Custom of (Stdx.Rng.t -> Net.Sched.t)
+
+type fault =
+  | Crash of int
+  | Byzantine_silent of int
+  | Byzantine_live of int
+  | Byzantine_attacker of int
+
+type options = {
+  n : int;
+  f : int;
+  seed : int;
+  backend : backend;
+  schedule : schedule;
+  block_bytes : int;
+  wave_length : int;
+  commit_quorum : int option;
+  enable_weak_edges : bool;
+  gc_depth : int option;
+  coin_in_dag : bool;
+  coin_override : Crypto.Threshold_coin.t option;
+  on_deliver :
+    (node:int -> block:string -> round:int -> source:int -> time:float -> unit)
+    option;
+  faults : fault list;
+}
+
+let default_options ~n =
+  { n;
+    f = (n - 1) / 3;
+    seed = 42;
+    backend = Bracha;
+    schedule = Uniform_random;
+    block_bytes = 32;
+    wave_length = 4;
+    commit_quorum = None;
+    enable_weak_edges = true;
+    gc_depth = None;
+    coin_in_dag = false;
+    coin_override = None;
+    on_deliver = None;
+    faults = [] }
+
+type t = {
+  options : options;
+  engine : Sim.Engine.t;
+  counters : Metrics.Counters.t;
+  coin : Crypto.Threshold_coin.t;
+  coin_net : Dagrider.Node.coin_msg Net.Network.t;
+  sync_net : Dagrider.Node.sync_msg Net.Network.t;
+  make_rbc : Dagrider.Node.rbc_factory;
+  node_config : Dagrider.Node.config;
+  nodes : Dagrider.Node.t array;
+  faulty : bool array;  (* counted as Byzantine *)
+  crashed : bool array; (* additionally, never started *)
+  mutable started : bool;
+}
+
+let fault_index = function
+  | Crash i | Byzantine_silent i | Byzantine_live i | Byzantine_attacker i -> i
+
+let make_sched ~schedule ~rng =
+  match schedule with
+  | Synchronous -> Net.Sched.synchronous ()
+  | Uniform_random -> Net.Sched.uniform_random ~rng
+  | Skewed_random -> Net.Sched.skewed_random ~rng
+  | Custom f -> f rng
+
+(* Deterministic synthetic block: identifies its proposer and round, and
+   pads to the requested size so communication accounting is realistic. *)
+let synthetic_block ~block_bytes ~me ~round =
+  let tag = Printf.sprintf "blk:p%d:r%d:" me round in
+  if String.length tag >= block_bytes then tag
+  else tag ^ String.make (block_bytes - String.length tag) 'x'
+
+let build options =
+  let { n; f; seed; _ } = options in
+  if n < 1 || f < 0 then invalid_arg "Runner.build: bad n/f";
+  let root_rng = Stdx.Rng.create seed in
+  let sched_rng = Stdx.Rng.split root_rng in
+  let coin_rng = Stdx.Rng.split root_rng in
+  let gossip_rng = Stdx.Rng.split root_rng in
+  let engine = Sim.Engine.create () in
+  let counters = Metrics.Counters.create () in
+  let sched = make_sched ~schedule:options.schedule ~rng:sched_rng in
+  let coin =
+    match options.coin_override with
+    | Some coin -> coin
+    | None -> Crypto.Threshold_coin.setup ~rng:coin_rng ~n ~f
+  in
+  let coin_net = Net.Network.create ~engine ~sched ~counters ~n in
+  let sync_net = Net.Network.create ~engine ~sched ~counters ~n in
+  (* one typed network per backend protocol; same engine/schedule/counters,
+     so semantically a single multiplexed network. [mute_rbc] silences a
+     process on that network after wiring (true-crash fault injection). *)
+  let (make_rbc : Dagrider.Node.rbc_factory), (mute_rbc : int -> unit) =
+    match options.backend with
+    | Bracha ->
+      let net = Net.Network.create ~engine ~sched ~counters ~n in
+      ( (fun ~me ~deliver ->
+          let b = Rbc.Bracha.create ~net ~me ~f ~deliver in
+          { Dagrider.Node.rbc_bcast =
+              (fun ~payload ~round -> Rbc.Bracha.bcast b ~payload ~round) }),
+        fun i ->
+          Net.Network.corrupt net ~drop_in_flight:false i;
+          Net.Network.register net i (fun ~src:_ _ -> ()) )
+    | Avid ->
+      let net = Net.Network.create ~engine ~sched ~counters ~n in
+      ( (fun ~me ~deliver ->
+          let a = Rbc.Avid.create ~net ~me ~f ~deliver in
+          { Dagrider.Node.rbc_bcast =
+              (fun ~payload ~round -> Rbc.Avid.bcast a ~payload ~round) }),
+        fun i ->
+          Net.Network.corrupt net ~drop_in_flight:false i;
+          Net.Network.register net i (fun ~src:_ _ -> ()) )
+    | Gossip ->
+      let net = Net.Network.create ~engine ~sched ~counters ~n in
+      ( (fun ~me ~deliver ->
+          let rng = Stdx.Rng.split gossip_rng in
+          let g = Rbc.Gossip.create ~net ~rng ~me ~f ~deliver () in
+          { Dagrider.Node.rbc_bcast =
+              (fun ~payload ~round -> Rbc.Gossip.bcast g ~payload ~round) }),
+        fun i ->
+          Net.Network.corrupt net ~drop_in_flight:false i;
+          Net.Network.register net i (fun ~src:_ _ -> ()) )
+  in
+  let config =
+    { Dagrider.Node.n;
+      f;
+      wave_length = options.wave_length;
+      commit_quorum = options.commit_quorum;
+      enable_weak_edges = options.enable_weak_edges;
+      gc_depth = options.gc_depth;
+      coin_mode =
+        (if options.coin_in_dag then Dagrider.Node.In_dag
+         else Dagrider.Node.Separate_network) }
+  in
+  let nodes =
+    Array.init n (fun me ->
+        let a_deliver =
+          match options.on_deliver with
+          | None -> fun ~block:_ ~round:_ ~source:_ -> ()
+          | Some hook ->
+            fun ~block ~round ~source ->
+              hook ~node:me ~block ~round ~source ~time:(Sim.Engine.now engine)
+        in
+        Dagrider.Node.create ~config ~me ~coin ~coin_net ~make_rbc ~sync_net
+          ~block_source:(fun ~round ->
+            synthetic_block ~block_bytes:options.block_bytes ~me ~round)
+          ~a_deliver ())
+  in
+  let faulty = Array.make n false in
+  let crashed = Array.make n false in
+  List.iter
+    (fun fault ->
+      let i = fault_index fault in
+      if i < 0 || i >= n then invalid_arg "Runner.build: fault index out of range";
+      faulty.(i) <- true;
+      (match fault with
+      | Crash _ | Byzantine_silent _ ->
+        crashed.(i) <- true;
+        (* a silent process neither proposes nor relays: silence its RBC
+           participation and its coin handler entirely *)
+        mute_rbc i;
+        Net.Network.register coin_net i (fun ~src:_ _ -> ())
+      | Byzantine_live _ -> ()
+      | Byzantine_attacker _ ->
+        crashed.(i) <- true (* the honest node never starts... *);
+        (* ...but an attacker endpoint takes its place: it keeps the RBC
+           relay machinery (created by Node.create above) and injects a
+           rotating menu of malicious broadcasts *)
+        let handle =
+          make_rbc ~me:i ~deliver:(fun ~payload:_ ~round:_ ~source:_ -> ())
+        in
+        let attack_rng = Stdx.Rng.create (seed + (1_000 * i)) in
+        let genesis =
+          List.init n (fun source -> { Dagrider.Vertex.round = 0; source })
+        in
+        let rec attack step =
+          (match step mod 4 with
+          | 0 ->
+            (* undecodable garbage *)
+            handle.Dagrider.Node.rbc_bcast
+              ~payload:(String.init 40 (fun _ -> Char.chr (Stdx.Rng.int attack_rng 256)))
+              ~round:(1 + (step / 4))
+          | 1 ->
+            (* structurally invalid vertex: too few strong edges *)
+            let v =
+              { Dagrider.Vertex.round = 1 + (step / 4);
+                source = i;
+                block = "bad";
+                strong_edges = [ List.hd genesis ];
+                weak_edges = [] }
+            in
+            handle.Dagrider.Node.rbc_bcast ~payload:(Dagrider.Vertex.encode v)
+              ~round:(1 + (step / 4))
+          | 2 ->
+            (* equivocation attempt: a second, different payload for a
+               round it already used (reliable broadcast must dedupe) *)
+            let v =
+              { Dagrider.Vertex.round = 1;
+                source = i;
+                block = Printf.sprintf "equivocation-%d" step;
+                strong_edges = genesis;
+                weak_edges = [] }
+            in
+            handle.Dagrider.Node.rbc_bcast ~payload:(Dagrider.Vertex.encode v)
+              ~round:1
+          | _ ->
+            (* edge sources out of range *)
+            let v =
+              { Dagrider.Vertex.round = 1 + (step / 4);
+                source = i;
+                block = "";
+                strong_edges =
+                  List.init 3 (fun k -> { Dagrider.Vertex.round = step / 4; source = n + k });
+                weak_edges = [] }
+            in
+            handle.Dagrider.Node.rbc_bcast ~payload:(Dagrider.Vertex.encode v)
+              ~round:(1 + (step / 4)));
+          Sim.Engine.schedule engine ~delay:1.0 (fun () -> attack (step + 1))
+        in
+        Sim.Engine.schedule engine ~delay:0.5 (fun () -> attack 0));
+      Net.Network.corrupt coin_net ~drop_in_flight:false i)
+    options.faults;
+  { options;
+    engine;
+    counters;
+    coin;
+    coin_net;
+    sync_net;
+    make_rbc;
+    node_config = config;
+    nodes;
+    faulty;
+    crashed;
+    started = false }
+
+let engine t = t.engine
+let counters t = t.counters
+let coin t = t.coin
+let nodes t = t.nodes
+let options t = t.options
+let node t i = t.nodes.(i)
+
+let is_correct t i = not t.faulty.(i)
+
+let correct_indices t =
+  List.filter (is_correct t) (List.init t.options.n (fun i -> i))
+
+let start t =
+  if not t.started then begin
+    t.started <- true;
+    Array.iteri
+      (fun i node -> if not t.crashed.(i) then Dagrider.Node.start node)
+      t.nodes
+  end
+
+let run t ~until =
+  start t;
+  ignore (Sim.Engine.run t.engine ~until ())
+
+let delivered_logs t =
+  Array.map Dagrider.Node.delivered_log t.nodes
+
+let run_until_delivered t ~count ~max_time =
+  start t;
+  let done_ () =
+    List.for_all
+      (fun i ->
+        Dagrider.Ordering.delivered_count (Dagrider.Node.ordering t.nodes.(i))
+        >= count)
+      (correct_indices t)
+  in
+  let rec loop horizon =
+    if done_ () then Some (Sim.Engine.now t.engine)
+    else if horizon >= max_time then None
+    else begin
+      ignore (Sim.Engine.run t.engine ~until:horizon ());
+      loop (horizon +. 1.0)
+    end
+  in
+  loop 1.0
+
+(* logs must be prefix-comparable pairwise; comparing everyone against
+   the longest log gives the same answer in one pass *)
+let check_total_order t =
+  let correct = correct_indices t in
+  let logs =
+    List.map
+      (fun i -> (i, Array.of_list (Dagrider.Node.delivered_log t.nodes.(i))))
+      correct
+  in
+  match logs with
+  | [] -> Ok ()
+  | _ ->
+    let _, longest =
+      List.fold_left
+        (fun ((_, best) as acc) ((_, log) as cand) ->
+          if Array.length log > Array.length best then cand else acc)
+        (List.hd logs) (List.tl logs)
+    in
+    let rec check_one = function
+      | [] -> Ok ()
+      | (i, log) :: rest ->
+        let rec cmp j =
+          if j >= Array.length log then check_one rest
+          else if
+            Dagrider.Vertex.vref_of log.(j)
+            <> Dagrider.Vertex.vref_of longest.(j)
+          then
+            Error
+              (Printf.sprintf
+                 "node %d diverges at position %d: (r=%d,p=%d) vs (r=%d,p=%d)"
+                 i j log.(j).Dagrider.Vertex.round log.(j).Dagrider.Vertex.source
+                 longest.(j).Dagrider.Vertex.round longest.(j).Dagrider.Vertex.source)
+          else cmp (j + 1)
+        in
+        cmp 0
+    in
+    check_one logs
+
+let check_integrity t =
+  let correct = correct_indices t in
+  let rec check_logs = function
+    | [] -> Ok ()
+    | i :: rest ->
+      let log = Dagrider.Node.delivered_log t.nodes.(i) in
+      let seen = Hashtbl.create 256 in
+      let rec scan = function
+        | [] -> check_logs rest
+        | v :: vs ->
+          let key = Dagrider.Vertex.vref_of v in
+          if Hashtbl.mem seen key then
+            Error
+              (Printf.sprintf "node %d delivered (r=%d,p=%d) twice" i
+                 key.Dagrider.Vertex.round key.Dagrider.Vertex.source)
+          else begin
+            Hashtbl.add seen key ();
+            scan vs
+          end
+      in
+      scan log
+  in
+  check_logs correct
+
+let honest_bits t =
+  Metrics.Counters.total_bits_from t.counters ~senders:(is_correct t)
+
+let restart_node t i =
+  if i < 0 || i >= t.options.n then invalid_arg "Runner.restart_node: bad index";
+  let ck = Dagrider.Node.checkpoint t.nodes.(i) in
+  (* serialize and reload, as a disk-backed restart would *)
+  let dag =
+    match
+      Dagrider.Snapshot.dag_of_string
+        (Dagrider.Snapshot.dag_to_string ck.Dagrider.Node.ck_dag)
+    with
+    | Ok d -> d
+    | Error e -> invalid_arg ("Runner.restart_node: snapshot corrupt: " ^ e)
+  in
+  let delivered_refs =
+    match
+      Dagrider.Snapshot.delivered_of_string
+        (Dagrider.Snapshot.delivered_to_string
+           (List.map Dagrider.Vertex.vref_of ck.Dagrider.Node.ck_delivered))
+    with
+    | Ok refs -> refs
+    | Error e -> invalid_arg ("Runner.restart_node: delivered log corrupt: " ^ e)
+  in
+  let ck =
+    { Dagrider.Node.ck_dag = dag;
+      ck_delivered =
+        List.map (fun r -> Option.get (Dagrider.Dag.find dag r)) delivered_refs;
+      ck_decided_wave = ck.Dagrider.Node.ck_decided_wave;
+      ck_round = ck.Dagrider.Node.ck_round }
+  in
+  let a_deliver =
+    match t.options.on_deliver with
+    | None -> fun ~block:_ ~round:_ ~source:_ -> ()
+    | Some hook ->
+      fun ~block ~round ~source ->
+        hook ~node:i ~block ~round ~source ~time:(Sim.Engine.now t.engine)
+  in
+  let restored =
+    Dagrider.Node.restore ~config:t.node_config ~me:i ~coin:t.coin
+      ~coin_net:t.coin_net ~make_rbc:t.make_rbc ~sync_net:t.sync_net
+      ~block_source:(fun ~round ->
+        synthetic_block ~block_bytes:t.options.block_bytes ~me:i ~round)
+      ~a_deliver ck
+  in
+  t.nodes.(i) <- restored;
+  (* broadcasts that straddled the restart surface a little later *)
+  Sim.Engine.schedule t.engine ~delay:5.0 (fun () ->
+      Dagrider.Node.request_sync restored);
+  Sim.Engine.schedule t.engine ~delay:10.0 (fun () ->
+      Dagrider.Node.request_sync restored)

@@ -1,0 +1,118 @@
+(** Simulation harness: builds a fleet of DAG-Rider nodes over one
+    engine and runs deterministic executions.
+
+    Everything — tests, examples, experiment benches — goes through this
+    module so that the wiring (networks per backend, coin setup, seeded
+    RNG streams, fault injection) lives in exactly one place. A run is
+    fully determined by its {!options}. *)
+
+type backend = Bracha | Avid | Gossip
+
+type schedule =
+  | Synchronous
+  | Uniform_random
+  | Skewed_random
+  | Custom of (Stdx.Rng.t -> Net.Sched.t)
+
+type fault =
+  | Crash of int
+      (** Never starts and never sends — the strongest silent fault. *)
+  | Byzantine_silent of int
+      (** Marked corrupted in the accounting and silent (for chain
+          quality / resilience runs). *)
+  | Byzantine_live of int
+      (** Runs the protocol honestly but is counted as Byzantine —
+          models a Byzantine process whose best strategy is to
+          participate (e.g. to place its blocks in the order); used by
+          the chain-quality experiment. *)
+  | Byzantine_attacker of int
+      (** An active attacker: relays reliable-broadcast traffic (so it
+          cannot be detected by silence) but, instead of running the
+          protocol, periodically broadcasts garbage payloads, vertices
+          that fail validation, equivocating payloads for its own
+          rounds, and replays — everything a malicious implementation
+          can push through the broadcast channel. Correct processes must
+          drop all of it and keep both safety and liveness. *)
+
+type options = {
+  n : int;
+  f : int;
+  seed : int;
+  backend : backend;
+  schedule : schedule;
+  block_bytes : int; (** synthetic block payload size (0 = empty) *)
+  wave_length : int;
+  commit_quorum : int option;
+  enable_weak_edges : bool;
+  gc_depth : int option;
+  coin_in_dag : bool;
+      (** use the paper's footnote-1 coin (shares ride vertices; no
+          separate coin messages) *)
+  coin_override : Crypto.Threshold_coin.t option;
+      (** supply an externally generated coin (e.g. the output of an
+          {!Adkg} ceremony) instead of the default trusted-dealer setup *)
+  on_deliver :
+    (node:int -> block:string -> round:int -> source:int -> time:float -> unit)
+    option;
+      (** observe every a_deliver with its virtual timestamp (latency
+          experiments); [None] costs nothing *)
+  faults : fault list;
+}
+
+val default_options : n:int -> options
+(** [f = (n-1)/3], seed 42, Bracha backend, uniform-random schedule,
+    32-byte blocks, the paper's wave parameters, no faults. *)
+
+type t
+
+val build : options -> t
+
+val engine : t -> Sim.Engine.t
+val counters : t -> Metrics.Counters.t
+val coin : t -> Crypto.Threshold_coin.t
+val nodes : t -> Dagrider.Node.t array
+val options : t -> options
+
+val node : t -> int -> Dagrider.Node.t
+
+val is_correct : t -> int -> bool
+(** Correct = not listed in [faults]. *)
+
+val correct_indices : t -> int list
+
+val start : t -> unit
+(** Start every non-crashed node (crashed ones never join). *)
+
+val run : t -> until:float -> unit
+(** Advance virtual time; can be called repeatedly to step through an
+    execution. *)
+
+val run_until_delivered :
+  t -> count:int -> max_time:float -> float option
+(** Run until every correct node has delivered at least [count]
+    vertices, returning the virtual time this happened, or [None] if
+    [max_time] elapsed first. *)
+
+val delivered_logs : t -> Dagrider.Vertex.t list array
+(** Per-node totally ordered outputs. *)
+
+val check_total_order : t -> (unit, string) result
+(** Every pair of correct nodes' logs must be prefix-comparable
+    (Total order + Agreement). Returns a description of the first
+    divergence otherwise. *)
+
+val check_integrity : t -> (unit, string) result
+(** No node delivered two vertices with the same (round, source), and no
+    vertex appears twice in one log. *)
+
+val honest_bits : t -> int
+(** Bits sent by correct processes (the paper's communication measure). *)
+
+val restart_node : t -> int -> unit
+(** Crash-and-recover process [i] in place: checkpoint it (through the
+    full {!Dagrider.Snapshot} serialization round-trip, as a real
+    restart would), rebuild it from the checkpoint on the same
+    networks, and let the sync protocol catch it up with the live
+    fleet. Two follow-up sync requests are scheduled at +5 and +10
+    virtual-time units to collect vertices whose broadcasts straddled
+    the restart. *)

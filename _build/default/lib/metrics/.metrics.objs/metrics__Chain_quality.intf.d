@@ -1,0 +1,1 @@
+lib/metrics/chain_quality.mli:

@@ -1,0 +1,1 @@
+lib/metrics/latency.ml: Hashtbl List Option

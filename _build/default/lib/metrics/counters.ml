@@ -1,0 +1,44 @@
+type t = {
+  by_kind : (string, int ref) Hashtbl.t;
+  by_sender : (int, int ref) Hashtbl.t;
+  mutable messages : int;
+  mutable bits : int;
+}
+
+let create () =
+  { by_kind = Hashtbl.create 32;
+    by_sender = Hashtbl.create 32;
+    messages = 0;
+    bits = 0 }
+
+let bump table key amount =
+  match Hashtbl.find_opt table key with
+  | Some r -> r := !r + amount
+  | None -> Hashtbl.add table key (ref amount)
+
+let record_send t ~src ~kind ~bits =
+  t.messages <- t.messages + 1;
+  t.bits <- t.bits + bits;
+  bump t.by_kind kind bits;
+  bump t.by_sender src bits
+
+let total_bits t = t.bits
+
+let total_bits_from t ~senders =
+  Hashtbl.fold
+    (fun src r acc -> if senders src then acc + !r else acc)
+    t.by_sender 0
+
+let total_messages t = t.messages
+
+let bits_by_kind t =
+  let items =
+    Hashtbl.fold (fun kind r acc -> (kind, !r) :: acc) t.by_kind []
+  in
+  List.sort (fun (_, a) (_, b) -> compare b a) items
+
+let reset t =
+  Hashtbl.reset t.by_kind;
+  Hashtbl.reset t.by_sender;
+  t.messages <- 0;
+  t.bits <- 0

@@ -1,0 +1,50 @@
+type key = string
+
+type record = {
+  proposed_at : float;
+  mutable first_delivery : float option;
+  mutable deliverers : int list;
+}
+
+type t = { records : (key, record) Hashtbl.t }
+
+let create () = { records = Hashtbl.create 64 }
+
+let proposed t key ~now =
+  if not (Hashtbl.mem t.records key) then
+    Hashtbl.add t.records key
+      { proposed_at = now; first_delivery = None; deliverers = [] }
+
+let delivered t key ~process ~now =
+  match Hashtbl.find_opt t.records key with
+  | None -> ()
+  | Some r ->
+    if not (List.mem process r.deliverers) then
+      r.deliverers <- process :: r.deliverers;
+    (match r.first_delivery with
+    | Some earlier when earlier <= now -> ()
+    | _ -> r.first_delivery <- Some now)
+
+let first_delivery_latency t key =
+  match Hashtbl.find_opt t.records key with
+  | None -> None
+  | Some r ->
+    Option.map (fun d -> d -. r.proposed_at) r.first_delivery
+
+let all_first_delivery_latencies t =
+  Hashtbl.fold
+    (fun _ r acc ->
+      match r.first_delivery with
+      | Some d -> (d -. r.proposed_at) :: acc
+      | None -> acc)
+    t.records []
+
+let undelivered t =
+  Hashtbl.fold
+    (fun key r acc -> if r.first_delivery = None then key :: acc else acc)
+    t.records []
+
+let delivery_count t key =
+  match Hashtbl.find_opt t.records key with
+  | None -> 0
+  | Some r -> List.length r.deliverers

@@ -1,0 +1,32 @@
+(** Proposal-to-delivery latency recording.
+
+    An experiment marks the virtual time a payload was proposed
+    ([proposed]) and the time each process delivered it ([delivered]);
+    the recorder exposes per-payload first-delivery latency and summary
+    statistics, in the paper's "time units". *)
+
+type t
+
+type key = string
+(** Payload identifier (any unique string; experiments use the block
+    digest or "source:seqno"). *)
+
+val create : unit -> t
+
+val proposed : t -> key -> now:float -> unit
+(** First call wins; re-proposals keep the original timestamp. *)
+
+val delivered : t -> key -> process:int -> now:float -> unit
+
+val first_delivery_latency : t -> key -> float option
+(** Time from proposal to the earliest delivery at any process; [None]
+    if not yet delivered or never proposed. *)
+
+val all_first_delivery_latencies : t -> float list
+(** Latencies of every payload delivered at least once. *)
+
+val undelivered : t -> key list
+(** Proposed payloads no process has delivered yet (liveness audits). *)
+
+val delivery_count : t -> key -> int
+(** Number of distinct processes that delivered the payload. *)

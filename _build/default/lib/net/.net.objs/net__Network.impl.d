@@ -1,0 +1,1 @@
+lib/net/network.ml: Array Metrics Sched Sim

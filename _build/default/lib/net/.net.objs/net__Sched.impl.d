@@ -1,0 +1,1 @@
+lib/net/sched.ml: Float Printf Stdx

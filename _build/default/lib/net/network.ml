@@ -1,0 +1,77 @@
+type 'msg t = {
+  engine : Sim.Engine.t;
+  sched : Sched.t;
+  counters : Metrics.Counters.t;
+  n : int;
+  handlers : (src:int -> 'msg -> unit) option array;
+  (* logical operation counter: orders sends vs corruption events even
+     when they share a virtual timestamp *)
+  mutable op_seq : int;
+  corrupted_at_op : int option array;
+  mutable delivered : int;
+}
+
+let create ~engine ~sched ~counters ~n =
+  if n <= 0 then invalid_arg "Network.create: n must be positive";
+  { engine;
+    sched;
+    counters;
+    n;
+    handlers = Array.make n None;
+    op_seq = 0;
+    corrupted_at_op = Array.make n None;
+    delivered = 0 }
+
+let n t = t.n
+
+let check_index t i label =
+  if i < 0 || i >= t.n then invalid_arg ("Network: bad process index in " ^ label)
+
+let register t i handler =
+  check_index t i "register";
+  t.handlers.(i) <- Some handler
+
+let send t ~src ~dst ~kind ~bits msg =
+  check_index t src "send";
+  check_index t dst "send";
+  if bits < 0 then invalid_arg "Network.send: negative size";
+  Metrics.Counters.record_send t.counters ~src ~kind ~bits;
+  let now = Sim.Engine.now t.engine in
+  let { Sched.delay } = t.sched.Sched.decide ~now ~src ~dst ~kind in
+  let sent_op = t.op_seq in
+  t.op_seq <- sent_op + 1;
+  Sim.Engine.schedule t.engine ~delay (fun () ->
+      (* adaptive adversary: drop messages a process sent before it was
+         corrupted if they had not yet been delivered *)
+      let dropped =
+        match t.corrupted_at_op.(src) with
+        | Some since_op -> sent_op < since_op
+        | None -> false
+      in
+      if not dropped then
+        match t.handlers.(dst) with
+        | Some handler ->
+          t.delivered <- t.delivered + 1;
+          handler ~src msg
+        | None -> ())
+
+let broadcast t ~src ~kind ~bits msg =
+  for dst = 0 to t.n - 1 do
+    send t ~src ~dst ~kind ~bits msg
+  done
+
+let corrupt t ?(drop_in_flight = true) i =
+  check_index t i "corrupt";
+  match t.corrupted_at_op.(i) with
+  | Some _ -> ()
+  | None ->
+    let since_op = if drop_in_flight then t.op_seq else min_int in
+    t.corrupted_at_op.(i) <- Some since_op
+
+let is_corrupted t i =
+  check_index t i "is_corrupted";
+  t.corrupted_at_op.(i) <> None
+
+let correct t i = not (is_corrupted t i)
+
+let delivered_count t = t.delivered

@@ -1,0 +1,54 @@
+(** Reliable authenticated point-to-point links over the simulator.
+
+    Matches the paper's model (§2): between correct processes every sent
+    message is eventually delivered and the recipient knows the sender's
+    identity (delivery hands the handler the true source — authentication
+    is by construction). The adversary appears twice: the {!Sched.t}
+    policy controls every arrival time, and [corrupt] lets an adaptive
+    adversary drop the not-yet-delivered messages of a newly corrupted
+    process.
+
+    The network is polymorphic in the message type; each protocol stack
+    instantiates it with its own variant. Every send is charged to the
+    {!Metrics.Counters.t} with a caller-supplied bit size and kind tag. *)
+
+type 'msg t
+
+val create :
+  engine:Sim.Engine.t ->
+  sched:Sched.t ->
+  counters:Metrics.Counters.t ->
+  n:int ->
+  'msg t
+
+val n : 'msg t -> int
+
+val register : 'msg t -> int -> (src:int -> 'msg -> unit) -> unit
+(** Install process [i]'s message handler. Re-registering replaces the
+    handler (used by restart tests).
+    @raise Invalid_argument on a bad index. *)
+
+val send : 'msg t -> src:int -> dst:int -> kind:string -> bits:int -> 'msg -> unit
+(** Asynchronous unicast; delivery is scheduled per the policy. Sends to
+    self also go through the queue (a process never handles its own
+    message re-entrantly). *)
+
+val broadcast : 'msg t -> src:int -> kind:string -> bits:int -> 'msg -> unit
+(** Best-effort send to all [n] processes including the sender. This is
+    NOT reliable broadcast — it is the all-to-all primitive reliable
+    broadcast protocols are built from. *)
+
+val corrupt : 'msg t -> ?drop_in_flight:bool -> int -> unit
+(** Mark a process Byzantine from the current time on. With
+    [drop_in_flight] (default [true]) its messages sent before this
+    moment but not yet delivered are discarded, per the adaptive
+    adversary in §2. The process keeps running — Byzantine behaviour
+    itself is whatever handler/driver the test installs. *)
+
+val is_corrupted : 'msg t -> int -> bool
+
+val correct : 'msg t -> int -> bool
+(** Complement of {!is_corrupted}; shaped for the metrics predicates. *)
+
+val delivered_count : 'msg t -> int
+(** Total deliveries so far (debugging / progress assertions). *)

@@ -1,0 +1,77 @@
+type decision = { delay : float }
+
+type t = {
+  name : string;
+  decide : now:float -> src:int -> dst:int -> kind:string -> decision;
+}
+
+let synchronous () =
+  { name = "synchronous";
+    decide = (fun ~now:_ ~src:_ ~dst:_ ~kind:_ -> { delay = 1.0 }) }
+
+let uniform_random ~rng =
+  { name = "uniform-random";
+    decide =
+      (fun ~now:_ ~src:_ ~dst:_ ~kind:_ ->
+        (* (0, 1]: avoid 0 so causality chains keep strictly increasing time *)
+        { delay = 1.0 -. Stdx.Rng.float rng 0.999 }) }
+
+let skewed_random ~rng =
+  { name = "skewed-random";
+    decide =
+      (fun ~now:_ ~src:_ ~dst:_ ~kind:_ ->
+        let d = Stdx.Rng.exponential rng ~mean:0.3 in
+        { delay = Float.max 0.001 (Float.min 1.0 d) }) }
+
+let bimodal ~rng ?(slow_fraction = 0.25) ?(slow_factor = 5.0) () =
+  { name = "bimodal";
+    decide =
+      (fun ~now:_ ~src:_ ~dst:_ ~kind:_ ->
+        let base = 1.0 -. Stdx.Rng.float rng 0.999 in
+        if Stdx.Rng.float rng 1.0 < slow_fraction then
+          { delay = base *. slow_factor }
+        else { delay = base }) }
+
+let heavy_tailed ~rng =
+  { name = "heavy-tailed";
+    decide =
+      (fun ~now:_ ~src:_ ~dst:_ ~kind:_ ->
+        { delay = Float.max 0.001 (Stdx.Rng.exponential rng ~mean:1.0) }) }
+
+let mobile_sluggish ~inner ~n ~f ~period ~factor =
+  { name = Printf.sprintf "%s+mobile-sluggish(f=%d)" inner.name f;
+    decide =
+      (fun ~now ~src ~dst ~kind ->
+        let epoch = int_of_float (Float.max 0.0 now /. period) in
+        let slowed i = (((i - (epoch * f)) mod n) + n) mod n < f in
+        let d = inner.decide ~now ~src ~dst ~kind in
+        if slowed src then { delay = d.delay *. factor } else d) }
+
+let delay_process ~inner ~victim ~factor =
+  { name = Printf.sprintf "%s+delay(p%d,x%.0f)" inner.name victim factor;
+    decide =
+      (fun ~now ~src ~dst ~kind ->
+        let d = inner.decide ~now ~src ~dst ~kind in
+        if src = victim then { delay = d.delay *. factor } else d) }
+
+let delay_matching ~inner ~pred ~factor =
+  { name = inner.name ^ "+targeted";
+    decide =
+      (fun ~now ~src ~dst ~kind ->
+        let d = inner.decide ~now ~src ~dst ~kind in
+        if pred ~src ~dst ~kind then { delay = d.delay *. factor } else d) }
+
+let rush_process ~inner ~favored =
+  { name = Printf.sprintf "%s+rush(p%d)" inner.name favored;
+    decide =
+      (fun ~now ~src ~dst ~kind ->
+        if src = favored then { delay = 0.001 }
+        else inner.decide ~now ~src ~dst ~kind) }
+
+let with_window ~inner ~from_time ~until_time ~during =
+  { name = Printf.sprintf "%s+window[%s]" inner.name during.name;
+    decide =
+      (fun ~now ~src ~dst ~kind ->
+        if now >= from_time && now < until_time then
+          during.decide ~now ~src ~dst ~kind
+        else inner.decide ~now ~src ~dst ~kind) }

@@ -1,0 +1,76 @@
+(** Message-delivery scheduling policies — the asynchronous adversary.
+
+    In the paper's model the adversary controls the arrival time of every
+    message, constrained only by eventual delivery on links between
+    correct processes. A policy maps each send to a finite delivery
+    delay; the discrete-event engine then delivers in delay order.
+
+    Delay convention: links between correct processes stay within
+    [(0, base_max]] with [base_max = 1.0], so one paper "time unit" (the
+    maximum correct-link delay, §3) equals one unit of virtual time and
+    measured spans are comparable across policies. Targeted policies may
+    stretch {e selected} messages far beyond 1.0 — the adversary is
+    allowed to do that; it just makes the run's real time-unit larger,
+    which is exactly the effect the protocol must survive. *)
+
+type decision = { delay : float }
+
+type t = {
+  name : string;
+  decide : now:float -> src:int -> dst:int -> kind:string -> decision;
+}
+
+val synchronous : unit -> t
+(** Every message takes exactly 1.0 — the friendliest schedule. *)
+
+val uniform_random : rng:Stdx.Rng.t -> t
+(** Delay uniform in (0, 1]; the "random asynchrony" baseline. *)
+
+val skewed_random : rng:Stdx.Rng.t -> t
+(** Heavy-tailed: most messages fast, a few slow (exponential with mean
+    0.3, capped at 1.0) — models jittery WANs while keeping the
+    time-unit normalization. *)
+
+val bimodal : rng:Stdx.Rng.t -> ?slow_fraction:float -> ?slow_factor:float -> unit -> t
+(** Most messages uniform in (0, 1], but a [slow_fraction] (default
+    0.25) of them take up to [slow_factor] (default 5.0). The stragglers
+    make per-instance completion times genuinely dispersed, which is
+    what exposes the O(log n) max-of-n-slots effect in the SMR
+    baselines (experiment E2); all systems in a comparison run under
+    the same policy, so relative shape is preserved. *)
+
+val heavy_tailed : rng:Stdx.Rng.t -> t
+(** Exponential delays with mean 1.0 and no cap: the upper tail makes
+    the completion time of a fixed-size protocol instance itself
+    heavy-tailed, so the max over n concurrent instances grows like
+    log n — the regime in which the Ben-Or–El-Yaniv bound binds. *)
+
+val mobile_sluggish :
+  inner:t -> n:int -> f:int -> period:float -> factor:float -> t
+(** The classic "mobile sluggish" adversary: at any time a rotating set
+    of [f] processes (indices [(floor(now/period) * f + i) mod n]) has
+    its outgoing messages stretched by [factor]. No process is slowed
+    forever (liveness is preserved), but a protocol that must wait for a
+    {e specific} elected process pays ~[period] whenever the coin picks
+    a currently-slowed one — the geometric-views regime in which the
+    Ben-Or–El-Yaniv O(log n) bound for slot-parallel SMRs binds, while
+    quorum-driven DAG rounds keep advancing on the fast 2f+1. *)
+
+val delay_process : inner:t -> victim:int -> factor:float -> t
+(** Stretch every message {e from} [victim] by [factor] (censorship /
+    slow-process scenario; used by the fairness experiment E3). *)
+
+val delay_matching :
+  inner:t -> pred:(src:int -> dst:int -> kind:string -> bool) -> factor:float -> t
+(** Stretch messages selected by [pred]; general targeted adversary (used
+    to reproduce Figure 2's "leader hidden from the wave" schedule). *)
+
+val rush_process : inner:t -> favored:int -> t
+(** Deliver the favored process's messages (almost) instantly; combined
+    with [delay_process] this builds maximally unbalanced schedules. *)
+
+val with_window :
+  inner:t -> from_time:float -> until_time:float -> during:t -> t
+(** Use [during] for sends whose time falls in [\[from_time, until_time)],
+    [inner] otherwise — lets an attack run for a bounded phase and then
+    release (needed to show eventual liveness after an attack). *)

@@ -1,0 +1,1 @@
+lib/rbc/avid.ml: Array Buffer Char Crypto Hashtbl Iset List Net Rbc_intf String Tbl Wire

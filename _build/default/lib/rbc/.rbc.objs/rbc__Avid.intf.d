@@ -1,0 +1,1 @@
+lib/rbc/avid.mli: Crypto Net Rbc_intf

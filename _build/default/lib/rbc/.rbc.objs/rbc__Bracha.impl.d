@@ -1,0 +1,1 @@
+lib/rbc/bracha.ml: Buffer Crypto Hashtbl Iset Net Rbc_intf Tbl Wire

@@ -1,0 +1,1 @@
+lib/rbc/bracha.mli: Net Rbc_intf

@@ -1,0 +1,1 @@
+lib/rbc/gossip.ml: Buffer Crypto Hashtbl Iset List Net Rbc_intf Stdx String Tbl Wire

@@ -1,0 +1,1 @@
+lib/rbc/gossip.mli: Net Rbc_intf Stdx

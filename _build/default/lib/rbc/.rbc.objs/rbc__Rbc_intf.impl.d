@@ -1,0 +1,1 @@
+lib/rbc/rbc_intf.ml: Buffer Char Hashtbl Int Set String

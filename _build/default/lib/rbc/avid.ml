@@ -1,0 +1,288 @@
+open Rbc_intf
+
+type msg =
+  | Disperse of {
+      round : int;
+      root : string;
+      data_len : int;
+      frag_index : int;
+      frag : string;
+      proof : Crypto.Merkle.proof;
+    }
+  | Echo of {
+      origin : int;
+      round : int;
+      root : string;
+      data_len : int;
+      frag_index : int;
+      frag : string;
+      proof : Crypto.Merkle.proof;
+    }
+  | Ready of { origin : int; round : int; root : string; data_len : int }
+
+let put_proof buf (proof : Crypto.Merkle.proof) =
+  Wire.put_u32 buf proof.Crypto.Merkle.leaf_index;
+  Wire.put_u32 buf (List.length proof.Crypto.Merkle.path);
+  List.iter (Wire.put_bytes buf) proof.Crypto.Merkle.path
+
+let get_proof r =
+  let leaf_index = Wire.get_u32 r in
+  let count = Wire.get_u32 r in
+  if count > 64 then raise Wire.Bad;
+  let path = List.init count (fun _ -> Wire.get_bytes r) in
+  if List.exists (fun d -> String.length d <> 32) path then raise Wire.Bad;
+  { Crypto.Merkle.leaf_index; path }
+
+let encode_msg msg =
+  let buf = Buffer.create 128 in
+  (match msg with
+  | Disperse { round; root; data_len; frag_index; frag; proof } ->
+    Wire.put_u8 buf 1;
+    Wire.put_u32 buf round;
+    Wire.put_bytes buf root;
+    Wire.put_u32 buf data_len;
+    Wire.put_u32 buf frag_index;
+    Wire.put_bytes buf frag;
+    put_proof buf proof
+  | Echo { origin; round; root; data_len; frag_index; frag; proof } ->
+    Wire.put_u8 buf 2;
+    Wire.put_u32 buf origin;
+    Wire.put_u32 buf round;
+    Wire.put_bytes buf root;
+    Wire.put_u32 buf data_len;
+    Wire.put_u32 buf frag_index;
+    Wire.put_bytes buf frag;
+    put_proof buf proof
+  | Ready { origin; round; root; data_len } ->
+    Wire.put_u8 buf 3;
+    Wire.put_u32 buf origin;
+    Wire.put_u32 buf round;
+    Wire.put_bytes buf root;
+    Wire.put_u32 buf data_len);
+  Buffer.contents buf
+
+let decode_msg src =
+  Wire.decode src (fun r ->
+      match Wire.get_u8 r with
+      | 1 ->
+        let round = Wire.get_u32 r in
+        let root = Wire.get_bytes r in
+        let data_len = Wire.get_u32 r in
+        let frag_index = Wire.get_u32 r in
+        let frag = Wire.get_bytes r in
+        let proof = get_proof r in
+        if String.length root <> 32 then None
+        else Wire.finish r (Disperse { round; root; data_len; frag_index; frag; proof })
+      | 2 ->
+        let origin = Wire.get_u32 r in
+        let round = Wire.get_u32 r in
+        let root = Wire.get_bytes r in
+        let data_len = Wire.get_u32 r in
+        let frag_index = Wire.get_u32 r in
+        let frag = Wire.get_bytes r in
+        let proof = get_proof r in
+        if String.length root <> 32 then None
+        else
+          Wire.finish r
+            (Echo { origin; round; root; data_len; frag_index; frag; proof })
+      | 3 ->
+        let origin = Wire.get_u32 r in
+        let round = Wire.get_u32 r in
+        let root = Wire.get_bytes r in
+        let data_len = Wire.get_u32 r in
+        if String.length root <> 32 then None
+        else Wire.finish r (Ready { origin; round; root; data_len })
+      | _ -> None)
+
+let msg_bits msg = Wire.bits (encode_msg msg)
+
+(* All quorum state is keyed by the pair (root, data_len): a Byzantine
+   process that lies about either is voting for a different commitment
+   and cannot poison the honest one. *)
+type commit = { root : string; data_len : int }
+
+type instance = {
+  mutable echoed : bool;
+  mutable ready_sent : bool;
+  mutable delivered : bool;
+  mutable discarded : bool;
+  fragments : (commit, (int, string) Hashtbl.t) Hashtbl.t;
+  echoers : (commit, Iset.t ref) Hashtbl.t;
+  readies : (commit, Iset.t ref) Hashtbl.t;
+}
+
+type t = {
+  net : msg Net.Network.t;
+  me : int;
+  n : int;
+  f : int;
+  k : int;
+  coder : Crypto.Reed_solomon.coder;
+  deliver : deliver;
+  instances : instance Tbl.t;
+  mutable delivered_count : int;
+}
+
+let get_instance t key =
+  match Tbl.find_opt t.instances key with
+  | Some inst -> inst
+  | None ->
+    let inst =
+      { echoed = false;
+        ready_sent = false;
+        delivered = false;
+        discarded = false;
+        fragments = Hashtbl.create 4;
+        echoers = Hashtbl.create 4;
+        readies = Hashtbl.create 4 }
+    in
+    Tbl.add t.instances key inst;
+    inst
+
+let quorum t = (2 * t.f) + 1
+let amplify t = t.f + 1
+
+let add_voter table commit voter =
+  let set =
+    match Hashtbl.find_opt table commit with
+    | Some s -> s
+    | None ->
+      let s = ref Iset.empty in
+      Hashtbl.add table commit s;
+      s
+  in
+  set := Iset.add voter !set;
+  Iset.cardinal !set
+
+let store_fragment inst ~commit ~frag_index ~frag =
+  let frags =
+    match Hashtbl.find_opt inst.fragments commit with
+    | Some h -> h
+    | None ->
+      let h = Hashtbl.create 8 in
+      Hashtbl.add inst.fragments commit h;
+      h
+  in
+  if not (Hashtbl.mem frags frag_index) then Hashtbl.add frags frag_index frag
+
+let valid_fragment t ~commit ~frag ~proof ~frag_index =
+  frag_index = proof.Crypto.Merkle.leaf_index
+  && String.length frag
+     = Crypto.Reed_solomon.fragment_length t.coder ~data_len:commit.data_len
+  && Crypto.Merkle.verify ~root:commit.root ~leaf_count:t.n ~leaf:frag proof
+
+let send_ready t inst ~origin ~round ~commit =
+  if not inst.ready_sent then begin
+    inst.ready_sent <- true;
+    let msg =
+      Ready { origin; round; root = commit.root; data_len = commit.data_len }
+    in
+    Net.Network.broadcast t.net ~src:t.me ~kind:"avid-ready"
+      ~bits:(msg_bits msg) msg
+  end
+
+let try_deliver t inst ~origin ~round ~commit =
+  if (not inst.delivered) && not inst.discarded then
+    match Hashtbl.find_opt inst.readies commit with
+    | Some set when Iset.cardinal !set >= quorum t -> begin
+      match Hashtbl.find_opt inst.fragments commit with
+      | Some frags when Hashtbl.length frags >= t.k -> begin
+        let pieces =
+          Hashtbl.fold (fun i frag acc -> (i, frag) :: acc) frags []
+        in
+        match
+          Crypto.Reed_solomon.decode t.coder ~data_len:commit.data_len pieces
+        with
+        | exception Invalid_argument _ -> inst.discarded <- true
+        | payload ->
+          (* re-encode and check the committed root: rejects Byzantine
+             non-codeword dispersals deterministically, so every correct
+             process makes the same deliver/discard decision *)
+          let re_frags = Crypto.Reed_solomon.encode t.coder payload in
+          let tree = Crypto.Merkle.build re_frags in
+          if String.equal (Crypto.Merkle.root tree) commit.root then begin
+            inst.delivered <- true;
+            t.delivered_count <- t.delivered_count + 1;
+            t.deliver ~payload ~round ~source:origin
+          end
+          else inst.discarded <- true
+      end
+      | _ -> ()
+    end
+    | _ -> ()
+
+let handle t ~src msg =
+  match msg with
+  | Disperse { round; root; data_len; frag_index; frag; proof } ->
+    let origin = src in
+    let commit = { root; data_len } in
+    let inst = get_instance t (origin, round) in
+    if
+      frag_index = t.me
+      && (not inst.echoed)
+      && valid_fragment t ~commit ~frag ~proof ~frag_index
+    then begin
+      inst.echoed <- true;
+      store_fragment inst ~commit ~frag_index ~frag;
+      let msg = Echo { origin; round; root; data_len; frag_index; frag; proof } in
+      Net.Network.broadcast t.net ~src:t.me ~kind:"avid-echo"
+        ~bits:(msg_bits msg) msg
+    end
+  | Echo { origin; round; root; data_len; frag_index; frag; proof } ->
+    let commit = { root; data_len } in
+    let inst = get_instance t (origin, round) in
+    if valid_fragment t ~commit ~frag ~proof ~frag_index then begin
+      store_fragment inst ~commit ~frag_index ~frag;
+      let count = add_voter inst.echoers commit src in
+      if count >= quorum t then send_ready t inst ~origin ~round ~commit;
+      try_deliver t inst ~origin ~round ~commit
+    end
+  | Ready { origin; round; root; data_len } ->
+    let commit = { root; data_len } in
+    let inst = get_instance t (origin, round) in
+    let count = add_voter inst.readies commit src in
+    if count >= amplify t then send_ready t inst ~origin ~round ~commit;
+    try_deliver t inst ~origin ~round ~commit
+
+let create ~net ~me ~f ~deliver =
+  let n = Net.Network.n net in
+  let k = f + 1 in
+  let t =
+    { net;
+      me;
+      n;
+      f;
+      k;
+      coder = Crypto.Reed_solomon.make ~k ~n;
+      deliver;
+      instances = Tbl.create 64;
+      delivered_count = 0 }
+  in
+  Net.Network.register net me (fun ~src msg -> handle t ~src msg);
+  t
+
+let disperse t ~round ~frags ~data_len =
+  let tree = Crypto.Merkle.build frags in
+  let root = Crypto.Merkle.root tree in
+  Array.iteri
+    (fun i frag ->
+      let proof = Crypto.Merkle.prove tree i in
+      let msg = Disperse { round; root; data_len; frag_index = i; frag; proof } in
+      Net.Network.send t.net ~src:t.me ~dst:i ~kind:"avid-disperse"
+        ~bits:(msg_bits msg) msg)
+    frags
+
+let bcast t ~payload ~round =
+  let frags = Crypto.Reed_solomon.encode t.coder payload in
+  disperse t ~round ~frags ~data_len:(String.length payload)
+
+let bcast_inconsistent t ~payload ~round =
+  let frags = Crypto.Reed_solomon.encode t.coder payload in
+  (* corrupt one parity fragment before committing: the vector is no
+     longer a codeword, so the re-encode check must fail everywhere *)
+  let last = Array.length frags - 1 in
+  frags.(last) <-
+    String.map (fun c -> Char.chr (Char.code c lxor 0xFF)) frags.(last);
+  disperse t ~round ~frags ~data_len:(String.length payload)
+
+let delivered_instances t = t.delivered_count

@@ -1,0 +1,64 @@
+(** Asynchronous verifiable information dispersal used as reliable
+    broadcast (Cachin–Tessaro 2005) — the O(n^2 log n + n |m|)
+    instantiation behind Table 1's optimal row "DAG-Rider + [14]".
+
+    Per instance [(origin, round)]:
+    - the sender Reed–Solomon-encodes the payload into [n] fragments
+      ([k = f+1] suffice to reconstruct), builds a Merkle tree over them,
+      and sends process [i] its fragment with an inclusion proof
+      ([Disperse]);
+    - a process receiving its valid fragment relays it to everyone
+      ([Echo]) — so each process transmits [O(|m|/n + log n)] bits
+      instead of [O(|m|)];
+    - on [2f+1] valid echoed fragments under one root it broadcasts the
+      constant-size [Ready root]; [f+1] [Ready]s amplify;
+    - on [2f+1] [Ready]s and [f+1] stored fragments it reconstructs,
+      {e re-encodes} and recomputes the Merkle root. If the root matches,
+      it delivers; otherwise the committed vector was not a codeword (a
+      Byzantine dispersal) and the instance is deterministically
+      discarded by every correct process — agreement holds either way.
+
+    The re-encoding check is what makes reconstruction independent of
+    which [f+1] fragments a process happens to hold: a committed vector
+    either is a codeword (all subsets give the same polynomial) or no
+    subset's reconstruction can re-produce the committed root. *)
+
+type msg =
+  | Disperse of {
+      round : int;
+      root : string;
+      data_len : int;
+      frag_index : int;
+      frag : string;
+      proof : Crypto.Merkle.proof;
+    }
+  | Echo of {
+      origin : int;
+      round : int;
+      root : string;
+      data_len : int;
+      frag_index : int;
+      frag : string;
+      proof : Crypto.Merkle.proof;
+    }
+  | Ready of { origin : int; round : int; root : string; data_len : int }
+
+val encode_msg : msg -> string
+(** Canonical wire encoding (fragments, Merkle proofs and all); senders
+    charge exactly its size. *)
+
+val decode_msg : string -> msg option
+
+type t
+
+val create :
+  net:msg Net.Network.t -> me:int -> f:int -> deliver:Rbc_intf.deliver -> t
+
+val bcast : t -> payload:string -> round:int -> unit
+
+val delivered_instances : t -> int
+
+val bcast_inconsistent : t -> payload:string -> round:int -> unit
+(** Byzantine dispersal helper for tests: commits to a fragment vector
+    that is {e not} a codeword (one fragment corrupted before building
+    the tree). Correct processes must all discard the instance. *)

@@ -1,0 +1,160 @@
+open Rbc_intf
+
+type msg =
+  | Init of { round : int; payload : string }
+  | Echo of { origin : int; round : int; payload : string }
+  | Ready of { origin : int; round : int; payload : string }
+
+let encode_msg msg =
+  let buf = Buffer.create 64 in
+  (match msg with
+  | Init { round; payload } ->
+    Wire.put_u8 buf 1;
+    Wire.put_u32 buf round;
+    Wire.put_bytes buf payload
+  | Echo { origin; round; payload } ->
+    Wire.put_u8 buf 2;
+    Wire.put_u32 buf origin;
+    Wire.put_u32 buf round;
+    Wire.put_bytes buf payload
+  | Ready { origin; round; payload } ->
+    Wire.put_u8 buf 3;
+    Wire.put_u32 buf origin;
+    Wire.put_u32 buf round;
+    Wire.put_bytes buf payload);
+  Buffer.contents buf
+
+let decode_msg src =
+  Wire.decode src (fun r ->
+      match Wire.get_u8 r with
+      | 1 ->
+        let round = Wire.get_u32 r in
+        let payload = Wire.get_bytes r in
+        Wire.finish r (Init { round; payload })
+      | 2 ->
+        let origin = Wire.get_u32 r in
+        let round = Wire.get_u32 r in
+        let payload = Wire.get_bytes r in
+        Wire.finish r (Echo { origin; round; payload })
+      | 3 ->
+        let origin = Wire.get_u32 r in
+        let round = Wire.get_u32 r in
+        let payload = Wire.get_bytes r in
+        Wire.finish r (Ready { origin; round; payload })
+      | _ -> None)
+
+let msg_bits msg = Wire.bits (encode_msg msg)
+
+type instance = {
+  mutable echoed : bool;
+  mutable ready_sent : bool;
+  mutable delivered : bool;
+  echoes : (string, Iset.t ref) Hashtbl.t; (* digest -> echoers *)
+  readies : (string, Iset.t ref) Hashtbl.t; (* digest -> ready senders *)
+  payloads : (string, string) Hashtbl.t; (* digest -> payload *)
+}
+
+type t = {
+  net : msg Net.Network.t;
+  me : int;
+  f : int;
+  deliver : deliver;
+  instances : instance Tbl.t;
+  mutable delivered_count : int;
+}
+
+let get_instance t key =
+  match Tbl.find_opt t.instances key with
+  | Some inst -> inst
+  | None ->
+    let inst =
+      { echoed = false;
+        ready_sent = false;
+        delivered = false;
+        echoes = Hashtbl.create 4;
+        readies = Hashtbl.create 4;
+        payloads = Hashtbl.create 4 }
+    in
+    Tbl.add t.instances key inst;
+    inst
+
+let quorum t = (2 * t.f) + 1
+let amplify t = t.f + 1
+
+let add_voter table digest voter =
+  let set =
+    match Hashtbl.find_opt table digest with
+    | Some s -> s
+    | None ->
+      let s = ref Iset.empty in
+      Hashtbl.add table digest s;
+      s
+  in
+  set := Iset.add voter !set;
+  Iset.cardinal !set
+
+let send_echo t ~origin ~round ~payload =
+  let msg = Echo { origin; round; payload } in
+  Net.Network.broadcast t.net ~src:t.me ~kind:"bracha-echo"
+    ~bits:(msg_bits msg) msg
+
+let send_ready t inst ~origin ~round ~payload =
+  if not inst.ready_sent then begin
+    inst.ready_sent <- true;
+    let msg = Ready { origin; round; payload } in
+    Net.Network.broadcast t.net ~src:t.me ~kind:"bracha-ready"
+      ~bits:(msg_bits msg) msg
+  end
+
+let try_deliver t inst ~origin ~round ~digest =
+  if not inst.delivered then
+    match Hashtbl.find_opt inst.readies digest with
+    | Some set when Iset.cardinal !set >= quorum t ->
+      (match Hashtbl.find_opt inst.payloads digest with
+      | Some payload ->
+        inst.delivered <- true;
+        t.delivered_count <- t.delivered_count + 1;
+        t.deliver ~payload ~round ~source:origin
+      | None -> ())
+    | _ -> ()
+
+let handle t ~src msg =
+  match msg with
+  | Init { round; payload } ->
+    let origin = src in
+    let inst = get_instance t (origin, round) in
+    if not inst.echoed then begin
+      inst.echoed <- true;
+      send_echo t ~origin ~round ~payload
+    end
+  | Echo { origin; round; payload } ->
+    let inst = get_instance t (origin, round) in
+    let digest = Crypto.Sha256.digest_string payload in
+    if not (Hashtbl.mem inst.payloads digest) then
+      Hashtbl.add inst.payloads digest payload;
+    let count = add_voter inst.echoes digest src in
+    if count >= quorum t then
+      send_ready t inst ~origin ~round ~payload
+  | Ready { origin; round; payload } ->
+    let inst = get_instance t (origin, round) in
+    let digest = Crypto.Sha256.digest_string payload in
+    if not (Hashtbl.mem inst.payloads digest) then
+      Hashtbl.add inst.payloads digest payload;
+    let count = add_voter inst.readies digest src in
+    if count >= amplify t then
+      send_ready t inst ~origin ~round ~payload;
+    try_deliver t inst ~origin ~round ~digest
+
+let create ~net ~me ~f ~deliver =
+  let t =
+    { net; me; f; deliver; instances = Tbl.create 64; delivered_count = 0 }
+  in
+  Net.Network.register net me (fun ~src msg -> handle t ~src msg);
+  t
+
+let bcast t ~payload ~round =
+  let msg = Init { round; payload } in
+  Net.Network.broadcast t.net ~src:t.me ~kind:"bracha-init"
+    ~bits:(msg_bits msg) msg
+
+let delivered_instances t = t.delivered_count

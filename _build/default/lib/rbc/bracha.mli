@@ -1,0 +1,41 @@
+(** Bracha reliable broadcast (Bracha 1987), the classic O(n^2 |m|)
+    instantiation (Table 1 row "DAG-Rider + [11]").
+
+    Protocol, per instance [(origin, round)]:
+    - the sender broadcasts [Init payload];
+    - on the {e first} [Init] received for the instance, a process
+      broadcasts [Echo payload];
+    - on [2f+1] [Echo]s for the same payload digest, or [f+1] [Ready]s
+      for the same digest, a process broadcasts [Ready payload] (once);
+    - on [2f+1] [Ready]s for the same digest it delivers.
+
+    Quorum intersection of the Echo stage prevents two correct processes
+    from becoming ready for different payloads of an equivocating
+    Byzantine sender; the [f+1]-Ready amplification gives totality.
+    Echo/Ready carry the full payload (the textbook protocol — this is
+    exactly why the complexity row is quadratic in [|m|]). *)
+
+type msg =
+  | Init of { round : int; payload : string }
+  | Echo of { origin : int; round : int; payload : string }
+  | Ready of { origin : int; round : int; payload : string }
+(** Exposed so tests can inject Byzantine traffic directly. *)
+
+val encode_msg : msg -> string
+(** Canonical wire encoding; senders charge exactly its size. *)
+
+val decode_msg : string -> msg option
+(** Inverse of {!encode_msg}; [None] on any malformed input. *)
+
+type t
+
+val create :
+  net:msg Net.Network.t -> me:int -> f:int -> deliver:Rbc_intf.deliver -> t
+(** Registers process [me]'s handler on [net]. *)
+
+val bcast : t -> payload:string -> round:int -> unit
+(** [r_bcast] of the abstraction. A correct process calls this at most
+    once per round (the DAG layer guarantees it). *)
+
+val delivered_instances : t -> int
+(** Number of instances this process has delivered (for tests). *)

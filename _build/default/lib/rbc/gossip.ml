@@ -1,0 +1,232 @@
+open Rbc_intf
+
+type msg =
+  | Gossip of { origin : int; round : int; payload : string }
+  | Echo of { origin : int; round : int; digest : string }
+  | Ready of { origin : int; round : int; digest : string }
+
+let encode_msg msg =
+  let buf = Buffer.create 64 in
+  (match msg with
+  | Gossip { origin; round; payload } ->
+    Wire.put_u8 buf 1;
+    Wire.put_u32 buf origin;
+    Wire.put_u32 buf round;
+    Wire.put_bytes buf payload
+  | Echo { origin; round; digest } ->
+    Wire.put_u8 buf 2;
+    Wire.put_u32 buf origin;
+    Wire.put_u32 buf round;
+    Wire.put_bytes buf digest
+  | Ready { origin; round; digest } ->
+    Wire.put_u8 buf 3;
+    Wire.put_u32 buf origin;
+    Wire.put_u32 buf round;
+    Wire.put_bytes buf digest);
+  Buffer.contents buf
+
+let decode_msg src =
+  Wire.decode src (fun r ->
+      match Wire.get_u8 r with
+      | 1 ->
+        let origin = Wire.get_u32 r in
+        let round = Wire.get_u32 r in
+        let payload = Wire.get_bytes r in
+        Wire.finish r (Gossip { origin; round; payload })
+      | 2 ->
+        let origin = Wire.get_u32 r in
+        let round = Wire.get_u32 r in
+        let digest = Wire.get_bytes r in
+        if String.length digest <> 32 then None
+        else Wire.finish r (Echo { origin; round; digest })
+      | 3 ->
+        let origin = Wire.get_u32 r in
+        let round = Wire.get_u32 r in
+        let digest = Wire.get_bytes r in
+        if String.length digest <> 32 then None
+        else Wire.finish r (Ready { origin; round; digest })
+      | _ -> None)
+
+let msg_bits msg = Wire.bits (encode_msg msg)
+
+type params = {
+  gossip_factor : float;
+  echo_sample : float;
+  ready_sample : float;
+  echo_threshold : float;
+  ready_threshold : float;
+}
+
+let default_params =
+  { gossip_factor = 3.0;
+    echo_sample = 4.0;
+    ready_sample = 4.0;
+    echo_threshold = 0.5;
+    ready_threshold = 0.33 }
+
+type instance = {
+  mutable payload : string option;
+  mutable accepted_digest : string option;
+  mutable relayed : bool;
+  mutable echo_sent : bool;
+  mutable ready_sent : bool;
+  mutable delivered : bool;
+  echoes : (string, Iset.t ref) Hashtbl.t; (* digest -> echoers seen *)
+  readies : (string, Iset.t ref) Hashtbl.t;
+}
+
+type t = {
+  net : msg Net.Network.t;
+  rng : Stdx.Rng.t;
+  me : int;
+  n : int;
+  deliver : deliver;
+  gossip_size : int;
+  echo_size : int;
+  ready_size : int;
+  echo_need : int;
+  ready_need : int;
+  ready_feedback : int;
+  instances : instance Tbl.t;
+  mutable delivered_count : int;
+}
+
+let sample_size n factor =
+  let ln_n = log (float_of_int (max 2 n)) in
+  min n (max 1 (int_of_float (ceil (factor *. ln_n))))
+
+let get_instance t key =
+  match Tbl.find_opt t.instances key with
+  | Some inst -> inst
+  | None ->
+    let inst =
+      { payload = None;
+        accepted_digest = None;
+        relayed = false;
+        echo_sent = false;
+        ready_sent = false;
+        delivered = false;
+        echoes = Hashtbl.create 4;
+        readies = Hashtbl.create 4 }
+    in
+    Tbl.add t.instances key inst;
+    inst
+
+let add_voter table digest voter =
+  let set =
+    match Hashtbl.find_opt table digest with
+    | Some s -> s
+    | None ->
+      let s = ref Iset.empty in
+      Hashtbl.add table digest s;
+      s
+  in
+  set := Iset.add voter !set;
+  Iset.cardinal !set
+
+let count_for table digest =
+  match Hashtbl.find_opt table digest with
+  | Some set -> Iset.cardinal !set
+  | None -> 0
+
+let send_sample t ~size ~kind ~bits msg =
+  let peers = Stdx.Rng.sample_without_replacement t.rng ~k:size ~n:t.n in
+  List.iter
+    (fun dst -> Net.Network.send t.net ~src:t.me ~dst ~kind ~bits msg)
+    peers
+
+(* Re-examine the instance after any state change: become ready when the
+   echo threshold (or the ready feedback threshold) is met for the digest
+   we accepted, and deliver on the ready threshold. *)
+let progress t inst ~origin ~round =
+  match inst.accepted_digest with
+  | None -> ()
+  | Some digest ->
+    let echo_count = count_for inst.echoes digest in
+    let ready_count = count_for inst.readies digest in
+    if
+      (not inst.ready_sent)
+      && (echo_count >= t.echo_need || ready_count >= t.ready_feedback)
+    then begin
+      inst.ready_sent <- true;
+      let msg = Ready { origin; round; digest } in
+      send_sample t ~size:t.ready_size ~kind:"gossip-ready"
+        ~bits:(msg_bits msg) msg
+    end;
+    if (not inst.delivered) && ready_count >= t.ready_need then
+      match inst.payload with
+      | Some payload ->
+        inst.delivered <- true;
+        t.delivered_count <- t.delivered_count + 1;
+        t.deliver ~payload ~round ~source:origin
+      | None -> ()
+
+let handle t ~src msg =
+  match msg with
+  | Gossip { origin; round; payload } ->
+    let inst = get_instance t (origin, round) in
+    if inst.payload = None then begin
+      let digest = Crypto.Sha256.digest_string payload in
+      inst.payload <- Some payload;
+      inst.accepted_digest <- Some digest;
+      if not inst.relayed then begin
+        inst.relayed <- true;
+        let msg = Gossip { origin; round; payload } in
+        send_sample t ~size:t.gossip_size ~kind:"gossip-relay"
+          ~bits:(msg_bits msg) msg
+      end;
+      if not inst.echo_sent then begin
+        inst.echo_sent <- true;
+        let msg = Echo { origin; round; digest } in
+        send_sample t ~size:t.echo_size ~kind:"gossip-echo"
+          ~bits:(msg_bits msg) msg
+      end;
+      progress t inst ~origin ~round
+    end
+  | Echo { origin; round; digest } ->
+    let inst = get_instance t (origin, round) in
+    ignore (add_voter inst.echoes digest src);
+    progress t inst ~origin ~round
+  | Ready { origin; round; digest } ->
+    let inst = get_instance t (origin, round) in
+    ignore (add_voter inst.readies digest src);
+    progress t inst ~origin ~round
+
+let create ~net ~rng ?(params = default_params) ~me ~f:_ ~deliver () =
+  let n = Net.Network.n net in
+  let gossip_size = sample_size n params.gossip_factor in
+  let echo_size = sample_size n params.echo_sample in
+  let ready_size = sample_size n params.ready_sample in
+  let echo_need =
+    max 1 (int_of_float (ceil (params.echo_threshold *. float_of_int echo_size)))
+  in
+  let ready_need =
+    max 1 (int_of_float (ceil (params.ready_threshold *. float_of_int ready_size)))
+  in
+  let t =
+    { net;
+      rng;
+      me;
+      n;
+      deliver;
+      gossip_size;
+      echo_size;
+      ready_size;
+      echo_need;
+      ready_need;
+      ready_feedback = max 1 (ready_need / 2);
+      instances = Tbl.create 64;
+      delivered_count = 0 }
+  in
+  Net.Network.register net me (fun ~src msg -> handle t ~src msg);
+  t
+
+let bcast t ~payload ~round =
+  (* the sender seeds the epidemic through its own gossip sample and also
+     processes the message locally (send-to-self through the queue) *)
+  let msg = Gossip { origin = t.me; round; payload } in
+  send_sample t ~size:t.gossip_size ~kind:"gossip-init" ~bits:(msg_bits msg) msg;
+  Net.Network.send t.net ~src:t.me ~dst:t.me ~kind:"gossip-init"
+    ~bits:(msg_bits msg) msg
+
+let delivered_instances t = t.delivered_count

@@ -1,0 +1,59 @@
+(** Sample-based probabilistic reliable broadcast, after Guerraoui et
+    al., "Scalable Byzantine Reliable Broadcast" (DISC 2019) — the
+    O(n log n) instantiation of Table 1 row "DAG-Rider + [25]".
+
+    Structure (simplified from the paper's Murmur/Sieve/Contagion stack,
+    keeping the sample-based costs and the ε-failure trade-off):
+    - {b dissemination} (Murmur): the sender gossips the payload to a
+      random sample of [G = ceil (gossip_factor * ln n)] peers; every
+      process relays on first receipt to its own sample — an epidemic
+      that reaches all correct processes whp;
+    - {b consistency} (Sieve): on first receipt a process sends a
+      digest-only [Echo] to a random sample of size [E]; a process that
+      has accumulated [echo_threshold * E] echoes for one digest becomes
+      {e ready};
+    - {b totality} (Contagion): ready processes send digest-only [Ready]
+      to a sample of size [R]; [ready_threshold * R] readies (plus the
+      payload itself) trigger delivery, and readies are re-gossiped once
+      on a feedback threshold.
+
+    Unlike Bracha/AVID the guarantees hold with probability [1 - ε]
+    rather than 1 — the paper's reliable-broadcast abstraction is stated
+    with probability-1 clauses precisely so that such gossip protocols
+    qualify (§2). Per-process cost is [O(log n)] messages of size
+    [O(|m|)] (dissemination) plus [O(log n)] digests, hence the
+    [O(n log n (|m| + λ))] total. *)
+
+type msg =
+  | Gossip of { origin : int; round : int; payload : string }
+  | Echo of { origin : int; round : int; digest : string }
+  | Ready of { origin : int; round : int; digest : string }
+
+val encode_msg : msg -> string
+val decode_msg : string -> msg option
+
+type params = {
+  gossip_factor : float;  (** sample multiplier on ln n; default 3.0 *)
+  echo_sample : float;    (** echo sample multiplier on ln n; default 4.0 *)
+  ready_sample : float;   (** ready sample multiplier on ln n; default 4.0 *)
+  echo_threshold : float; (** fraction of echo sample required; default 0.66 *)
+  ready_threshold : float;(** fraction of ready sample required; default 0.33 *)
+}
+
+val default_params : params
+
+type t
+
+val create :
+  net:msg Net.Network.t ->
+  rng:Stdx.Rng.t ->
+  ?params:params ->
+  me:int ->
+  f:int ->
+  deliver:Rbc_intf.deliver ->
+  unit ->
+  t
+
+val bcast : t -> payload:string -> round:int -> unit
+
+val delivered_instances : t -> int

@@ -1,0 +1,89 @@
+(** Shared vocabulary of the reliable-broadcast abstraction (paper §2).
+
+    Each sender [p_k] calls [r_bcast_k (m, r)]; every process eventually
+    outputs [r_deliver_i (m, r, p_k)] with the abstraction's Agreement /
+    Integrity / Validity guarantees. Implementations are message-type
+    specific, but all expose the same [create]/[bcast] shape so the DAG
+    layer can be instantiated with any of them (Table 1 rows). *)
+
+type deliver = payload:string -> round:int -> source:int -> unit
+(** Upcall invoked exactly once per (source, round) instance. *)
+
+(** Wire-size accounting shared by the implementations: every message is
+    charged a fixed header (tags, identifiers, round numbers) plus its
+    variable-size payload in bits. *)
+
+let header_bits = 128
+
+let payload_bits s = 8 * String.length s
+
+let digest_bits = 256
+
+(** Instance keys: a reliable broadcast instance is identified by the
+    originating process and its round number. *)
+
+module Key = struct
+  type t = int * int (* origin, round *)
+
+  let equal (a : t) (b : t) = a = b
+  let hash = Hashtbl.hash
+end
+
+module Tbl = Hashtbl.Make (Key)
+
+(** Sets of process ids, used for quorum counting. *)
+module Iset = Set.Make (Int)
+
+(** Binary wire-format helpers shared by the protocol codecs. Every
+    protocol message has an [encode_msg]/[decode_msg] pair; senders
+    charge the exact encoded size, and the codecs carry property tests
+    in the suite. *)
+module Wire = struct
+  let put_u8 buf v = Buffer.add_char buf (Char.chr (v land 0xFF))
+
+  let put_u32 buf v =
+    Buffer.add_char buf (Char.chr ((v lsr 24) land 0xFF));
+    Buffer.add_char buf (Char.chr ((v lsr 16) land 0xFF));
+    Buffer.add_char buf (Char.chr ((v lsr 8) land 0xFF));
+    Buffer.add_char buf (Char.chr (v land 0xFF))
+
+  let put_bytes buf s =
+    put_u32 buf (String.length s);
+    Buffer.add_string buf s
+
+  let put_bool buf b = put_u8 buf (if b then 1 else 0)
+
+  type reader = { src : string; mutable pos : int }
+
+  exception Bad
+
+  let reader src = { src; pos = 0 }
+
+  let get_u8 r =
+    if r.pos >= String.length r.src then raise Bad;
+    let v = Char.code r.src.[r.pos] in
+    r.pos <- r.pos + 1;
+    v
+
+  let get_u32 r =
+    if r.pos + 4 > String.length r.src then raise Bad;
+    let b i = Char.code r.src.[r.pos + i] in
+    let v = (b 0 lsl 24) lor (b 1 lsl 16) lor (b 2 lsl 8) lor b 3 in
+    r.pos <- r.pos + 4;
+    v
+
+  let get_bytes r =
+    let len = get_u32 r in
+    if r.pos + len > String.length r.src then raise Bad;
+    let s = String.sub r.src r.pos len in
+    r.pos <- r.pos + len;
+    s
+
+  let get_bool r = get_u8 r <> 0
+
+  let finish r v = if r.pos = String.length r.src then Some v else None
+
+  let decode src f = try f (reader src) with Bad -> None
+
+  let bits s = 8 * String.length s
+end

@@ -1,0 +1,48 @@
+type t = {
+  queue : (unit -> unit) Stdx.Pqueue.t;
+  mutable clock : float;
+  mutable seq : int;
+  mutable executed : int;
+}
+
+let create () =
+  { queue = Stdx.Pqueue.create (); clock = 0.0; seq = 0; executed = 0 }
+
+let now t = t.clock
+
+let schedule_at t ~time f =
+  let time = if time < t.clock then t.clock else time in
+  t.seq <- t.seq + 1;
+  Stdx.Pqueue.push t.queue ~priority:time ~seq:t.seq f
+
+let schedule t ~delay f =
+  if delay < 0.0 then invalid_arg "Engine.schedule: negative delay";
+  schedule_at t ~time:(t.clock +. delay) f
+
+let step t =
+  match Stdx.Pqueue.pop t.queue with
+  | None -> false
+  | Some (time, _, f) ->
+    t.clock <- time;
+    t.executed <- t.executed + 1;
+    f ();
+    true
+
+let run t ?(max_events = max_int) ?(until = infinity) () =
+  let rec loop count =
+    if count >= max_events then count
+    else
+      match Stdx.Pqueue.peek t.queue with
+      | None -> count
+      | Some (time, _, _) when time > until ->
+        t.clock <- until;
+        count
+      | Some _ ->
+        ignore (step t);
+        loop (count + 1)
+  in
+  loop 0
+
+let pending t = Stdx.Pqueue.length t.queue
+
+let events_executed t = t.executed

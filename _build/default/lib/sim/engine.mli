@@ -1,0 +1,44 @@
+(** Deterministic discrete-event simulation engine.
+
+    The whole reproduction runs on virtual time: every message delivery,
+    timer, and protocol step is an event in one priority queue ordered by
+    [(time, insertion sequence)], so a run is a pure function of the seed
+    and the code — re-running with the same seed replays the exact
+    schedule, which is what makes the adversarial-schedule tests
+    meaningful.
+
+    Virtual time is a [float] in abstract "time units". The paper (§3,
+    after Canetti–Rabin) defines a time unit as the maximum message delay
+    among correct processes; schedulers in [Net.Sched] keep correct-link
+    delays within [(0, 1]] so that measured spans are directly comparable
+    to the paper's time-complexity claims. *)
+
+type t
+
+val create : unit -> t
+
+val now : t -> float
+(** Current virtual time. *)
+
+val schedule : t -> delay:float -> (unit -> unit) -> unit
+(** [schedule t ~delay f] runs [f] at [now t +. delay]. [delay] must be
+    non-negative; events at equal times run in scheduling order.
+    @raise Invalid_argument on a negative delay. *)
+
+val schedule_at : t -> time:float -> (unit -> unit) -> unit
+(** Absolute-time variant; times in the past are clamped to [now]. *)
+
+val run : t -> ?max_events:int -> ?until:float -> unit -> int
+(** Drain the event queue. Stops when it is empty, after [max_events]
+    events (default unlimited), or before the first event later than
+    [until] (default unlimited). Returns the number of events executed.
+    When stopping on [until], the clock advances to [until]. *)
+
+val step : t -> bool
+(** Execute one event. Returns [false] if the queue was empty. *)
+
+val pending : t -> int
+(** Events currently queued. *)
+
+val events_executed : t -> int
+(** Total events executed since creation (simulation-cost metric). *)

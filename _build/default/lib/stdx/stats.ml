@@ -1,0 +1,75 @@
+type t = {
+  mutable values : float list;
+  mutable n : int;
+  mutable sum : float;
+  mutable sum_sq : float;
+  mutable min_v : float;
+  mutable max_v : float;
+}
+
+let create () =
+  { values = []; n = 0; sum = 0.0; sum_sq = 0.0;
+    min_v = infinity; max_v = neg_infinity }
+
+let add t x =
+  t.values <- x :: t.values;
+  t.n <- t.n + 1;
+  t.sum <- t.sum +. x;
+  t.sum_sq <- t.sum_sq +. (x *. x);
+  if x < t.min_v then t.min_v <- x;
+  if x > t.max_v then t.max_v <- x
+
+let count t = t.n
+
+let mean t = if t.n = 0 then 0.0 else t.sum /. float_of_int t.n
+
+let stddev t =
+  if t.n < 2 then 0.0
+  else
+    let m = mean t in
+    let var = (t.sum_sq /. float_of_int t.n) -. (m *. m) in
+    let var = var *. float_of_int t.n /. float_of_int (t.n - 1) in
+    if var <= 0.0 then 0.0 else sqrt var
+
+let min_value t = if t.n = 0 then 0.0 else t.min_v
+let max_value t = if t.n = 0 then 0.0 else t.max_v
+
+let percentile t p =
+  if t.n = 0 then 0.0
+  else begin
+    let sorted = List.sort compare t.values in
+    let arr = Array.of_list sorted in
+    let rank =
+      int_of_float (ceil (p /. 100.0 *. float_of_int t.n)) - 1
+    in
+    let rank = max 0 (min (t.n - 1) rank) in
+    arr.(rank)
+  end
+
+let summary t =
+  Printf.sprintf "n=%d mean=%.3f p50=%.3f p99=%.3f max=%.3f"
+    t.n (mean t) (percentile t 50.0) (percentile t 99.0) (max_value t)
+
+let linear_fit points =
+  let n = List.length points in
+  if n < 2 then invalid_arg "Stats.linear_fit: need at least two points";
+  let fn = float_of_int n in
+  let sx = List.fold_left (fun acc (x, _) -> acc +. x) 0.0 points in
+  let sy = List.fold_left (fun acc (_, y) -> acc +. y) 0.0 points in
+  let sxx = List.fold_left (fun acc (x, _) -> acc +. (x *. x)) 0.0 points in
+  let sxy = List.fold_left (fun acc (x, y) -> acc +. (x *. y)) 0.0 points in
+  let denom = (fn *. sxx) -. (sx *. sx) in
+  if denom = 0.0 then invalid_arg "Stats.linear_fit: degenerate x values";
+  let b = ((fn *. sxy) -. (sx *. sy)) /. denom in
+  let a = (sy -. (b *. sx)) /. fn in
+  (a, b)
+
+let growth_exponent points =
+  let logs =
+    List.filter_map
+      (fun (x, y) ->
+        if x > 0.0 && y > 0.0 then Some (log x, log y) else None)
+      points
+  in
+  let _, b = linear_fit logs in
+  b

@@ -1,0 +1,36 @@
+(** Streaming summary statistics and least-squares fitting helpers used by
+    the experiment harnesses to report latency/throughput distributions
+    and growth exponents. *)
+
+type t
+(** A mutable accumulator of float observations. *)
+
+val create : unit -> t
+
+val add : t -> float -> unit
+
+val count : t -> int
+
+val mean : t -> float
+(** Mean of the observations; 0 if empty. *)
+
+val stddev : t -> float
+(** Sample standard deviation; 0 if fewer than two observations. *)
+
+val min_value : t -> float
+val max_value : t -> float
+
+val percentile : t -> float -> float
+(** [percentile t p] with [p] in [\[0, 100\]]; nearest-rank on the sorted
+    observations. 0 if empty. *)
+
+val summary : t -> string
+(** One-line human-readable summary: count/mean/p50/p99/max. *)
+
+val linear_fit : (float * float) list -> float * float
+(** Least-squares fit [y = a + b*x]; returns [(a, b)].
+    @raise Invalid_argument on fewer than two points. *)
+
+val growth_exponent : (float * float) list -> float
+(** Log-log slope of [(x, y)] points: the exponent [k] of the best-fit
+    [y ~ c * x^k]. Points with non-positive coordinates are dropped. *)

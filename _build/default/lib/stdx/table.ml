@@ -1,0 +1,39 @@
+let render ~header ~rows =
+  let arity = List.length header in
+  List.iter
+    (fun row ->
+      if List.length row <> arity then
+        invalid_arg "Table.render: ragged row")
+    rows;
+  let all = header :: rows in
+  let widths = Array.make arity 0 in
+  List.iter
+    (fun row ->
+      List.iteri
+        (fun i cell -> widths.(i) <- max widths.(i) (String.length cell))
+        row)
+    all;
+  let buf = Buffer.create 256 in
+  let pad i cell =
+    let w = widths.(i) in
+    cell ^ String.make (w - String.length cell) ' '
+  in
+  let emit_row row =
+    Buffer.add_string buf "| ";
+    List.iteri
+      (fun i cell ->
+        if i > 0 then Buffer.add_string buf " | ";
+        Buffer.add_string buf (pad i cell))
+      row;
+    Buffer.add_string buf " |\n"
+  in
+  emit_row header;
+  Buffer.add_string buf "|";
+  Array.iter
+    (fun w -> Buffer.add_string buf (String.make (w + 2) '-' ^ "|"))
+    widths;
+  Buffer.add_char buf '\n';
+  List.iter emit_row rows;
+  Buffer.contents buf
+
+let print ~header ~rows = print_string (render ~header ~rows)

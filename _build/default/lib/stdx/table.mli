@@ -1,0 +1,13 @@
+(** Minimal fixed-width ASCII table rendering for experiment output.
+
+    The benchmark harnesses print rows shaped like the paper's Table 1;
+    this module keeps that formatting in one place. *)
+
+val render : header:string list -> rows:string list list -> string
+(** [render ~header ~rows] lays the table out with column widths fitted to
+    the longest cell, a separator under the header, and ["|"] column
+    separators. All rows must have the same arity as the header.
+    @raise Invalid_argument on ragged rows. *)
+
+val print : header:string list -> rows:string list list -> unit
+(** [render] followed by [print_string]. *)

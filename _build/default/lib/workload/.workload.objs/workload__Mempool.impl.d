@@ -1,0 +1,1 @@
+lib/workload/mempool.ml: Hashtbl List Queue Txgen

@@ -1,0 +1,1 @@
+lib/workload/txgen.ml: List Printf String

@@ -1,0 +1,38 @@
+(** Client-facing transaction pool feeding a DAG-Rider node.
+
+    The paper assumes each process always has a block to propose
+    (Algorithm 2 line 17); a real deployment sits a mempool between
+    clients and the node: clients submit transactions, the node's
+    [block_source] drains a batch per vertex, and the a_deliver stream
+    retires transactions once they appear in the total order — including
+    transactions that arrived via {e other} processes' blocks (clients
+    often submit to several processes for latency). *)
+
+type t
+
+val create : ?max_batch:int -> owner:int -> unit -> t
+(** [max_batch] (default 64) caps transactions per assembled block. *)
+
+val submit : t -> Txgen.tx -> bool
+(** Queue a transaction. [false] if it was a duplicate (same owner and
+    seqno as a pending or already-retired transaction) and was dropped. *)
+
+val assemble_block : t -> string
+(** Drain up to [max_batch] pending transactions into a block (the
+    node's [block_source]). Returns the empty block when nothing is
+    pending — the vertex still flies, carrying no payload. Assembled
+    transactions move to the in-flight set; they are not re-proposed
+    (Validity guarantees the vertex carrying them is eventually
+    ordered). *)
+
+val retire_block : t -> string -> int
+(** Process a delivered block (from {e any} source): every transaction
+    in it is marked ordered and will be rejected as a duplicate if
+    re-submitted. Returns how many of them were ours (pending or
+    in-flight here). *)
+
+val pending : t -> int
+val in_flight : t -> int
+val submitted : t -> int
+val retired : t -> int
+(** Counters for experiments and backpressure decisions. *)

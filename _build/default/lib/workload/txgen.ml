@@ -1,0 +1,48 @@
+type tx = { owner : int; seqno : int; body : string }
+
+(* Serialization avoids the record separator \x1e inside fields by
+   construction: owner/seqno are decimal and the body is alphanumeric. *)
+let field_sep = '\x1f'
+let record_sep = '\x1e'
+
+let tx_to_string tx =
+  Printf.sprintf "%d%c%d%c%s" tx.owner field_sep tx.seqno field_sep tx.body
+
+let tx_of_string s =
+  match String.split_on_char field_sep s with
+  | [ owner; seqno; body ] -> (
+    match (int_of_string_opt owner, int_of_string_opt seqno) with
+    | Some owner, Some seqno -> Some { owner; seqno; body }
+    | _ -> None)
+  | _ -> None
+
+let tx_bytes ~body_bytes =
+  (* "<owner>\x1f<seqno>\x1f<body>" with ~4-digit counters *)
+  body_bytes + 12
+
+type gen = { owner : int; body_bytes : int; mutable seqno : int }
+
+let gen ~owner ~body_bytes = { owner; body_bytes; seqno = 0 }
+
+let synth_body g =
+  let tag = Printf.sprintf "t%d.%d." g.owner g.seqno in
+  if String.length tag >= g.body_bytes then tag
+  else tag ^ String.make (g.body_bytes - String.length tag) 'a'
+
+let next_tx g =
+  let tx = { owner = g.owner; seqno = g.seqno; body = synth_body g } in
+  g.seqno <- g.seqno + 1;
+  tx
+
+let produced g = g.seqno
+
+let block_of_txs txs =
+  String.concat (String.make 1 record_sep) (List.map tx_to_string txs)
+
+let make_block g ~count =
+  block_of_txs (List.init count (fun _ -> next_tx g))
+
+let block_txs block =
+  if String.length block = 0 then []
+  else
+    List.filter_map tx_of_string (String.split_on_char record_sep block)

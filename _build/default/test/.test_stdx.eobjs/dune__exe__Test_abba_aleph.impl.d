@@ -1,0 +1,1 @@
+test/test_abba_aleph.ml: Alcotest Array Baselines Crypto Dagrider Fun Harness List Metrics Net Option Printf Seq Sim Stdx

@@ -1,0 +1,1 @@
+test/test_abba_aleph.mli:

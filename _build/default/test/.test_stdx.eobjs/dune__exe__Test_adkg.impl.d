@@ -1,0 +1,1 @@
+test/test_adkg.ml: Adkg Alcotest Array Crypto Fun List Metrics Net Option Printf Sim Stdx

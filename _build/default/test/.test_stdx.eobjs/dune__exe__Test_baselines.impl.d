@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Array Baselines Char Crypto Fun List Metrics Net Option Printf Sim Stdx String

@@ -1,0 +1,1 @@
+test/test_crypto.ml: Alcotest Array Char Crypto List Printf QCheck QCheck_alcotest Stdx String

@@ -1,0 +1,1 @@
+test/test_dagrider.ml: Alcotest Array Bytes Char Dagrider Harness List Option Printf QCheck QCheck_alcotest Stdx String

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Array Dagrider Harness List Metrics Net Printf QCheck QCheck_alcotest Stdx

@@ -1,0 +1,1 @@
+test/test_node.ml: Alcotest Crypto Dagrider Harness List Metrics Net Option Printf Sim Stdx

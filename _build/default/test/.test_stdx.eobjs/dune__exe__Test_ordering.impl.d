@@ -1,0 +1,1 @@
+test/test_ordering.ml: Alcotest Dagrider Hashtbl List Option Printf

@@ -1,0 +1,1 @@
+test/test_rbc.ml: Alcotest Array Char Crypto List Metrics Net Printf QCheck QCheck_alcotest Rbc Sim Stdx String

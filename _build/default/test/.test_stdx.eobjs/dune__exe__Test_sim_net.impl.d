@@ -1,0 +1,1 @@
+test/test_sim_net.ml: Alcotest Array List Metrics Net Printf Sim Stdx

@@ -1,0 +1,1 @@
+test/test_stdx.ml: Alcotest Array Fun List QCheck QCheck_alcotest Stdx String

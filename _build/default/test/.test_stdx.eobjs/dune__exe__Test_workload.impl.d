@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array Dagrider Harness List Printf String Workload

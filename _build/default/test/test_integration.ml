@@ -1,0 +1,735 @@
+(* End-to-end tests of the full DAG-Rider stack: the BAB properties
+   (agreement, integrity, validity, total order) across backends,
+   schedules and fault scenarios, plus the ablations from DESIGN.md §5. *)
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+let assert_safe h =
+  (match Harness.Runner.check_total_order h with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail ("total order violated: " ^ e));
+  match Harness.Runner.check_integrity h with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail ("integrity violated: " ^ e)
+
+let min_delivered h =
+  List.fold_left
+    (fun acc i ->
+      min acc
+        (Dagrider.Ordering.delivered_count
+           (Dagrider.Node.ordering (Harness.Runner.node h i))))
+    max_int
+    (Harness.Runner.correct_indices h)
+
+(* ---- safety and liveness across backends and schedules ---- *)
+
+let test_safety_liveness ~backend ~schedule ~n () =
+  let opts =
+    { (Harness.Runner.default_options ~n) with
+      backend;
+      schedule;
+      seed = 1234 }
+  in
+  let h = Harness.Runner.build opts in
+  Harness.Runner.run h ~until:80.0;
+  assert_safe h;
+  checkb
+    (Printf.sprintf "progress (delivered %d)" (min_delivered h))
+    true
+    (min_delivered h > 4 * n)
+
+let matrix_cases =
+  let open Harness.Runner in
+  List.concat_map
+    (fun (bname, backend) ->
+      List.map
+        (fun (sname, schedule) ->
+          Alcotest.test_case
+            (Printf.sprintf "%s/%s n=4" bname sname)
+            `Quick
+            (test_safety_liveness ~backend ~schedule ~n:4))
+        [ ("sync", Synchronous);
+          ("uniform", Uniform_random);
+          ("skewed", Skewed_random) ])
+    [ ("bracha", Bracha); ("avid", Avid); ("gossip", Gossip) ]
+
+let test_larger_system () =
+  let opts =
+    { (Harness.Runner.default_options ~n:10) with seed = 5; block_bytes = 16 }
+  in
+  let h = Harness.Runner.build opts in
+  Harness.Runner.run h ~until:60.0;
+  assert_safe h;
+  checkb "progress" true (min_delivered h > 40)
+
+let test_stress_n16 () =
+  (* f = 5: a large fleet with mixed faults under a skewed schedule *)
+  let opts =
+    { (Harness.Runner.default_options ~n:16) with
+      seed = 77;
+      schedule = Harness.Runner.Skewed_random;
+      block_bytes = 16;
+      faults =
+        [ Crash 13; Crash 14; Byzantine_live 15; Byzantine_attacker 12 ] }
+  in
+  let h = Harness.Runner.build opts in
+  Harness.Runner.run h ~until:40.0;
+  assert_safe h;
+  checkb "progress at n=16 with 4 faults" true (min_delivered h > 50);
+  (* chain quality still holds at this scale *)
+  let sources =
+    List.map
+      (fun v -> v.Dagrider.Vertex.source)
+      (Dagrider.Node.delivered_log (Harness.Runner.node h 0))
+  in
+  let report =
+    Metrics.Chain_quality.audit ~f:5
+      ~correct:(fun i -> Harness.Runner.is_correct h i)
+      ~sources
+  in
+  checkb "chain quality at scale" true report.Metrics.Chain_quality.holds
+
+(* ---- determinism ---- *)
+
+let test_determinism_same_seed () =
+  let mk () =
+    let h = Harness.Runner.build (Harness.Runner.default_options ~n:4) in
+    Harness.Runner.run h ~until:50.0;
+    Array.to_list (Harness.Runner.delivered_logs h)
+    |> List.concat_map (List.map Dagrider.Vertex.vref_of)
+  in
+  checkb "replay identical" true (mk () = mk ())
+
+let test_different_seeds_still_safe () =
+  List.iter
+    (fun seed ->
+      let opts = { (Harness.Runner.default_options ~n:4) with seed } in
+      let h = Harness.Runner.build opts in
+      Harness.Runner.run h ~until:50.0;
+      assert_safe h;
+      checkb "progress" true (min_delivered h > 10))
+    [ 2; 3; 4; 5; 6; 7 ]
+
+(* ---- crash fault tolerance ---- *)
+
+let test_f_crashes_tolerated () =
+  let opts =
+    { (Harness.Runner.default_options ~n:7) with
+      faults = [ Crash 5; Crash 6 ];
+      seed = 8 }
+  in
+  let h = Harness.Runner.build opts in
+  Harness.Runner.run h ~until:80.0;
+  assert_safe h;
+  checkb "liveness with f crashes" true (min_delivered h > 20)
+
+let test_fplus1_crashes_halt_but_stay_safe () =
+  (* beyond the resilience bound progress must stop, but nothing bad is
+     delivered *)
+  let opts =
+    { (Harness.Runner.default_options ~n:7) with
+      faults = [ Crash 4; Crash 5; Crash 6 ];
+      seed = 10 }
+  in
+  let h = Harness.Runner.build opts in
+  Harness.Runner.run h ~until:80.0;
+  assert_safe h;
+  checki "no progress past genesis-fed rounds" 0 (min_delivered h)
+
+(* ---- validity / eventual fairness (the paper's headline vs SMRs) ---- *)
+
+let test_validity_all_correct_blocks_ordered () =
+  (* every a_bcast block by a correct process is eventually delivered
+     by every correct process *)
+  let opts = { (Harness.Runner.default_options ~n:4) with seed = 11 } in
+  let h = Harness.Runner.build opts in
+  (* inject explicit blocks before starting *)
+  let expected = ref [] in
+  Array.iteri
+    (fun i node ->
+      for s = 1 to 5 do
+        let block = Printf.sprintf "explicit:%d:%d" i s in
+        expected := block :: !expected;
+        Dagrider.Node.a_bcast node block
+      done)
+    (Harness.Runner.nodes h);
+  Harness.Runner.run h ~until:100.0;
+  assert_safe h;
+  let log0 =
+    List.map
+      (fun v -> v.Dagrider.Vertex.block)
+      (Dagrider.Node.delivered_log (Harness.Runner.node h 0))
+  in
+  List.iter
+    (fun block ->
+      checkb (Printf.sprintf "%s ordered" block) true (List.mem block log0))
+    !expected
+
+let test_censored_process_still_ordered () =
+  (* the adversary delays every message from p3 by 15x; weak edges must
+     still pull its vertices into the total order (Validity) *)
+  let opts =
+    { (Harness.Runner.default_options ~n:4) with
+      seed = 12;
+      schedule =
+        Harness.Runner.Custom
+          (fun rng ->
+            Net.Sched.delay_process
+              ~inner:(Net.Sched.uniform_random ~rng)
+              ~victim:3 ~factor:15.0) }
+  in
+  let h = Harness.Runner.build opts in
+  Harness.Runner.run h ~until:150.0;
+  assert_safe h;
+  let victim_vertices =
+    List.filter
+      (fun v -> v.Dagrider.Vertex.source = 3)
+      (Dagrider.Node.delivered_log (Harness.Runner.node h 0))
+  in
+  checkb
+    (Printf.sprintf "victim blocks ordered (%d)" (List.length victim_vertices))
+    true
+    (List.length victim_vertices >= 3)
+
+let test_weak_edges_off_starves_victim () =
+  (* ablation: with weak edges disabled, the slow process's vertices are
+     never reachable from leaders and never get ordered — validity is
+     exactly what weak edges buy (DESIGN.md §5) *)
+  let run ~enable_weak_edges =
+    let opts =
+      { (Harness.Runner.default_options ~n:4) with
+        seed = 12;
+        enable_weak_edges;
+        schedule =
+          Harness.Runner.Custom
+            (fun rng ->
+              Net.Sched.delay_process
+                ~inner:(Net.Sched.uniform_random ~rng)
+                ~victim:3 ~factor:15.0) }
+    in
+    let h = Harness.Runner.build opts in
+    Harness.Runner.run h ~until:150.0;
+    assert_safe h;
+    List.length
+      (List.filter
+         (fun v -> v.Dagrider.Vertex.source = 3)
+         (Dagrider.Node.delivered_log (Harness.Runner.node h 0)))
+  in
+  let with_weak = run ~enable_weak_edges:true in
+  let without_weak = run ~enable_weak_edges:false in
+  checkb
+    (Printf.sprintf "weak on: %d, weak off: %d" with_weak without_weak)
+    true
+    (with_weak > without_weak)
+
+(* ---- chain quality ---- *)
+
+let test_chain_quality_with_byzantine_live () =
+  let n = 7 in
+  let opts =
+    { (Harness.Runner.default_options ~n) with
+      seed = 13;
+      faults = [ Byzantine_live 0; Byzantine_live 1 ] }
+  in
+  let h = Harness.Runner.build opts in
+  Harness.Runner.run h ~until:80.0;
+  assert_safe h;
+  let sources =
+    List.map
+      (fun v -> v.Dagrider.Vertex.source)
+      (Dagrider.Node.delivered_log (Harness.Runner.node h 2))
+  in
+  let report =
+    Metrics.Chain_quality.audit ~f:2
+      ~correct:(fun i -> Harness.Runner.is_correct h i)
+      ~sources
+  in
+  checkb "chain quality bound holds" true report.Metrics.Chain_quality.holds
+
+(* ---- leader agreement ---- *)
+
+let test_committed_leader_sequences_agree () =
+  let opts = { (Harness.Runner.default_options ~n:4) with seed = 14 } in
+  (* rebuild manually to attach on_commit hooks: use the harness then
+     read each node's ordering decisions from its log instead *)
+  let h = Harness.Runner.build opts in
+  Harness.Runner.run h ~until:80.0;
+  assert_safe h;
+  (* decided waves should be close and logs prefix-equal (already
+     checked); also every node delivered the same leader vertices in
+     the same relative order - implied by total order; here we just
+     confirm substantial agreement depth *)
+  let decided =
+    List.map
+      (fun i ->
+        Dagrider.Ordering.decided_wave
+          (Dagrider.Node.ordering (Harness.Runner.node h i)))
+      (Harness.Runner.correct_indices h)
+  in
+  let lo = List.fold_left min max_int decided in
+  let hi = List.fold_left max 0 decided in
+  checkb
+    (Printf.sprintf "decided waves in [%d, %d]" lo hi)
+    true
+    (lo > 0 && hi - lo <= 2)
+
+(* ---- expected waves per commit (Claim 6) ---- *)
+
+let test_claim6_commit_rate () =
+  (* under a random scheduler, the expected number of waves between
+     direct commits is well under the paper's worst-case 3/2 bound;
+     assert a generous <= 2.0 to keep the test robust *)
+  let opts = { (Harness.Runner.default_options ~n:4) with seed = 15 } in
+  let h = Harness.Runner.build opts in
+  Harness.Runner.run h ~until:200.0;
+  let node = Harness.Runner.node h 0 in
+  let waves = Dagrider.Node.waves_completed node in
+  let decided = Dagrider.Ordering.decided_wave (Dagrider.Node.ordering node) in
+  checkb "enough waves to measure" true (waves >= 10);
+  (* every decided wave was committed (directly or chained); the ratio
+     completed/decided >= 1 measures skips *)
+  let ratio = float_of_int waves /. float_of_int (max 1 decided) in
+  checkb (Printf.sprintf "waves per decided = %.2f" ratio) true (ratio <= 2.0)
+
+(* ---- garbage collection ---- *)
+
+let test_gc_preserves_output () =
+  let run gc_depth =
+    let opts =
+      { (Harness.Runner.default_options ~n:4) with seed = 16; gc_depth }
+    in
+    let h = Harness.Runner.build opts in
+    Harness.Runner.run h ~until:60.0;
+    assert_safe h;
+    Array.to_list (Harness.Runner.delivered_logs h)
+    |> List.concat_map (List.map Dagrider.Vertex.vref_of)
+  in
+  checkb "gc changes nothing observable" true (run None = run (Some 8))
+
+let test_gc_actually_prunes () =
+  let opts =
+    { (Harness.Runner.default_options ~n:4) with seed = 17; gc_depth = Some 4 }
+  in
+  let h = Harness.Runner.build opts in
+  Harness.Runner.run h ~until:80.0;
+  let dag = Dagrider.Node.dag (Harness.Runner.node h 0) in
+  checki "old rounds dropped" 0 (Dagrider.Dag.round_size dag 1);
+  checkb "recent rounds kept" true
+    (Dagrider.Dag.round_size dag (Dagrider.Dag.highest_round dag) > 0)
+
+(* ---- ablation: quorum below f+1 loses agreement ---- *)
+
+let vref round source = { Dagrider.Vertex.round; source }
+
+let test_quorum_below_fplus1_diverges () =
+  (* Two DAG views of the same execution (n=4, f=1): only d0 = (8,0)
+     has a strong path to the wave-2 leader a1 = (5,1). View A contains
+     d0; view B completed round 8 with the other three vertices and its
+     wave-3 leader avoids d0. With commit_quorum = f = 1, A commits a1
+     in wave 2 while B commits wave 3 without a1 — divergent logs. With
+     the paper's 2f+1 (or even f+1), A does not commit a1, so no
+     divergence. This pins down why the threshold matters. *)
+  let add dag ~round ~source ~strong =
+    Dagrider.Dag.add dag
+      { Dagrider.Vertex.round;
+        source;
+        block = Printf.sprintf "b%d.%d" round source;
+        strong_edges = List.map (fun (r, s) -> vref r s) strong;
+        weak_edges = [] }
+  in
+  let full dag ~round =
+    let prev =
+      List.map
+        (fun v ->
+          let r = Dagrider.Vertex.vref_of v in
+          (r.Dagrider.Vertex.round, r.Dagrider.Vertex.source))
+        (Dagrider.Dag.round_vertices dag (round - 1))
+    in
+    List.iter (fun source -> add dag ~round ~source ~strong:prev) [ 0; 1; 2; 3 ]
+  in
+  let build_common dag =
+    for r = 1 to 5 do
+      full dag ~round:r
+    done;
+    (* round 6: only b0 = (6,0) references a1 = (5,1) *)
+    add dag ~round:6 ~source:0 ~strong:[ (5, 0); (5, 1); (5, 2) ];
+    List.iter
+      (fun source -> add dag ~round:6 ~source ~strong:[ (5, 0); (5, 2); (5, 3) ])
+      [ 1; 2; 3 ];
+    (* round 7: only c0 references b0 *)
+    add dag ~round:7 ~source:0 ~strong:[ (6, 0); (6, 1); (6, 2) ];
+    List.iter
+      (fun source -> add dag ~round:7 ~source ~strong:[ (6, 1); (6, 2); (6, 3) ])
+      [ 1; 2; 3 ]
+  in
+  (* One shared universe of vertices (reliable broadcast means two views
+     can differ only in WHICH vertices they have, never in a vertex's
+     edges). d0 = (8,0) is the only round-8 vertex reaching a1; round-9
+     vertices all avoid d0, so no wave-3 leader has a strong path to a1.
+     View A holds d0; view B has not received it yet. *)
+  let wave3 dag =
+    List.iter
+      (fun source -> add dag ~round:9 ~source ~strong:[ (8, 1); (8, 2); (8, 3) ])
+      [ 0; 1; 2; 3 ];
+    for r = 10 to 12 do
+      full dag ~round:r
+    done
+  in
+  let dag_a = Dagrider.Dag.create ~n:4 in
+  build_common dag_a;
+  add dag_a ~round:8 ~source:0 ~strong:[ (7, 0); (7, 1); (7, 2) ];
+  List.iter
+    (fun source -> add dag_a ~round:8 ~source ~strong:[ (7, 1); (7, 2); (7, 3) ])
+    [ 1; 2; 3 ];
+  wave3 dag_a;
+  let dag_b = Dagrider.Dag.create ~n:4 in
+  build_common dag_b;
+  List.iter
+    (fun source -> add dag_b ~round:8 ~source ~strong:[ (7, 1); (7, 2); (7, 3) ])
+    [ 1; 2; 3 ];
+  wave3 dag_b;
+  let leaders = function 2 -> 1 | 3 -> 2 | _ -> 0 in
+  let run_view dag ~commit_quorum =
+    let ord = Dagrider.Ordering.create ~commit_quorum ~f:1 () in
+    ignore (Dagrider.Ordering.process_wave ord ~dag ~wave:2 ~choose_leader:leaders);
+    ignore (Dagrider.Ordering.process_wave ord ~dag ~wave:3 ~choose_leader:leaders);
+    List.map Dagrider.Vertex.vref_of (Dagrider.Ordering.delivered_log ord)
+  in
+  (* quorum f = 1: divergence *)
+  let log_a = run_view dag_a ~commit_quorum:1 in
+  let log_b = run_view dag_b ~commit_quorum:1 in
+  checkb "A committed a1" true (List.mem (vref 5 1) log_a);
+  checkb "B never delivers a1" true (not (List.mem (vref 5 1) log_b));
+  checkb "B delivered something" true (log_b <> []);
+  (* the logs are NOT prefix-comparable: agreement broken *)
+  let prefix_comparable a b =
+    let rec go = function
+      | [], _ | _, [] -> true
+      | x :: xs, y :: ys -> x = y && go (xs, ys)
+    in
+    go (a, b)
+  in
+  checkb "divergence with quorum f" false (prefix_comparable log_a log_b);
+  (* with the paper's quorum, A refuses the weakly-supported leader and
+     no divergence arises *)
+  let log_a' = run_view dag_a ~commit_quorum:3 in
+  let log_b' = run_view dag_b ~commit_quorum:3 in
+  checkb "paper quorum: A skips a1" true (not (List.mem (vref 5 1) log_a'));
+  checkb "paper quorum: prefix-comparable" true (prefix_comparable log_a' log_b')
+
+let test_active_attacker_tolerated () =
+  (* an attacker floods the broadcast channel with garbage, invalid
+     vertices, out-of-range edges and equivocation attempts; correct
+     processes must drop it all and keep total order + progress *)
+  List.iter
+    (fun seed ->
+      let opts =
+        { (Harness.Runner.default_options ~n:4) with
+          seed;
+          faults = [ Byzantine_attacker 3 ] }
+      in
+      let h = Harness.Runner.build opts in
+      Harness.Runner.run h ~until:80.0;
+      assert_safe h;
+      checkb "progress despite attacker" true (min_delivered h > 15);
+      (* the attacker can contribute at most one (valid) vertex per round
+         it equivocated on; its garbage never enters any DAG *)
+      let dag = Dagrider.Node.dag (Harness.Runner.node h 0) in
+      List.iter
+        (fun v ->
+          checkb "only validated vertices in the DAG" true
+            (Dagrider.Vertex.validate ~n:4 ~f:1 v = Ok ()))
+        (Dagrider.Dag.vertices dag))
+    [ 51; 52; 53 ]
+
+let test_attacker_with_crash_at_bound () =
+  (* n = 7, f = 2: one active attacker plus one crash = exactly f faults *)
+  let opts =
+    { (Harness.Runner.default_options ~n:7) with
+      seed = 54;
+      faults = [ Byzantine_attacker 5; Crash 6 ] }
+  in
+  let h = Harness.Runner.build opts in
+  Harness.Runner.run h ~until:80.0;
+  assert_safe h;
+  checkb "progress at the resilience bound" true (min_delivered h > 15)
+
+(* ---- in-DAG coin (paper footnote 1) ---- *)
+
+let test_coin_in_dag_equivalent_safety () =
+  List.iter
+    (fun backend ->
+      let opts =
+        { (Harness.Runner.default_options ~n:4) with
+          seed = 31;
+          backend;
+          coin_in_dag = true }
+      in
+      let h = Harness.Runner.build opts in
+      Harness.Runner.run h ~until:80.0;
+      assert_safe h;
+      checkb "progress" true (min_delivered h > 20);
+      (* no separate coin traffic at all *)
+      checkb "zero coin-share messages" true
+        (List.assoc_opt "coin-share"
+           (Metrics.Counters.bits_by_kind (Harness.Runner.counters h))
+        = None))
+    [ Harness.Runner.Bracha; Harness.Runner.Avid ]
+
+let test_coin_in_dag_with_crashes () =
+  let opts =
+    { (Harness.Runner.default_options ~n:7) with
+      seed = 32;
+      coin_in_dag = true;
+      faults = [ Crash 5; Crash 6 ] }
+  in
+  let h = Harness.Runner.build opts in
+  Harness.Runner.run h ~until:100.0;
+  assert_safe h;
+  checkb "liveness with f crashes" true (min_delivered h > 20)
+
+let test_coin_in_dag_same_leaders_as_separate () =
+  (* both coin transports resolve the same leader sequence: the shares
+     are deterministic in (holder, instance), only the channel differs *)
+  let leaders coin_in_dag =
+    let opts =
+      { (Harness.Runner.default_options ~n:4) with seed = 33; coin_in_dag }
+    in
+    let h = Harness.Runner.build opts in
+    Harness.Runner.run h ~until:80.0;
+    let node = Harness.Runner.node h 0 in
+    List.filter_map
+      (fun w -> Dagrider.Node.leader_of node ~wave:w)
+      (List.init 8 (fun i -> i + 1))
+  in
+  let a = leaders false and b = leaders true in
+  checkb "at least 8 waves resolved" true (List.length a >= 8);
+  Alcotest.(check (list int)) "same leader sequence" a b
+
+(* ---- random-configuration property ---- *)
+
+let prop_safety_across_random_configs =
+  QCheck.Test.make ~name:"total order holds across random configurations"
+    ~count:25
+    (QCheck.int_range 0 100_000)
+    (fun seed ->
+      let rng = Stdx.Rng.create seed in
+      let n = List.nth [ 4; 7 ] (Stdx.Rng.int rng 2) in
+      let f = (n - 1) / 3 in
+      let backend =
+        List.nth
+          [ Harness.Runner.Bracha; Harness.Runner.Avid ]
+          (Stdx.Rng.int rng 2)
+      in
+      let schedule =
+        List.nth
+          [ Harness.Runner.Synchronous;
+            Harness.Runner.Uniform_random;
+            Harness.Runner.Skewed_random ]
+          (Stdx.Rng.int rng 3)
+      in
+      let faults =
+        if Stdx.Rng.bool rng then []
+        else
+          List.init (Stdx.Rng.int rng (f + 1)) (fun i ->
+              Harness.Runner.Crash (n - 1 - i))
+      in
+      let coin_in_dag = Stdx.Rng.bool rng in
+      let opts =
+        { (Harness.Runner.default_options ~n) with
+          seed = seed + 1;
+          backend;
+          schedule;
+          faults;
+          coin_in_dag;
+          block_bytes = 16 }
+      in
+      let h = Harness.Runner.build opts in
+      (* long enough that "every wave's leader happened to be among the
+         laggards" is negligible (a wave legitimately commits nothing
+         when its leader lags, p <= 1/3 per wave) *)
+      Harness.Runner.run h ~until:100.0;
+      Harness.Runner.check_total_order h = Ok ()
+      && Harness.Runner.check_integrity h = Ok ()
+      && min_delivered h > 0)
+
+(* ---- schedule fuzzer: randomly composed adversaries ---- *)
+
+let random_schedule rng =
+  (* stack 1-3 random adversarial combinators over a random base *)
+  let base r =
+    match Stdx.Rng.int rng 3 with
+    | 0 -> Net.Sched.uniform_random ~rng:r
+    | 1 -> Net.Sched.skewed_random ~rng:r
+    | _ -> Net.Sched.bimodal ~rng:r ()
+  in
+  let wrap inner =
+    match Stdx.Rng.int rng 4 with
+    | 0 ->
+      Net.Sched.delay_process ~inner ~victim:(Stdx.Rng.int rng 4)
+        ~factor:(float_of_int (2 + Stdx.Rng.int rng 30))
+    | 1 ->
+      Net.Sched.delay_matching ~inner
+        ~pred:(fun ~src:_ ~dst:_ ~kind -> kind = "coin-share")
+        ~factor:(float_of_int (2 + Stdx.Rng.int rng 10))
+    | 2 ->
+      let from_time = float_of_int (Stdx.Rng.int rng 40) in
+      Net.Sched.with_window ~inner ~from_time ~until_time:(from_time +. 20.0)
+        ~during:
+          (Net.Sched.delay_process ~inner ~victim:(Stdx.Rng.int rng 4)
+             ~factor:50.0)
+    | _ -> Net.Sched.rush_process ~inner ~favored:(Stdx.Rng.int rng 4)
+  in
+  fun r ->
+    let rec stack s k = if k = 0 then s else stack (wrap s) (k - 1) in
+    stack (base r) (1 + Stdx.Rng.int rng 3)
+
+let prop_safety_under_fuzzed_schedules =
+  QCheck.Test.make ~name:"safety under randomly composed adversaries" ~count:20
+    (QCheck.int_range 0 100_000)
+    (fun seed ->
+      let rng = Stdx.Rng.create (seed * 7) in
+      let opts =
+        { (Harness.Runner.default_options ~n:4) with
+          seed = seed + 3;
+          schedule = Harness.Runner.Custom (random_schedule rng);
+          block_bytes = 16 }
+      in
+      let h = Harness.Runner.build opts in
+      Harness.Runner.run h ~until:120.0;
+      (* safety always; liveness whenever the adversary's delays are as
+         bounded as these all are *)
+      Harness.Runner.check_total_order h = Ok ()
+      && Harness.Runner.check_integrity h = Ok ()
+      && min_delivered h > 0)
+
+(* ---- live restart + catch-up sync ---- *)
+
+let test_restart_catches_up () =
+  List.iter
+    (fun seed ->
+      let opts = { (Harness.Runner.default_options ~n:4) with seed } in
+      let h = Harness.Runner.build opts in
+      Harness.Runner.run h ~until:40.0;
+      let before =
+        Dagrider.Ordering.delivered_count
+          (Dagrider.Node.ordering (Harness.Runner.node h 2))
+      in
+      Harness.Runner.restart_node h 2;
+      checki "restored log carried over" before
+        (Dagrider.Ordering.delivered_count
+           (Dagrider.Node.ordering (Harness.Runner.node h 2)));
+      Harness.Runner.run h ~until:100.0;
+      assert_safe h;
+      let after =
+        Dagrider.Ordering.delivered_count
+          (Dagrider.Node.ordering (Harness.Runner.node h 2))
+      in
+      checkb
+        (Printf.sprintf "seed %d: restarted node kept delivering (%d -> %d)"
+           seed before after)
+        true (after > before + 10);
+      (* it caught back up with the fleet, not just trickled *)
+      let healthy =
+        Dagrider.Ordering.delivered_count
+          (Dagrider.Node.ordering (Harness.Runner.node h 0))
+      in
+      checkb
+        (Printf.sprintf "seed %d: within reach of healthy peers (%d vs %d)"
+           seed after healthy)
+        true (after * 10 >= healthy * 8))
+    [ 61; 62; 63 ]
+
+let test_double_restart () =
+  let opts = { (Harness.Runner.default_options ~n:4) with seed = 64 } in
+  let h = Harness.Runner.build opts in
+  Harness.Runner.run h ~until:30.0;
+  Harness.Runner.restart_node h 1;
+  Harness.Runner.run h ~until:60.0;
+  Harness.Runner.restart_node h 1;
+  Harness.Runner.run h ~until:120.0;
+  assert_safe h;
+  checkb "progress through two restarts" true (min_delivered h > 40)
+
+let test_restart_during_attack () =
+  (* a node restarts while an active attacker is flooding the channel *)
+  let opts =
+    { (Harness.Runner.default_options ~n:7) with
+      seed = 65;
+      faults = [ Byzantine_attacker 6 ] }
+  in
+  let h = Harness.Runner.build opts in
+  Harness.Runner.run h ~until:30.0;
+  Harness.Runner.restart_node h 0;
+  Harness.Runner.run h ~until:100.0;
+  assert_safe h;
+  checkb "restarted node fine despite attacker" true
+    (Dagrider.Ordering.delivered_count
+       (Dagrider.Node.ordering (Harness.Runner.node h 0))
+    > 30)
+
+(* ---- run_until_delivered helper ---- *)
+
+let test_run_until_delivered () =
+  let opts = { (Harness.Runner.default_options ~n:4) with seed = 18 } in
+  let h = Harness.Runner.build opts in
+  match Harness.Runner.run_until_delivered h ~count:20 ~max_time:200.0 with
+  | Some t ->
+    checkb "completed in reasonable time" true (t < 100.0);
+    checkb "count reached" true (min_delivered h >= 20)
+  | None -> Alcotest.fail "never delivered 20 vertices"
+
+let () =
+  Alcotest.run "integration"
+    [ ("matrix", matrix_cases);
+      ( "scale",
+        [ Alcotest.test_case "n=10" `Slow test_larger_system;
+          Alcotest.test_case "n=16 stress" `Slow test_stress_n16 ] );
+      ( "determinism",
+        [ Alcotest.test_case "same seed replays" `Quick test_determinism_same_seed;
+          Alcotest.test_case "seeds safe" `Quick test_different_seeds_still_safe ] );
+      ( "faults",
+        [ Alcotest.test_case "f crashes tolerated" `Quick test_f_crashes_tolerated;
+          Alcotest.test_case "f+1 crashes halt safely" `Quick
+            test_fplus1_crashes_halt_but_stay_safe ] );
+      ( "validity",
+        [ Alcotest.test_case "all correct blocks ordered" `Quick
+            test_validity_all_correct_blocks_ordered;
+          Alcotest.test_case "censored process ordered" `Quick
+            test_censored_process_still_ordered;
+          Alcotest.test_case "weak edges ablation" `Slow
+            test_weak_edges_off_starves_victim ] );
+      ( "quality",
+        [ Alcotest.test_case "chain quality" `Quick test_chain_quality_with_byzantine_live;
+          Alcotest.test_case "leader agreement depth" `Quick
+            test_committed_leader_sequences_agree;
+          Alcotest.test_case "claim 6 commit rate" `Quick test_claim6_commit_rate ] );
+      ( "gc",
+        [ Alcotest.test_case "gc preserves output" `Quick test_gc_preserves_output;
+          Alcotest.test_case "gc prunes" `Quick test_gc_actually_prunes ] );
+      ( "ablation",
+        [ Alcotest.test_case "quorum below f+1 diverges" `Quick
+            test_quorum_below_fplus1_diverges ] );
+      ( "attacker",
+        [ Alcotest.test_case "active attacker tolerated" `Quick
+            test_active_attacker_tolerated;
+          Alcotest.test_case "attacker + crash at bound" `Quick
+            test_attacker_with_crash_at_bound ] );
+      ( "coin-in-dag",
+        [ Alcotest.test_case "safety + zero coin traffic" `Quick
+            test_coin_in_dag_equivalent_safety;
+          Alcotest.test_case "with crashes" `Quick test_coin_in_dag_with_crashes;
+          Alcotest.test_case "same leader sequence" `Quick
+            test_coin_in_dag_same_leaders_as_separate ] );
+      ( "property",
+        [ QCheck_alcotest.to_alcotest prop_safety_across_random_configs;
+          QCheck_alcotest.to_alcotest prop_safety_under_fuzzed_schedules ] );
+      ( "restart",
+        [ Alcotest.test_case "catches up after restart" `Quick test_restart_catches_up;
+          Alcotest.test_case "double restart" `Quick test_double_restart;
+          Alcotest.test_case "restart during attack" `Quick
+            test_restart_during_attack ] );
+      ( "harness",
+        [ Alcotest.test_case "run_until_delivered" `Quick test_run_until_delivered ] )
+    ]

@@ -1,0 +1,409 @@
+(* Tests for the discrete-event engine, scheduling policies, and the
+   reliable point-to-point network layer. *)
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+let checkf = Alcotest.(check (float 1e-9))
+
+(* ---- Engine ---- *)
+
+let test_engine_time_order () =
+  let e = Sim.Engine.create () in
+  let log = ref [] in
+  Sim.Engine.schedule e ~delay:3.0 (fun () -> log := 3 :: !log);
+  Sim.Engine.schedule e ~delay:1.0 (fun () -> log := 1 :: !log);
+  Sim.Engine.schedule e ~delay:2.0 (fun () -> log := 2 :: !log);
+  ignore (Sim.Engine.run e ());
+  Alcotest.(check (list int)) "time order" [ 1; 2; 3 ] (List.rev !log)
+
+let test_engine_fifo_at_same_time () =
+  let e = Sim.Engine.create () in
+  let log = ref [] in
+  for i = 1 to 20 do
+    Sim.Engine.schedule e ~delay:1.0 (fun () -> log := i :: !log)
+  done;
+  ignore (Sim.Engine.run e ());
+  Alcotest.(check (list int)) "fifo ties" (List.init 20 (fun i -> i + 1))
+    (List.rev !log)
+
+let test_engine_clock_advances () =
+  let e = Sim.Engine.create () in
+  let seen = ref [] in
+  Sim.Engine.schedule e ~delay:2.5 (fun () -> seen := Sim.Engine.now e :: !seen);
+  Sim.Engine.schedule e ~delay:0.5 (fun () -> seen := Sim.Engine.now e :: !seen);
+  ignore (Sim.Engine.run e ());
+  Alcotest.(check (list (float 1e-9))) "timestamps" [ 0.5; 2.5 ] (List.rev !seen)
+
+let test_engine_nested_scheduling () =
+  let e = Sim.Engine.create () in
+  let fired = ref 0.0 in
+  Sim.Engine.schedule e ~delay:1.0 (fun () ->
+      Sim.Engine.schedule e ~delay:1.5 (fun () -> fired := Sim.Engine.now e));
+  ignore (Sim.Engine.run e ());
+  checkf "relative to parent event" 2.5 !fired
+
+let test_engine_until () =
+  let e = Sim.Engine.create () in
+  let count = ref 0 in
+  for i = 1 to 10 do
+    Sim.Engine.schedule e ~delay:(float_of_int i) (fun () -> incr count)
+  done;
+  ignore (Sim.Engine.run e ~until:5.5 ());
+  checki "only first five" 5 !count;
+  checkf "clock clamped to until" 5.5 (Sim.Engine.now e);
+  ignore (Sim.Engine.run e ());
+  checki "rest runs later" 10 !count
+
+let test_engine_max_events () =
+  let e = Sim.Engine.create () in
+  for i = 1 to 10 do
+    Sim.Engine.schedule e ~delay:(float_of_int i) (fun () -> ())
+  done;
+  checki "max_events respected" 3 (Sim.Engine.run e ~max_events:3 ());
+  checki "pending updated" 7 (Sim.Engine.pending e)
+
+let test_engine_step () =
+  let e = Sim.Engine.create () in
+  checkb "step on empty" false (Sim.Engine.step e);
+  Sim.Engine.schedule e ~delay:1.0 (fun () -> ());
+  checkb "step executes" true (Sim.Engine.step e);
+  checki "executed counter" 1 (Sim.Engine.events_executed e)
+
+let test_engine_negative_delay_rejected () =
+  let e = Sim.Engine.create () in
+  Alcotest.check_raises "negative"
+    (Invalid_argument "Engine.schedule: negative delay") (fun () ->
+      Sim.Engine.schedule e ~delay:(-1.0) (fun () -> ()))
+
+let test_engine_schedule_at_past_clamped () =
+  let e = Sim.Engine.create () in
+  Sim.Engine.schedule e ~delay:5.0 (fun () ->
+      (* scheduling in the past runs "now", not backwards *)
+      Sim.Engine.schedule_at e ~time:1.0 (fun () ->
+          checkf "clamped to now" 5.0 (Sim.Engine.now e)));
+  ignore (Sim.Engine.run e ())
+
+(* ---- Sched policies ---- *)
+
+let test_sched_synchronous () =
+  let s = Net.Sched.synchronous () in
+  let d = s.Net.Sched.decide ~now:0.0 ~src:0 ~dst:1 ~kind:"x" in
+  checkf "always 1.0" 1.0 d.Net.Sched.delay
+
+let test_sched_uniform_in_unit () =
+  let s = Net.Sched.uniform_random ~rng:(Stdx.Rng.create 1) in
+  for _ = 1 to 500 do
+    let d = s.Net.Sched.decide ~now:0.0 ~src:0 ~dst:1 ~kind:"x" in
+    checkb "in (0,1]" true (d.Net.Sched.delay > 0.0 && d.Net.Sched.delay <= 1.0)
+  done
+
+let test_sched_skewed_in_unit () =
+  let s = Net.Sched.skewed_random ~rng:(Stdx.Rng.create 2) in
+  for _ = 1 to 500 do
+    let d = s.Net.Sched.decide ~now:0.0 ~src:0 ~dst:1 ~kind:"x" in
+    checkb "in (0,1]" true (d.Net.Sched.delay > 0.0 && d.Net.Sched.delay <= 1.0)
+  done
+
+let test_sched_delay_process () =
+  let inner = Net.Sched.synchronous () in
+  let s = Net.Sched.delay_process ~inner ~victim:2 ~factor:10.0 in
+  let v = s.Net.Sched.decide ~now:0.0 ~src:2 ~dst:0 ~kind:"x" in
+  let o = s.Net.Sched.decide ~now:0.0 ~src:1 ~dst:0 ~kind:"x" in
+  checkf "victim stretched" 10.0 v.Net.Sched.delay;
+  checkf "others normal" 1.0 o.Net.Sched.delay
+
+let test_sched_delay_matching () =
+  let inner = Net.Sched.synchronous () in
+  let s =
+    Net.Sched.delay_matching ~inner
+      ~pred:(fun ~src:_ ~dst ~kind -> dst = 3 && kind = "coin")
+      ~factor:5.0
+  in
+  checkf "matched" 5.0
+    (s.Net.Sched.decide ~now:0.0 ~src:0 ~dst:3 ~kind:"coin").Net.Sched.delay;
+  checkf "unmatched kind" 1.0
+    (s.Net.Sched.decide ~now:0.0 ~src:0 ~dst:3 ~kind:"x").Net.Sched.delay
+
+let test_sched_rush () =
+  let inner = Net.Sched.synchronous () in
+  let s = Net.Sched.rush_process ~inner ~favored:1 in
+  checkb "favored fast" true
+    ((s.Net.Sched.decide ~now:0.0 ~src:1 ~dst:0 ~kind:"x").Net.Sched.delay < 0.01)
+
+let test_sched_window () =
+  let inner = Net.Sched.synchronous () in
+  let during = Net.Sched.delay_process ~inner ~victim:0 ~factor:100.0 in
+  let s = Net.Sched.with_window ~inner ~from_time:10.0 ~until_time:20.0 ~during in
+  checkf "before window" 1.0
+    (s.Net.Sched.decide ~now:5.0 ~src:0 ~dst:1 ~kind:"x").Net.Sched.delay;
+  checkf "inside window" 100.0
+    (s.Net.Sched.decide ~now:15.0 ~src:0 ~dst:1 ~kind:"x").Net.Sched.delay;
+  checkf "after window" 1.0
+    (s.Net.Sched.decide ~now:25.0 ~src:0 ~dst:1 ~kind:"x").Net.Sched.delay
+
+let test_sched_bimodal () =
+  let s = Net.Sched.bimodal ~rng:(Stdx.Rng.create 4) () in
+  let slow = ref 0 and total = 2000 in
+  for _ = 1 to total do
+    let d = (s.Net.Sched.decide ~now:0.0 ~src:0 ~dst:1 ~kind:"x").Net.Sched.delay in
+    checkb "positive" true (d > 0.0);
+    if d > 1.0 then incr slow
+  done;
+  (* ~25% of draws should exceed the base unit interval *)
+  checkb
+    (Printf.sprintf "slow fraction ~25%% (%d/%d)" !slow total)
+    true
+    (!slow > total / 8 && !slow < total / 2)
+
+let test_sched_heavy_tailed () =
+  let s = Net.Sched.heavy_tailed ~rng:(Stdx.Rng.create 5) in
+  let sum = ref 0.0 and above3 = ref 0 in
+  for _ = 1 to 2000 do
+    let d = (s.Net.Sched.decide ~now:0.0 ~src:0 ~dst:1 ~kind:"x").Net.Sched.delay in
+    checkb "positive" true (d > 0.0);
+    sum := !sum +. d;
+    if d > 3.0 then incr above3
+  done;
+  let mean = !sum /. 2000.0 in
+  checkb (Printf.sprintf "mean ~1 (%.2f)" mean) true (mean > 0.85 && mean < 1.15);
+  (* exp(1): P(X > 3) ~ 5% — the tail actually exists *)
+  checkb "tail present" true (!above3 > 40)
+
+let test_sched_mobile_sluggish () =
+  let inner = Net.Sched.synchronous () in
+  let s =
+    Net.Sched.mobile_sluggish ~inner ~n:4 ~f:1 ~period:10.0 ~factor:7.0
+  in
+  (* epoch 0: slowed set = {0} *)
+  checkf "p0 slowed in epoch 0" 7.0
+    (s.Net.Sched.decide ~now:1.0 ~src:0 ~dst:1 ~kind:"x").Net.Sched.delay;
+  checkf "p1 fast in epoch 0" 1.0
+    (s.Net.Sched.decide ~now:1.0 ~src:1 ~dst:0 ~kind:"x").Net.Sched.delay;
+  (* epoch 1 (t in [10, 20)): slowed set rotates to {1} *)
+  checkf "p0 recovered in epoch 1" 1.0
+    (s.Net.Sched.decide ~now:11.0 ~src:0 ~dst:1 ~kind:"x").Net.Sched.delay;
+  checkf "p1 slowed in epoch 1" 7.0
+    (s.Net.Sched.decide ~now:11.0 ~src:1 ~dst:0 ~kind:"x").Net.Sched.delay;
+  (* every process is slowed in some epoch and fast in another:
+     liveness-preserving by construction *)
+  for p = 0 to 3 do
+    let slowed_somewhere = ref false and fast_somewhere = ref false in
+    for e = 0 to 7 do
+      let d =
+        (s.Net.Sched.decide ~now:(float_of_int (e * 10) +. 1.0) ~src:p ~dst:0
+           ~kind:"x").Net.Sched.delay
+      in
+      if d > 1.0 then slowed_somewhere := true else fast_somewhere := true
+    done;
+    checkb (Printf.sprintf "p%d rotates" p) true
+      (!slowed_somewhere && !fast_somewhere)
+  done
+
+(* ---- Network ---- *)
+
+let make_net ?(n = 4) () =
+  let engine = Sim.Engine.create () in
+  let counters = Metrics.Counters.create () in
+  let net =
+    Net.Network.create ~engine ~sched:(Net.Sched.synchronous ()) ~counters ~n
+  in
+  (engine, counters, net)
+
+let test_net_unicast_delivery () =
+  let engine, _, net = make_net () in
+  let got = ref None in
+  Net.Network.register net 1 (fun ~src msg -> got := Some (src, msg));
+  Net.Network.send net ~src:0 ~dst:1 ~kind:"k" ~bits:8 "hello";
+  checkb "not delivered synchronously" true (!got = None);
+  ignore (Sim.Engine.run engine ());
+  Alcotest.(check (option (pair int string))) "delivered with source"
+    (Some (0, "hello")) !got
+
+let test_net_broadcast_reaches_all_including_self () =
+  let engine, _, net = make_net () in
+  let hits = Array.make 4 0 in
+  for i = 0 to 3 do
+    Net.Network.register net i (fun ~src:_ _ -> hits.(i) <- hits.(i) + 1)
+  done;
+  Net.Network.broadcast net ~src:2 ~kind:"k" ~bits:8 "m";
+  ignore (Sim.Engine.run engine ());
+  Alcotest.(check (array int)) "one delivery each" [| 1; 1; 1; 1 |] hits
+
+let test_net_accounting () =
+  let engine, counters, net = make_net () in
+  Net.Network.register net 0 (fun ~src:_ _ -> ());
+  Net.Network.broadcast net ~src:0 ~kind:"a" ~bits:100 "m";
+  Net.Network.send net ~src:1 ~dst:0 ~kind:"b" ~bits:7 "m";
+  ignore (Sim.Engine.run engine ());
+  checki "total bits" 407 (Metrics.Counters.total_bits counters);
+  checki "messages" 5 (Metrics.Counters.total_messages counters);
+  checki "bits from p0" 400
+    (Metrics.Counters.total_bits_from counters ~senders:(fun i -> i = 0));
+  Alcotest.(check (list (pair string int)))
+    "by kind"
+    [ ("a", 400); ("b", 7) ]
+    (Metrics.Counters.bits_by_kind counters)
+
+let test_net_corrupt_drops_in_flight () =
+  let engine, _, net = make_net () in
+  let got = ref 0 in
+  Net.Network.register net 1 (fun ~src:_ _ -> incr got);
+  Net.Network.send net ~src:0 ~dst:1 ~kind:"k" ~bits:8 "m1";
+  (* corrupt p0 before the message lands: the adaptive adversary may
+     drop its undelivered traffic *)
+  Net.Network.corrupt net 0;
+  ignore (Sim.Engine.run engine ());
+  checki "in-flight dropped" 0 !got
+
+let test_net_corrupt_without_drop () =
+  let engine, _, net = make_net () in
+  let got = ref 0 in
+  Net.Network.register net 1 (fun ~src:_ _ -> incr got);
+  Net.Network.send net ~src:0 ~dst:1 ~kind:"k" ~bits:8 "m1";
+  Net.Network.corrupt net ~drop_in_flight:false 0;
+  ignore (Sim.Engine.run engine ());
+  checki "in-flight kept" 1 !got
+
+let test_net_corrupted_can_still_send_after () =
+  (* corruption marks the process Byzantine; the adversary controls it,
+     and it can keep sending (it is not crashed) *)
+  let engine, _, net = make_net () in
+  let got = ref 0 in
+  Net.Network.register net 1 (fun ~src:_ _ -> incr got);
+  Net.Network.corrupt net 0;
+  Net.Network.send net ~src:0 ~dst:1 ~kind:"k" ~bits:8 "m2";
+  ignore (Sim.Engine.run engine ());
+  checki "post-corruption sends deliver" 1 !got;
+  checkb "flagged" true (Net.Network.is_corrupted net 0);
+  checkb "correct predicate" false (Net.Network.correct net 0)
+
+let test_net_unregistered_destination_is_noop () =
+  let engine, _, net = make_net () in
+  Net.Network.send net ~src:0 ~dst:3 ~kind:"k" ~bits:8 "m";
+  ignore (Sim.Engine.run engine ());
+  checki "no delivery recorded" 0 (Net.Network.delivered_count net)
+
+let test_net_reliability_under_random_sched () =
+  (* every message between correct processes arrives exactly once *)
+  let engine = Sim.Engine.create () in
+  let counters = Metrics.Counters.create () in
+  let net =
+    Net.Network.create ~engine
+      ~sched:(Net.Sched.uniform_random ~rng:(Stdx.Rng.create 3))
+      ~counters ~n:5
+  in
+  let received = Array.make 5 0 in
+  for i = 0 to 4 do
+    Net.Network.register net i (fun ~src:_ _ -> received.(i) <- received.(i) + 1)
+  done;
+  for _ = 1 to 50 do
+    Net.Network.broadcast net ~src:0 ~kind:"k" ~bits:8 "m"
+  done;
+  ignore (Sim.Engine.run engine ());
+  Array.iteri (fun i c -> checki (Printf.sprintf "p%d" i) 50 c) received
+
+let test_net_bad_index_rejected () =
+  let _, _, net = make_net () in
+  Alcotest.check_raises "bad dst"
+    (Invalid_argument "Network: bad process index in send") (fun () ->
+      Net.Network.send net ~src:0 ~dst:9 ~kind:"k" ~bits:8 "m")
+
+(* ---- Latency metrics ---- *)
+
+let test_latency_first_delivery () =
+  let l = Metrics.Latency.create () in
+  Metrics.Latency.proposed l "tx1" ~now:2.0;
+  Alcotest.(check (option (float 1e-9)))
+    "undelivered" None
+    (Metrics.Latency.first_delivery_latency l "tx1");
+  Metrics.Latency.delivered l "tx1" ~process:1 ~now:5.0;
+  Metrics.Latency.delivered l "tx1" ~process:2 ~now:4.0;
+  Alcotest.(check (option (float 1e-9)))
+    "earliest wins" (Some 2.0)
+    (Metrics.Latency.first_delivery_latency l "tx1");
+  checki "two deliverers" 2 (Metrics.Latency.delivery_count l "tx1")
+
+let test_latency_undelivered_audit () =
+  let l = Metrics.Latency.create () in
+  Metrics.Latency.proposed l "a" ~now:0.0;
+  Metrics.Latency.proposed l "b" ~now:0.0;
+  Metrics.Latency.delivered l "a" ~process:0 ~now:1.0;
+  Alcotest.(check (list string)) "b missing" [ "b" ] (Metrics.Latency.undelivered l)
+
+(* ---- Chain quality metric ---- *)
+
+let test_chain_quality_all_correct () =
+  let r =
+    Metrics.Chain_quality.audit ~f:1
+      ~correct:(fun _ -> true)
+      ~sources:[ 0; 1; 2; 0; 1; 2 ]
+  in
+  checkb "holds" true r.Metrics.Chain_quality.holds;
+  checki "correct entries" 6 r.Metrics.Chain_quality.correct_entries
+
+let test_chain_quality_violation_detected () =
+  (* f=1: quorum prefix 3 needs >= 2 correct; give it 1 *)
+  let r =
+    Metrics.Chain_quality.audit ~f:1
+      ~correct:(fun i -> i = 0)
+      ~sources:[ 3; 3; 0 ]
+  in
+  checkb "violated" false r.Metrics.Chain_quality.holds
+
+let test_chain_quality_boundary () =
+  (* exactly f+1 of 2f+1 per prefix: holds *)
+  let r =
+    Metrics.Chain_quality.audit ~f:1
+      ~correct:(fun i -> i < 2)
+      ~sources:[ 0; 1; 3; 1; 0; 3 ]
+  in
+  checkb "boundary holds" true r.Metrics.Chain_quality.holds;
+  checkf "worst ratio" (2.0 /. 3.0) r.Metrics.Chain_quality.worst_prefix_ratio
+
+let () =
+  Alcotest.run "sim-net"
+    [ ( "engine",
+        [ Alcotest.test_case "time order" `Quick test_engine_time_order;
+          Alcotest.test_case "fifo ties" `Quick test_engine_fifo_at_same_time;
+          Alcotest.test_case "clock advances" `Quick test_engine_clock_advances;
+          Alcotest.test_case "nested scheduling" `Quick test_engine_nested_scheduling;
+          Alcotest.test_case "until" `Quick test_engine_until;
+          Alcotest.test_case "max events" `Quick test_engine_max_events;
+          Alcotest.test_case "step" `Quick test_engine_step;
+          Alcotest.test_case "negative delay" `Quick test_engine_negative_delay_rejected;
+          Alcotest.test_case "past clamped" `Quick test_engine_schedule_at_past_clamped ] );
+      ( "sched",
+        [ Alcotest.test_case "synchronous" `Quick test_sched_synchronous;
+          Alcotest.test_case "uniform in unit" `Quick test_sched_uniform_in_unit;
+          Alcotest.test_case "skewed in unit" `Quick test_sched_skewed_in_unit;
+          Alcotest.test_case "delay process" `Quick test_sched_delay_process;
+          Alcotest.test_case "delay matching" `Quick test_sched_delay_matching;
+          Alcotest.test_case "rush" `Quick test_sched_rush;
+          Alcotest.test_case "window" `Quick test_sched_window;
+          Alcotest.test_case "bimodal" `Quick test_sched_bimodal;
+          Alcotest.test_case "heavy tailed" `Quick test_sched_heavy_tailed;
+          Alcotest.test_case "mobile sluggish" `Quick test_sched_mobile_sluggish ] );
+      ( "network",
+        [ Alcotest.test_case "unicast" `Quick test_net_unicast_delivery;
+          Alcotest.test_case "broadcast incl self" `Quick
+            test_net_broadcast_reaches_all_including_self;
+          Alcotest.test_case "accounting" `Quick test_net_accounting;
+          Alcotest.test_case "corrupt drops in-flight" `Quick
+            test_net_corrupt_drops_in_flight;
+          Alcotest.test_case "corrupt without drop" `Quick test_net_corrupt_without_drop;
+          Alcotest.test_case "corrupted still sends" `Quick
+            test_net_corrupted_can_still_send_after;
+          Alcotest.test_case "unregistered dst" `Quick
+            test_net_unregistered_destination_is_noop;
+          Alcotest.test_case "reliability random sched" `Quick
+            test_net_reliability_under_random_sched;
+          Alcotest.test_case "bad index" `Quick test_net_bad_index_rejected ] );
+      ( "metrics",
+        [ Alcotest.test_case "latency first delivery" `Quick test_latency_first_delivery;
+          Alcotest.test_case "latency undelivered" `Quick test_latency_undelivered_audit;
+          Alcotest.test_case "chain quality all correct" `Quick
+            test_chain_quality_all_correct;
+          Alcotest.test_case "chain quality violation" `Quick
+            test_chain_quality_violation_detected;
+          Alcotest.test_case "chain quality boundary" `Quick test_chain_quality_boundary ] )
+    ]

@@ -1,0 +1,323 @@
+(* Unit and property tests for the stdx utility library. *)
+
+let check = Alcotest.check
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+(* ---- Rng ---- *)
+
+let test_rng_determinism () =
+  let a = Stdx.Rng.create 123 and b = Stdx.Rng.create 123 in
+  for _ = 1 to 100 do
+    check Alcotest.int64 "same stream" (Stdx.Rng.next a) (Stdx.Rng.next b)
+  done
+
+let test_rng_seed_sensitivity () =
+  let a = Stdx.Rng.create 1 and b = Stdx.Rng.create 2 in
+  let differs = ref false in
+  for _ = 1 to 10 do
+    if Stdx.Rng.next a <> Stdx.Rng.next b then differs := true
+  done;
+  checkb "different seeds differ" true !differs
+
+let test_rng_split_independence () =
+  let parent = Stdx.Rng.create 7 in
+  let child = Stdx.Rng.split parent in
+  (* child must not mirror the parent stream *)
+  let same = ref 0 in
+  for _ = 1 to 50 do
+    if Stdx.Rng.next parent = Stdx.Rng.next child then incr same
+  done;
+  checkb "streams diverge" true (!same < 5)
+
+let test_rng_split_deterministic () =
+  let mk () =
+    let p = Stdx.Rng.create 99 in
+    let c = Stdx.Rng.split p in
+    (Stdx.Rng.next p, Stdx.Rng.next c)
+  in
+  let p1, c1 = mk () and p2, c2 = mk () in
+  check Alcotest.int64 "parent replay" p1 p2;
+  check Alcotest.int64 "child replay" c1 c2
+
+let test_rng_int_bounds () =
+  let rng = Stdx.Rng.create 5 in
+  for _ = 1 to 1000 do
+    let v = Stdx.Rng.int rng 7 in
+    checkb "in range" true (v >= 0 && v < 7)
+  done;
+  Alcotest.check_raises "zero bound rejected"
+    (Invalid_argument "Rng.int: bound must be positive") (fun () ->
+      ignore (Stdx.Rng.int rng 0))
+
+let test_rng_int_coverage () =
+  let rng = Stdx.Rng.create 11 in
+  let seen = Array.make 5 false in
+  for _ = 1 to 500 do
+    seen.(Stdx.Rng.int rng 5) <- true
+  done;
+  checkb "all values hit" true (Array.for_all Fun.id seen)
+
+let test_rng_int_in_range () =
+  let rng = Stdx.Rng.create 3 in
+  for _ = 1 to 200 do
+    let v = Stdx.Rng.int_in_range rng ~lo:(-3) ~hi:3 in
+    checkb "range" true (v >= -3 && v <= 3)
+  done;
+  checki "degenerate range" 9 (Stdx.Rng.int_in_range rng ~lo:9 ~hi:9)
+
+let test_rng_float_bounds () =
+  let rng = Stdx.Rng.create 17 in
+  for _ = 1 to 1000 do
+    let v = Stdx.Rng.float rng 2.5 in
+    checkb "in [0, 2.5)" true (v >= 0.0 && v < 2.5)
+  done
+
+let test_rng_bool_balance () =
+  let rng = Stdx.Rng.create 29 in
+  let trues = ref 0 in
+  for _ = 1 to 2000 do
+    if Stdx.Rng.bool rng then incr trues
+  done;
+  checkb "roughly balanced" true (!trues > 800 && !trues < 1200)
+
+let test_rng_shuffle_permutation () =
+  let rng = Stdx.Rng.create 31 in
+  let a = Array.init 20 Fun.id in
+  Stdx.Rng.shuffle rng a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  check Alcotest.(array int) "permutation" (Array.init 20 Fun.id) sorted
+
+let test_rng_sample_without_replacement () =
+  let rng = Stdx.Rng.create 37 in
+  let s = Stdx.Rng.sample_without_replacement rng ~k:5 ~n:10 in
+  checki "size" 5 (List.length s);
+  checki "distinct" 5 (List.length (List.sort_uniq compare s));
+  List.iter (fun v -> checkb "range" true (v >= 0 && v < 10)) s;
+  let all = Stdx.Rng.sample_without_replacement rng ~k:10 ~n:10 in
+  checki "full sample" 10 (List.length (List.sort_uniq compare all))
+
+let test_rng_exponential_positive () =
+  let rng = Stdx.Rng.create 41 in
+  let sum = ref 0.0 in
+  for _ = 1 to 2000 do
+    let v = Stdx.Rng.exponential rng ~mean:2.0 in
+    checkb "positive" true (v >= 0.0);
+    sum := !sum +. v
+  done;
+  let mean = !sum /. 2000.0 in
+  checkb "mean near 2.0" true (mean > 1.7 && mean < 2.3)
+
+let test_rng_geometric () =
+  let rng = Stdx.Rng.create 43 in
+  let sum = ref 0 in
+  for _ = 1 to 2000 do
+    let v = Stdx.Rng.geometric rng ~p:0.5 in
+    checkb ">= 1" true (v >= 1);
+    sum := !sum + v
+  done;
+  let mean = float_of_int !sum /. 2000.0 in
+  checkb "mean near 2" true (mean > 1.8 && mean < 2.2)
+
+(* ---- Pqueue ---- *)
+
+let test_pqueue_basic_order () =
+  let q = Stdx.Pqueue.create () in
+  Stdx.Pqueue.push q ~priority:3.0 ~seq:1 "c";
+  Stdx.Pqueue.push q ~priority:1.0 ~seq:2 "a";
+  Stdx.Pqueue.push q ~priority:2.0 ~seq:3 "b";
+  let pop () =
+    match Stdx.Pqueue.pop q with Some (_, _, v) -> v | None -> "?"
+  in
+  check Alcotest.string "first" "a" (pop ());
+  check Alcotest.string "second" "b" (pop ());
+  check Alcotest.string "third" "c" (pop ());
+  checkb "empty" true (Stdx.Pqueue.pop q = None)
+
+let test_pqueue_fifo_ties () =
+  let q = Stdx.Pqueue.create () in
+  for i = 1 to 10 do
+    Stdx.Pqueue.push q ~priority:1.0 ~seq:i i
+  done;
+  for i = 1 to 10 do
+    match Stdx.Pqueue.pop q with
+    | Some (_, _, v) -> checki "tie broken by seq" i v
+    | None -> Alcotest.fail "queue empty early"
+  done
+
+let test_pqueue_peek () =
+  let q = Stdx.Pqueue.create () in
+  checkb "peek empty" true (Stdx.Pqueue.peek q = None);
+  Stdx.Pqueue.push q ~priority:5.0 ~seq:1 "x";
+  (match Stdx.Pqueue.peek q with
+  | Some (p, _, v) ->
+    check Alcotest.(float 0.0) "peek priority" 5.0 p;
+    check Alcotest.string "peek value" "x" v
+  | None -> Alcotest.fail "peek failed");
+  checki "peek does not remove" 1 (Stdx.Pqueue.length q)
+
+let test_pqueue_clear () =
+  let q = Stdx.Pqueue.create () in
+  for i = 1 to 5 do
+    Stdx.Pqueue.push q ~priority:(float_of_int i) ~seq:i i
+  done;
+  Stdx.Pqueue.clear q;
+  checkb "cleared" true (Stdx.Pqueue.is_empty q)
+
+let test_pqueue_interleaved () =
+  let q = Stdx.Pqueue.create () in
+  Stdx.Pqueue.push q ~priority:2.0 ~seq:1 2;
+  Stdx.Pqueue.push q ~priority:1.0 ~seq:2 1;
+  (match Stdx.Pqueue.pop q with
+  | Some (_, _, v) -> checki "min first" 1 v
+  | None -> Alcotest.fail "empty");
+  Stdx.Pqueue.push q ~priority:0.5 ~seq:3 0;
+  (match Stdx.Pqueue.pop q with
+  | Some (_, _, v) -> checki "new min" 0 v
+  | None -> Alcotest.fail "empty");
+  match Stdx.Pqueue.pop q with
+  | Some (_, _, v) -> checki "last" 2 v
+  | None -> Alcotest.fail "empty"
+
+let prop_pqueue_sorts =
+  QCheck.Test.make ~name:"pqueue drains in sorted (priority, seq) order"
+    ~count:200
+    QCheck.(list (pair (float_bound_inclusive 100.0) small_nat))
+    (fun items ->
+      let q = Stdx.Pqueue.create () in
+      List.iteri
+        (fun i (p, v) -> Stdx.Pqueue.push q ~priority:p ~seq:i v)
+        items;
+      let rec drain acc =
+        match Stdx.Pqueue.pop q with
+        | Some (p, seq, _) -> drain ((p, seq) :: acc)
+        | None -> List.rev acc
+      in
+      let popped = drain [] in
+      List.length popped = List.length items
+      && popped = List.sort compare popped)
+
+(* ---- Stats ---- *)
+
+let test_stats_empty () =
+  let s = Stdx.Stats.create () in
+  checki "count" 0 (Stdx.Stats.count s);
+  check Alcotest.(float 0.0) "mean" 0.0 (Stdx.Stats.mean s);
+  check Alcotest.(float 0.0) "percentile" 0.0 (Stdx.Stats.percentile s 50.0)
+
+let test_stats_mean_stddev () =
+  let s = Stdx.Stats.create () in
+  List.iter (Stdx.Stats.add s) [ 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 ];
+  check Alcotest.(float 1e-9) "mean" 5.0 (Stdx.Stats.mean s);
+  check Alcotest.(float 1e-6) "stddev" 2.13809 (Stdx.Stats.stddev s)
+
+let test_stats_minmax () =
+  let s = Stdx.Stats.create () in
+  List.iter (Stdx.Stats.add s) [ 3.0; -1.0; 7.0 ];
+  check Alcotest.(float 0.0) "min" (-1.0) (Stdx.Stats.min_value s);
+  check Alcotest.(float 0.0) "max" 7.0 (Stdx.Stats.max_value s)
+
+let test_stats_percentiles () =
+  let s = Stdx.Stats.create () in
+  for i = 1 to 100 do
+    Stdx.Stats.add s (float_of_int i)
+  done;
+  check Alcotest.(float 0.0) "p50" 50.0 (Stdx.Stats.percentile s 50.0);
+  check Alcotest.(float 0.0) "p99" 99.0 (Stdx.Stats.percentile s 99.0);
+  check Alcotest.(float 0.0) "p100" 100.0 (Stdx.Stats.percentile s 100.0);
+  check Alcotest.(float 0.0) "p1" 1.0 (Stdx.Stats.percentile s 1.0)
+
+let test_stats_linear_fit () =
+  (* y = 3 + 2x exactly *)
+  let pts = List.map (fun x -> (float_of_int x, 3.0 +. (2.0 *. float_of_int x))) [ 0; 1; 2; 5; 9 ] in
+  let a, b = Stdx.Stats.linear_fit pts in
+  check Alcotest.(float 1e-9) "intercept" 3.0 a;
+  check Alcotest.(float 1e-9) "slope" 2.0 b
+
+let test_stats_growth_exponent () =
+  (* y = 4 x^2: log-log slope 2 *)
+  let pts =
+    List.map (fun x -> (float_of_int x, 4.0 *. float_of_int (x * x))) [ 1; 2; 4; 8; 16 ]
+  in
+  check Alcotest.(float 1e-9) "exponent" 2.0 (Stdx.Stats.growth_exponent pts)
+
+let test_stats_growth_exponent_drops_nonpositive () =
+  let pts = [ (0.0, 1.0); (1.0, 2.0); (2.0, 4.0); (4.0, 8.0) ] in
+  (* the (0, 1) point must be dropped, leaving slope 1 on log-log *)
+  check Alcotest.(float 1e-9) "exponent" 1.0 (Stdx.Stats.growth_exponent pts)
+
+(* ---- Table ---- *)
+
+let test_stats_linear_fit_errors () =
+  Alcotest.check_raises "one point"
+    (Invalid_argument "Stats.linear_fit: need at least two points") (fun () ->
+      ignore (Stdx.Stats.linear_fit [ (1.0, 1.0) ]));
+  Alcotest.check_raises "vertical line"
+    (Invalid_argument "Stats.linear_fit: degenerate x values") (fun () ->
+      ignore (Stdx.Stats.linear_fit [ (1.0, 1.0); (1.0, 2.0) ]))
+
+let test_rng_range_errors () =
+  let rng = Stdx.Rng.create 1 in
+  Alcotest.check_raises "hi < lo" (Invalid_argument "Rng.int_in_range: hi < lo")
+    (fun () -> ignore (Stdx.Rng.int_in_range rng ~lo:5 ~hi:4));
+  Alcotest.check_raises "k > n"
+    (Invalid_argument "Rng.sample_without_replacement: k > n") (fun () ->
+      ignore (Stdx.Rng.sample_without_replacement rng ~k:5 ~n:4));
+  Alcotest.check_raises "empty choose" (Invalid_argument "Rng.choose: empty array")
+    (fun () -> ignore (Stdx.Rng.choose rng [||]))
+
+let test_table_renders () =
+  let out =
+    Stdx.Table.render ~header:[ "a"; "bb" ] ~rows:[ [ "1"; "2" ]; [ "333"; "4" ] ]
+  in
+  checkb "has separator" true (String.length out > 0 && String.contains out '-');
+  let lines = String.split_on_char '\n' (String.trim out) in
+  checki "line count" 4 (List.length lines);
+  (* all lines same width *)
+  let widths = List.map String.length lines in
+  checki "uniform width" 1 (List.length (List.sort_uniq compare widths))
+
+let test_table_ragged_rejected () =
+  Alcotest.check_raises "ragged" (Invalid_argument "Table.render: ragged row")
+    (fun () -> ignore (Stdx.Table.render ~header:[ "a" ] ~rows:[ [ "1"; "2" ] ]))
+
+let () =
+  Alcotest.run "stdx"
+    [ ( "rng",
+        [ Alcotest.test_case "determinism" `Quick test_rng_determinism;
+          Alcotest.test_case "seed sensitivity" `Quick test_rng_seed_sensitivity;
+          Alcotest.test_case "split independence" `Quick test_rng_split_independence;
+          Alcotest.test_case "split deterministic" `Quick test_rng_split_deterministic;
+          Alcotest.test_case "int bounds" `Quick test_rng_int_bounds;
+          Alcotest.test_case "int coverage" `Quick test_rng_int_coverage;
+          Alcotest.test_case "int_in_range" `Quick test_rng_int_in_range;
+          Alcotest.test_case "float bounds" `Quick test_rng_float_bounds;
+          Alcotest.test_case "bool balance" `Quick test_rng_bool_balance;
+          Alcotest.test_case "shuffle permutation" `Quick test_rng_shuffle_permutation;
+          Alcotest.test_case "sample w/o replacement" `Quick
+            test_rng_sample_without_replacement;
+          Alcotest.test_case "exponential" `Quick test_rng_exponential_positive;
+          Alcotest.test_case "geometric" `Quick test_rng_geometric;
+          Alcotest.test_case "range errors" `Quick test_rng_range_errors ] );
+      ( "pqueue",
+        [ Alcotest.test_case "basic order" `Quick test_pqueue_basic_order;
+          Alcotest.test_case "fifo ties" `Quick test_pqueue_fifo_ties;
+          Alcotest.test_case "peek" `Quick test_pqueue_peek;
+          Alcotest.test_case "clear" `Quick test_pqueue_clear;
+          Alcotest.test_case "interleaved" `Quick test_pqueue_interleaved;
+          QCheck_alcotest.to_alcotest prop_pqueue_sorts ] );
+      ( "stats",
+        [ Alcotest.test_case "empty" `Quick test_stats_empty;
+          Alcotest.test_case "mean/stddev" `Quick test_stats_mean_stddev;
+          Alcotest.test_case "min/max" `Quick test_stats_minmax;
+          Alcotest.test_case "percentiles" `Quick test_stats_percentiles;
+          Alcotest.test_case "linear fit" `Quick test_stats_linear_fit;
+          Alcotest.test_case "growth exponent" `Quick test_stats_growth_exponent;
+          Alcotest.test_case "growth drops nonpositive" `Quick
+            test_stats_growth_exponent_drops_nonpositive;
+          Alcotest.test_case "linear fit errors" `Quick test_stats_linear_fit_errors ] );
+      ( "table",
+        [ Alcotest.test_case "renders" `Quick test_table_renders;
+          Alcotest.test_case "ragged rejected" `Quick test_table_ragged_rejected ] )
+    ]
