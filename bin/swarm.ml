@@ -1,0 +1,130 @@
+(* swarm: randomized fault-injection swarm checker.
+
+   Honest mode: generate one adversarial-but-within-model scenario per
+   seed, run it, and judge it with the invariant oracles; any violation
+   is a protocol (or oracle) bug, reported with the exact command that
+   replays it, plus a greedily shrunk fault script.
+
+   Sabotage mode (--sabotage): same machinery, but the commit quorum is
+   deliberately weakened through the commit_quorum knob (all the way to
+   commit-on-sight — see scenario.ml for why intermediate quorums stay
+   safe under honest RBC) while the schedule hides the predicted wave
+   leader; the run FAILS unless the oracle catches at least one
+   agreement violation. This is the oracle's own regression test: it
+   proves the checker can actually see disagreement.
+
+   Examples:
+     dune exec bin/swarm.exe -- --seeds 200
+     dune exec bin/swarm.exe -- --seeds 100 --quick        # CI smoke
+     dune exec bin/swarm.exe -- --seed 7 --verbose         # replay one
+     dune exec bin/swarm.exe -- --seeds 30 --sabotage      # oracle self-test *)
+
+open Cmdliner
+
+let seeds_arg =
+  Arg.(
+    value & opt int 50
+    & info [ "seeds" ] ~docv:"K" ~doc:"Run $(docv) consecutive seeds.")
+
+let seed_arg =
+  Arg.(
+    value & opt (some int) None
+    & info [ "seed" ] ~docv:"N"
+        ~doc:"Replay exactly one seed (overrides --seeds/--base).")
+
+let base_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "base" ] ~docv:"B" ~doc:"First seed of the sweep (default 1).")
+
+let quick_arg =
+  Arg.(
+    value & flag
+    & info [ "quick" ] ~doc:"Smaller fleets and shorter horizons (CI smoke).")
+
+let sabotage_arg =
+  Arg.(
+    value & flag
+    & info [ "sabotage" ]
+        ~doc:
+          "Deliberately weaken the commit quorum (and hide the predicted \
+           wave leader) and demand the oracle catches the resulting \
+           agreement violation (oracle self-test).")
+
+let verbose_arg =
+  Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Per-seed output.")
+
+let print_failure (o : Check.Swarm.outcome) =
+  Printf.printf "FAIL %s\n" (Check.Scenario.describe o.Check.Swarm.scenario);
+  List.iter
+    (fun v -> Printf.printf "  %s\n" (Check.Oracle.pp v))
+    o.Check.Swarm.violations;
+  (match o.Check.Swarm.scenario.Check.Scenario.faults with
+  | [] -> ()
+  | faults ->
+    Printf.printf "  shrunk fault script: [%s]\n"
+      (String.concat "; " (List.map Check.Scenario.describe_fault faults)));
+  Printf.printf "  repro: %s\n"
+    (Check.Swarm.repro_command o.Check.Swarm.scenario)
+
+let summarize ~sabotage (report : Check.Swarm.report) =
+  let failed = List.length report.Check.Swarm.failures in
+  Printf.printf
+    "\nswarm: %d scenario(s), %d with violations, %d agreement violation(s)\n"
+    report.Check.Swarm.runs failed report.Check.Swarm.agreement_violations;
+  if sabotage then
+    if report.Check.Swarm.agreement_violations > 0 then begin
+      print_endline
+        "sabotage: oracle caught the weakened quorum — self-test PASSED";
+      0
+    end
+    else begin
+      print_endline
+        "sabotage: no agreement violation caught — the oracle is blind! \
+         self-test FAILED";
+      1
+    end
+  else if failed = 0 then begin
+    print_endline "all invariants held";
+    0
+  end
+  else 1
+
+let main seeds seed base quick sabotage verbose =
+  if seeds < 1 && seed = None then begin
+    (* a zero-seed sweep would vacuously report "all invariants held"
+       and green-light a typo'd CI invocation *)
+    prerr_endline "swarm: --seeds must be at least 1";
+    exit 2
+  end;
+  let seed_list =
+    match seed with
+    | Some s -> [ s ]
+    | None -> List.init seeds (fun i -> base + i)
+  in
+  let verbose = verbose || seed <> None in
+  let progress ~seed (o : Check.Swarm.outcome) =
+    ignore seed;
+    if o.Check.Swarm.violations <> [] then print_failure o
+    else if verbose then
+      Printf.printf "ok   %s  delivered=%d..%d commits=%d events=%d\n"
+        (Check.Scenario.describe o.Check.Swarm.scenario)
+        o.Check.Swarm.delivered_min o.Check.Swarm.delivered_max
+        o.Check.Swarm.commits o.Check.Swarm.events
+  in
+  let report =
+    Check.Swarm.run_seeds ~sabotage ~quick ~progress ~seeds:seed_list ()
+  in
+  summarize ~sabotage report
+
+let cmd =
+  Cmd.v
+    (Cmd.info "swarm" ~version:"1.0.0"
+       ~doc:
+         "Randomized fault-injection swarm checker for the DAG-Rider \
+          reproduction.")
+    Term.(
+      const main $ seeds_arg $ seed_arg $ base_arg $ quick_arg $ sabotage_arg
+      $ verbose_arg)
+
+let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,294 @@
+type violation = {
+  invariant : string;
+  node : int;
+  detail : string;
+}
+
+let pp v = Printf.sprintf "[%s] node %d: %s" v.invariant v.node v.detail
+
+let pp_vref (r : Dagrider.Vertex.vref) =
+  Printf.sprintf "(r=%d,p=%d)" r.Dagrider.Vertex.round r.Dagrider.Vertex.source
+
+let check_agreement ~logs =
+  match logs with
+  | [] -> []
+  | _ ->
+    let arrays = List.map (fun (i, log) -> (i, Array.of_list log)) logs in
+    let _, longest =
+      List.fold_left
+        (fun ((_, best) as acc) ((_, log) as cand) ->
+          if Array.length log > Array.length best then cand else acc)
+        (List.hd arrays) (List.tl arrays)
+    in
+    List.concat_map
+      (fun (i, log) ->
+        let rec cmp j =
+          if j >= Array.length log then []
+          else if log.(j) <> longest.(j) then
+            [ { invariant = "agreement";
+                node = i;
+                detail =
+                  Printf.sprintf "diverges at position %d: %s vs %s" j
+                    (pp_vref log.(j)) (pp_vref longest.(j)) } ]
+          else cmp (j + 1)
+        in
+        cmp 0)
+      arrays
+
+let check_extension ~node ~before ~after =
+  let rec cmp j before after =
+    match (before, after) with
+    | [], _ -> []
+    | _ :: _, [] ->
+      [ { invariant = "extension";
+          node;
+          detail =
+            Printf.sprintf "log shrank: %d entries left at position %d"
+              (List.length before) j } ]
+    | b :: bs, a :: as_ ->
+      if b <> a then
+        [ { invariant = "extension";
+            node;
+            detail =
+              Printf.sprintf "rewrote position %d: %s became %s" j (pp_vref b)
+                (pp_vref a) } ]
+      else cmp (j + 1) bs as_
+  in
+  cmp 0 before after
+
+let check_no_duplicates ~logs =
+  List.concat_map
+    (fun (i, log) ->
+      let seen = Hashtbl.create 256 in
+      let rec scan = function
+        | [] -> []
+        | r :: rest ->
+          if Hashtbl.mem seen r then
+            [ { invariant = "integrity";
+                node = i;
+                detail = Printf.sprintf "delivered %s twice" (pp_vref r) } ]
+          else begin
+            Hashtbl.add seen r ();
+            scan rest
+          end
+      in
+      scan log)
+    logs
+
+type commit_record = {
+  cr_node : int;
+  cr_wave : int;
+  cr_leader : Dagrider.Vertex.vref;
+  cr_direct : bool;
+}
+
+(* evaluated synchronously from the on_commit hook, so [dag] is the
+   node's state at the moment the rule fired — support only grows
+   afterwards, which is exactly why a weakened quorum can hide from
+   end-of-run audits but not from this one *)
+let check_direct_commit ~wave_length ~f ~dag ~node ~wave ~leader =
+  if
+    Dagrider.Ordering.commit_rule_met ~wave_length ~commit_quorum:((2 * f) + 1)
+      ~dag ~f ~wave ~leader ()
+  then []
+  else
+    [ { invariant = "leader-support";
+        node;
+        detail =
+          Printf.sprintf
+            "wave %d leader %s committed directly with < 2f+1 strong-path \
+             support at commit time"
+            wave
+            (pp_vref (Dagrider.Vertex.vref_of leader)) } ]
+
+let check_dag_wf ~n ~f ~node dag =
+  List.filter_map
+    (fun v ->
+      match Dagrider.Vertex.validate ~n ~f v with
+      | Ok () -> None
+      | Error reason ->
+        Some
+          { invariant = "dag-wf";
+            node;
+            detail =
+              Printf.sprintf "accepted invalid vertex %s: %s"
+                (pp_vref (Dagrider.Vertex.vref_of v)) reason })
+    (Dagrider.Dag.vertices dag)
+
+(* two correct processes holding different vertices for one
+   (round, source) means reliable broadcast let an equivocation through *)
+let check_equivocation ~dags =
+  let seen : (Dagrider.Vertex.vref, int * string) Hashtbl.t =
+    Hashtbl.create 1024
+  in
+  List.concat_map
+    (fun (i, dag) ->
+      List.filter_map
+        (fun v ->
+          let r = Dagrider.Vertex.vref_of v in
+          let digest = Dagrider.Vertex.digest v in
+          match Hashtbl.find_opt seen r with
+          | None ->
+            Hashtbl.add seen r (i, digest);
+            None
+          | Some (_, d) when d = digest -> None
+          | Some (j, _) ->
+            Some
+              { invariant = "equivocation";
+                node = i;
+                detail =
+                  Printf.sprintf
+                    "vertex %s differs from the copy node %d accepted"
+                    (pp_vref r) j })
+        (Dagrider.Dag.vertices dag))
+    dags
+
+(* a directly committed leader must have the paper's 2f+1 strong-path
+   support in its wave's last round (Lemma 1's precondition); a chained
+   leader must be strong-path-reachable from the next leader the same
+   process committed (the Line 39-43 backward walk). support can only
+   grow after the commit, so evaluating on the final DAG is sound. *)
+let check_leader_support ~wave_length ~f ~commits ~dag_of =
+  let by_node = Hashtbl.create 16 in
+  List.iter
+    (fun c ->
+      let prev = try Hashtbl.find by_node c.cr_node with Not_found -> [] in
+      Hashtbl.replace by_node c.cr_node (c :: prev))
+    commits;
+  Hashtbl.fold
+    (fun node cs acc ->
+      match dag_of node with
+      | None -> acc
+      | Some dag ->
+        let cs = List.sort (fun a b -> compare a.cr_wave b.cr_wave) cs in
+        let rec walk acc = function
+          | [] -> acc
+          | c :: rest ->
+            let acc =
+              match Dagrider.Dag.find dag c.cr_leader with
+              | None ->
+                { invariant = "leader-support";
+                  node;
+                  detail =
+                    Printf.sprintf "committed leader %s absent from own DAG"
+                      (pp_vref c.cr_leader) }
+                :: acc
+              | Some leader ->
+                if c.cr_direct then
+                  if
+                    Dagrider.Ordering.commit_rule_met ~wave_length
+                      ~commit_quorum:((2 * f) + 1) ~dag ~f ~wave:c.cr_wave
+                      ~leader ()
+                  then acc
+                  else
+                    { invariant = "leader-support";
+                      node;
+                      detail =
+                        Printf.sprintf
+                          "wave %d leader %s committed directly with < 2f+1 \
+                           strong-path support"
+                          c.cr_wave (pp_vref c.cr_leader) }
+                    :: acc
+                else begin
+                  match rest with
+                  | [] ->
+                    { invariant = "leader-support";
+                      node;
+                      detail =
+                        Printf.sprintf
+                          "wave %d leader %s chained with no later commit"
+                          c.cr_wave (pp_vref c.cr_leader) }
+                    :: acc
+                  | next :: _ ->
+                    if Dagrider.Dag.strong_path dag next.cr_leader c.cr_leader
+                    then acc
+                    else
+                      { invariant = "leader-support";
+                        node;
+                        detail =
+                          Printf.sprintf
+                            "wave %d leader %s has no strong path from the \
+                             next committed leader %s (wave %d)"
+                            c.cr_wave (pp_vref c.cr_leader)
+                            (pp_vref next.cr_leader) next.cr_wave }
+                      :: acc
+                end
+            in
+            walk acc rest
+        in
+        walk acc cs)
+    by_node []
+
+let check_chain_quality ~f ~correct ~logs =
+  List.filter_map
+    (fun (i, log) ->
+      let sources = List.map (fun v -> v.Dagrider.Vertex.source) log in
+      let r = Metrics.Chain_quality.audit ~f ~correct ~sources in
+      if r.Metrics.Chain_quality.holds then None
+      else
+        Some
+          { invariant = "chain-quality";
+            node = i;
+            detail =
+              Printf.sprintf
+                "worst prefix (len %d) has correct ratio %.3f < %.3f"
+                r.Metrics.Chain_quality.worst_prefix_len
+                r.Metrics.Chain_quality.worst_prefix_ratio
+                (float_of_int (f + 1) /. float_of_int ((2 * f) + 1)) })
+    logs
+
+let check_validity ~n ~logs =
+  List.concat_map
+    (fun (i, log) ->
+      if List.length log < 3 * n then []
+      else
+        let proposed = Array.make n false in
+        List.iter (fun v -> proposed.(v.Dagrider.Vertex.source) <- true) log;
+        List.filter_map
+          (fun s ->
+            if proposed.(s) then None
+            else
+              Some
+                { invariant = "validity";
+                  node = i;
+                  detail =
+                    Printf.sprintf
+                      "no proposal from correct process %d in a %d-entry log" s
+                      (List.length log) })
+          (List.init n (fun s -> s)))
+    logs
+
+let check_fleet ~runner ~commits ~expect_validity =
+  let opts = Harness.Runner.options runner in
+  let n = opts.Harness.Runner.n and f = opts.Harness.Runner.f in
+  let correct = Harness.Runner.correct_indices runner in
+  let is_correct = Harness.Runner.is_correct runner in
+  let full_logs =
+    List.map
+      (fun i ->
+        (i, Dagrider.Node.delivered_log (Harness.Runner.node runner i)))
+      correct
+  in
+  let ref_logs =
+    List.map
+      (fun (i, log) -> (i, List.map Dagrider.Vertex.vref_of log))
+      full_logs
+  in
+  let dags =
+    List.map
+      (fun i -> (i, Dagrider.Node.dag (Harness.Runner.node runner i)))
+      correct
+  in
+  let dag_of node =
+    if is_correct node then Some (Dagrider.Node.dag (Harness.Runner.node runner node))
+    else None
+  in
+  let live_commits = List.filter (fun c -> is_correct c.cr_node) commits in
+  check_agreement ~logs:ref_logs
+  @ check_no_duplicates ~logs:ref_logs
+  @ List.concat_map (fun (i, dag) -> check_dag_wf ~n ~f ~node:i dag) dags
+  @ check_equivocation ~dags
+  @ check_leader_support ~wave_length:opts.Harness.Runner.wave_length ~f
+      ~commits:live_commits ~dag_of
+  @ check_chain_quality ~f ~correct:is_correct ~logs:full_logs
+  @ (if expect_validity then check_validity ~n ~logs:full_logs else [])

@@ -1,0 +1,95 @@
+(** Invariant oracles for swarm-tested executions.
+
+    Each check asserts one of the paper's correctness properties over
+    the observable state of a fleet — delivered logs, per-node DAGs, and
+    the stream of commit events — and returns a list of violations
+    (empty = the property held). The checks are deliberately
+    re-derivations: they recompute support counts and path predicates
+    from the DAG instead of trusting the protocol's own bookkeeping, so
+    a protocol bug cannot hide by corrupting the state it is judged by.
+
+    The log-level checks take plain data so tests can feed hand-built
+    histories; {!check_fleet} bundles every end-of-run invariant over a
+    live {!Harness.Runner.t}. *)
+
+type violation = {
+  invariant : string;
+      (** which property broke: ["agreement"], ["extension"],
+          ["integrity"], ["dag-wf"], ["equivocation"],
+          ["leader-support"], ["chain-quality"], or ["validity"] *)
+  node : int; (** the process at which the violation was observed *)
+  detail : string;
+}
+
+val pp : violation -> string
+
+val check_agreement :
+  logs:(int * Dagrider.Vertex.vref list) list -> violation list
+(** Total order + Agreement (paper §2): every pair of correct logs must
+    be prefix-comparable. Implemented by comparing each log positionwise
+    against the longest one, which is equivalent and single-pass. *)
+
+val check_extension :
+  node:int ->
+  before:Dagrider.Vertex.vref list ->
+  after:Dagrider.Vertex.vref list ->
+  violation list
+(** A process's ordered output is append-only: a snapshot taken later
+    must have the earlier snapshot as a prefix. Run between the swarm
+    driver's periodic checkpoints. *)
+
+val check_no_duplicates :
+  logs:(int * Dagrider.Vertex.vref list) list -> violation list
+(** Integrity: no (round, source) is delivered twice in one log. *)
+
+type commit_record = {
+  cr_node : int;   (** process that committed *)
+  cr_wave : int;
+  cr_leader : Dagrider.Vertex.vref;
+  cr_direct : bool; (** by its own wave's rule, vs chained backwards *)
+}
+(** One {!Dagrider.Ordering.commit} as observed through
+    {!Harness.Runner.options.on_commit}. *)
+
+val check_direct_commit :
+  wave_length:int ->
+  f:int ->
+  dag:Dagrider.Dag.t ->
+  node:int ->
+  wave:int ->
+  leader:Dagrider.Vertex.t ->
+  violation list
+(** The commit-time form of the leader-support invariant: call from the
+    [on_commit] hook (which fires synchronously inside the ordering
+    step) for a {e direct} commit, with the committing node's DAG.
+    Because strong-path support only grows after the commit, this is
+    strictly stronger than auditing the final DAG — it is the check that
+    catches a sabotaged [commit_quorum] even when the support gap closes
+    later. *)
+
+val check_fleet :
+  runner:Harness.Runner.t ->
+  commits:commit_record list ->
+  expect_validity:bool ->
+  violation list
+(** End-of-run sweep of every invariant over the correct processes:
+
+    - {b agreement} and {b integrity} on the delivered logs (above);
+    - {b dag-wf}: every vertex in every correct DAG passes
+      {!Dagrider.Vertex.validate} — [>= 2f+1] strong edges, all to the
+      previous round, edge sources in range;
+    - {b equivocation}: no two correct processes hold different vertices
+      (by digest) for one (round, source) — reliable broadcast must have
+      filtered equivocators;
+    - {b leader-support}: every {e directly} committed leader has
+      [>= 2f+1] last-round vertices with a strong path to it, recomputed
+      from the DAG with the {e paper's} quorum regardless of the
+      configured [commit_quorum] (this is what catches a sabotaged
+      quorum); every {e chained} leader is strong-path-reachable from
+      the next committed leader;
+    - {b chain-quality}: the [(f+1)/(2f+1)]-per-prefix bound
+      ({!Metrics.Chain_quality.audit});
+    - {b validity} (only when [expect_validity], i.e. fault-free
+      scenarios): once a log is long enough to show steady state
+      ([>= 3n] entries), every correct process's proposals appear in
+      it. *)

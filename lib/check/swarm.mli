@@ -1,0 +1,54 @@
+(** Swarm driver: run generated scenarios, judge them with the oracle,
+    shrink failures, and emit deterministic repro commands.
+
+    One scenario runs as: build the fleet from
+    {!Scenario.to_options} (plus commit/delivery observation hooks),
+    arm the timed fault script on the engine, then advance virtual time
+    in slices — checking agreement and log-append-onlyness at every
+    slice boundary — and finish with the full {!Oracle.check_fleet}
+    sweep. TigerBeetle-style: everything is a pure function of the
+    seed, so "re-run seed N" reproduces the execution exactly. *)
+
+type outcome = {
+  scenario : Scenario.t;
+  violations : Oracle.violation list; (** deduplicated; empty = pass *)
+  delivered_min : int; (** fewest vertices delivered by a correct node *)
+  delivered_max : int;
+  commits : int; (** commit events observed fleet-wide *)
+  events : int;  (** simulator events executed *)
+}
+
+val run_scenario : Scenario.t -> outcome
+
+val repro_command : Scenario.t -> string
+(** The exact command line that replays this scenario. *)
+
+val shrink_list : keep:('a list -> bool) -> 'a list -> 'a list
+(** Greedy delta-debugging pass: try dropping each element in turn,
+    keeping the drop whenever [keep] still holds on the remainder.
+    [keep] must hold on the input list. *)
+
+val shrink : outcome -> outcome
+(** Minimize a failing scenario's fault script: greedily drop fault
+    actions while the run still produces a violation. Returns the
+    outcome of the smallest still-failing scenario (the input itself if
+    nothing could be dropped or it was not failing). *)
+
+type report = {
+  runs : int;
+  failures : outcome list; (** shrunk, in seed order *)
+  agreement_violations : int;
+      (** total "agreement" violations across failures — the count
+          sabotage mode must drive above zero *)
+}
+
+val run_seeds :
+  ?sabotage:bool ->
+  ?quick:bool ->
+  ?progress:(seed:int -> outcome -> unit) ->
+  seeds:int list ->
+  unit ->
+  report
+(** Generate-and-run each seed; failing outcomes are shrunk before they
+    are reported. [progress] observes every run (the CLI uses it for
+    live output). *)

@@ -28,6 +28,7 @@ type options = {
   on_deliver :
     (node:int -> block:string -> round:int -> source:int -> time:float -> unit)
     option;
+  on_commit : (node:int -> Dagrider.Ordering.commit -> unit) option;
   faults : fault list;
 }
 
@@ -45,6 +46,7 @@ let default_options ~n =
     coin_in_dag = false;
     coin_override = None;
     on_deliver = None;
+    on_commit = None;
     faults = [] }
 
 type t = {
@@ -57,6 +59,7 @@ type t = {
   make_rbc : Dagrider.Node.rbc_factory;
   node_config : Dagrider.Node.config;
   nodes : Dagrider.Node.t array;
+  silence_rbc : drop_in_flight:bool -> int -> unit;
   faulty : bool array;  (* counted as Byzantine *)
   crashed : bool array; (* additionally, never started *)
   mutable started : bool;
@@ -99,7 +102,12 @@ let build options =
   (* one typed network per backend protocol; same engine/schedule/counters,
      so semantically a single multiplexed network. [mute_rbc] silences a
      process on that network after wiring (true-crash fault injection). *)
-  let (make_rbc : Dagrider.Node.rbc_factory), (mute_rbc : int -> unit) =
+  let (make_rbc : Dagrider.Node.rbc_factory),
+      (silence_rbc : drop_in_flight:bool -> int -> unit) =
+    let silencer net ~drop_in_flight i =
+      Net.Network.corrupt net ~drop_in_flight i;
+      Net.Network.unregister net i
+    in
     match options.backend with
     | Bracha ->
       let net = Net.Network.create ~engine ~sched ~counters ~n in
@@ -107,18 +115,14 @@ let build options =
           let b = Rbc.Bracha.create ~net ~me ~f ~deliver in
           { Dagrider.Node.rbc_bcast =
               (fun ~payload ~round -> Rbc.Bracha.bcast b ~payload ~round) }),
-        fun i ->
-          Net.Network.corrupt net ~drop_in_flight:false i;
-          Net.Network.register net i (fun ~src:_ _ -> ()) )
+        silencer net )
     | Avid ->
       let net = Net.Network.create ~engine ~sched ~counters ~n in
       ( (fun ~me ~deliver ->
           let a = Rbc.Avid.create ~net ~me ~f ~deliver in
           { Dagrider.Node.rbc_bcast =
               (fun ~payload ~round -> Rbc.Avid.bcast a ~payload ~round) }),
-        fun i ->
-          Net.Network.corrupt net ~drop_in_flight:false i;
-          Net.Network.register net i (fun ~src:_ _ -> ()) )
+        silencer net )
     | Gossip ->
       let net = Net.Network.create ~engine ~sched ~counters ~n in
       ( (fun ~me ~deliver ->
@@ -126,9 +130,7 @@ let build options =
           let g = Rbc.Gossip.create ~net ~rng ~me ~f ~deliver () in
           { Dagrider.Node.rbc_bcast =
               (fun ~payload ~round -> Rbc.Gossip.bcast g ~payload ~round) }),
-        fun i ->
-          Net.Network.corrupt net ~drop_in_flight:false i;
-          Net.Network.register net i (fun ~src:_ _ -> ()) )
+        silencer net )
   in
   let config =
     { Dagrider.Node.n;
@@ -150,10 +152,15 @@ let build options =
             fun ~block ~round ~source ->
               hook ~node:me ~block ~round ~source ~time:(Sim.Engine.now engine)
         in
+        let on_commit =
+          match options.on_commit with
+          | None -> fun _ -> ()
+          | Some hook -> fun commit -> hook ~node:me commit
+        in
         Dagrider.Node.create ~config ~me ~coin ~coin_net ~make_rbc ~sync_net
           ~block_source:(fun ~round ->
             synthetic_block ~block_bytes:options.block_bytes ~me ~round)
-          ~a_deliver ())
+          ~a_deliver ~on_commit ())
   in
   let faulty = Array.make n false in
   let crashed = Array.make n false in
@@ -167,8 +174,8 @@ let build options =
         crashed.(i) <- true;
         (* a silent process neither proposes nor relays: silence its RBC
            participation and its coin handler entirely *)
-        mute_rbc i;
-        Net.Network.register coin_net i (fun ~src:_ _ -> ())
+        silence_rbc ~drop_in_flight:false i;
+        Net.Network.unregister coin_net i
       | Byzantine_live _ -> ()
       | Byzantine_attacker _ ->
         crashed.(i) <- true (* the honest node never starts... *);
@@ -238,6 +245,7 @@ let build options =
     make_rbc;
     node_config = config;
     nodes;
+    silence_rbc;
     faulty;
     crashed;
     started = false }
@@ -268,6 +276,20 @@ let run t ~until =
 
 let delivered_logs t =
   Array.map Dagrider.Node.delivered_log t.nodes
+
+let delivered_refs t =
+  Array.map
+    (fun node -> List.map Dagrider.Vertex.vref_of (Dagrider.Node.delivered_log node))
+    t.nodes
+
+let silence_node t ?(drop_in_flight = true) i =
+  if i < 0 || i >= t.options.n then invalid_arg "Runner.silence_node: bad index";
+  t.faulty.(i) <- true;
+  t.silence_rbc ~drop_in_flight i;
+  Net.Network.corrupt t.coin_net ~drop_in_flight i;
+  Net.Network.unregister t.coin_net i;
+  Net.Network.corrupt t.sync_net ~drop_in_flight i;
+  Net.Network.unregister t.sync_net i
 
 let run_until_delivered t ~count ~max_time =
   start t;
@@ -388,12 +410,17 @@ let restart_node t i =
       fun ~block ~round ~source ->
         hook ~node:i ~block ~round ~source ~time:(Sim.Engine.now t.engine)
   in
+  let on_commit =
+    match t.options.on_commit with
+    | None -> fun _ -> ()
+    | Some hook -> fun commit -> hook ~node:i commit
+  in
   let restored =
     Dagrider.Node.restore ~config:t.node_config ~me:i ~coin:t.coin
       ~coin_net:t.coin_net ~make_rbc:t.make_rbc ~sync_net:t.sync_net
       ~block_source:(fun ~round ->
         synthetic_block ~block_bytes:t.options.block_bytes ~me:i ~round)
-      ~a_deliver ck
+      ~a_deliver ~on_commit ck
   in
   t.nodes.(i) <- restored;
   (* broadcasts that straddled the restart surface a little later *)

@@ -56,6 +56,9 @@ type options = {
     option;
       (** observe every a_deliver with its virtual timestamp (latency
           experiments); [None] costs nothing *)
+  on_commit : (node:int -> Dagrider.Ordering.commit -> unit) option;
+      (** observe every committed wave leader at every node (the swarm
+          checker's leader-support oracle); [None] costs nothing *)
   faults : fault list;
 }
 
@@ -95,6 +98,19 @@ val run_until_delivered :
 
 val delivered_logs : t -> Dagrider.Vertex.t list array
 (** Per-node totally ordered outputs. *)
+
+val delivered_refs : t -> Dagrider.Vertex.vref list array
+(** Per-node ordered outputs as lightweight (round, source) references —
+    the mid-run snapshot the swarm checker's oracle compares across
+    checkpoints. *)
+
+val silence_node : t -> ?drop_in_flight:bool -> int -> unit
+(** Mid-run adaptive corruption of process [i]: mark it Byzantine (it
+    leaves {!correct_indices}), discard its not-yet-delivered messages
+    when [drop_in_flight] (default [true], per the §2 adaptive
+    adversary), and detach its handlers on every network so it neither
+    receives nor reacts from this moment on. The scenario generator must
+    keep the total number of ever-faulty processes within [f]. *)
 
 val check_total_order : t -> (unit, string) result
 (** Every pair of correct nodes' logs must be prefix-comparable

@@ -31,6 +31,10 @@ let register t i handler =
   check_index t i "register";
   t.handlers.(i) <- Some handler
 
+let unregister t i =
+  check_index t i "unregister";
+  t.handlers.(i) <- None
+
 let send t ~src ~dst ~kind ~bits msg =
   check_index t src "send";
   check_index t dst "send";

@@ -28,6 +28,12 @@ val register : 'msg t -> int -> (src:int -> 'msg -> unit) -> unit
     handler (used by restart tests).
     @raise Invalid_argument on a bad index. *)
 
+val unregister : 'msg t -> int -> unit
+(** Remove process [i]'s handler; subsequent deliveries to [i] are
+    dropped silently. Models a crashed endpoint (fault injection);
+    {!register} revives it.
+    @raise Invalid_argument on a bad index. *)
+
 val send : 'msg t -> src:int -> dst:int -> kind:string -> bits:int -> 'msg -> unit
 (** Asynchronous unicast; delivery is scheduled per the policy. Sends to
     self also go through the queue (a process never handles its own

@@ -68,6 +68,26 @@ let rush_process ~inner ~favored =
         if src = favored then { delay = 0.001 }
         else inner.decide ~now ~src ~dst ~kind) }
 
+let partition ~inner ~left ~factor =
+  { name = Printf.sprintf "%s+partition(x%.0f)" inner.name factor;
+    decide =
+      (fun ~now ~src ~dst ~kind ->
+        let d = inner.decide ~now ~src ~dst ~kind in
+        if left src <> left dst then { delay = d.delay *. factor } else d) }
+
+let kind_storm ~inner ~kinds ~factor =
+  { name = Printf.sprintf "%s+storm[%s](x%.0f)" inner.name
+      (String.concat "," kinds) factor;
+    decide =
+      (fun ~now ~src ~dst ~kind ->
+        let d = inner.decide ~now ~src ~dst ~kind in
+        if List.exists (fun prefix ->
+               String.length kind >= String.length prefix
+               && String.sub kind 0 (String.length prefix) = prefix)
+             kinds
+        then { delay = d.delay *. factor }
+        else d) }
+
 let with_window ~inner ~from_time ~until_time ~during =
   { name = Printf.sprintf "%s+window[%s]" inner.name during.name;
     decide =

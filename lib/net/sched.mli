@@ -69,6 +69,21 @@ val rush_process : inner:t -> favored:int -> t
 (** Deliver the favored process's messages (almost) instantly; combined
     with [delay_process] this builds maximally unbalanced schedules. *)
 
+val partition : inner:t -> left:(int -> bool) -> factor:float -> t
+(** Stretch every message crossing between [{i | left i}] and its
+    complement by [factor] — a (temporary, when wrapped in
+    {!with_window}) network partition. Delays stay finite, so eventual
+    delivery — the only constraint the paper's adversary has — is
+    preserved; a quorum-splitting partition simply stalls waves until
+    the window closes. *)
+
+val kind_storm : inner:t -> kinds:string list -> factor:float -> t
+(** Stretch every message whose kind starts with one of the given
+    prefixes by [factor] — a protocol-phase-targeted delay storm (e.g.
+    ["coin-"] starves wave resolution while the DAG keeps growing,
+    ["bracha-ready"] holds broadcasts at the brink of delivery).
+    Compose with {!with_window} for a bounded storm. *)
+
 val with_window :
   inner:t -> from_time:float -> until_time:float -> during:t -> t
 (** Use [during] for sends whose time falls in [\[from_time, until_time)],

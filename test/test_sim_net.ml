@@ -124,6 +124,43 @@ let test_sched_delay_matching () =
   checkf "unmatched kind" 1.0
     (s.Net.Sched.decide ~now:0.0 ~src:0 ~dst:3 ~kind:"x").Net.Sched.delay
 
+let test_sched_partition () =
+  let inner = Net.Sched.synchronous () in
+  let s = Net.Sched.partition ~inner ~left:(fun i -> i < 2) ~factor:20.0 in
+  checkf "crossing left->right" 20.0
+    (s.Net.Sched.decide ~now:0.0 ~src:0 ~dst:3 ~kind:"x").Net.Sched.delay;
+  checkf "crossing right->left" 20.0
+    (s.Net.Sched.decide ~now:0.0 ~src:3 ~dst:0 ~kind:"x").Net.Sched.delay;
+  checkf "within left" 1.0
+    (s.Net.Sched.decide ~now:0.0 ~src:0 ~dst:1 ~kind:"x").Net.Sched.delay;
+  checkf "within right" 1.0
+    (s.Net.Sched.decide ~now:0.0 ~src:2 ~dst:3 ~kind:"x").Net.Sched.delay
+
+let test_sched_kind_storm () =
+  let inner = Net.Sched.synchronous () in
+  let s =
+    Net.Sched.kind_storm ~inner ~kinds:[ "coin-"; "bracha-ready" ] ~factor:6.0
+  in
+  checkf "prefix matched" 6.0
+    (s.Net.Sched.decide ~now:0.0 ~src:0 ~dst:1 ~kind:"coin-share").Net.Sched.delay;
+  checkf "exact kind matched" 6.0
+    (s.Net.Sched.decide ~now:0.0 ~src:0 ~dst:1 ~kind:"bracha-ready").Net.Sched.delay;
+  checkf "other kinds normal" 1.0
+    (s.Net.Sched.decide ~now:0.0 ~src:0 ~dst:1 ~kind:"bracha-echo").Net.Sched.delay
+
+let test_sched_partition_window () =
+  (* the sabotage scenarios build temporary partitions exactly like
+     this: partition inside with_window, identity outside *)
+  let inner = Net.Sched.synchronous () in
+  let during = Net.Sched.partition ~inner ~left:(fun i -> i = 0) ~factor:9.0 in
+  let s = Net.Sched.with_window ~inner ~from_time:10.0 ~until_time:20.0 ~during in
+  checkf "before window" 1.0
+    (s.Net.Sched.decide ~now:5.0 ~src:0 ~dst:1 ~kind:"x").Net.Sched.delay;
+  checkf "inside window" 9.0
+    (s.Net.Sched.decide ~now:15.0 ~src:0 ~dst:1 ~kind:"x").Net.Sched.delay;
+  checkf "after window" 1.0
+    (s.Net.Sched.decide ~now:25.0 ~src:0 ~dst:1 ~kind:"x").Net.Sched.delay
+
 let test_sched_rush () =
   let inner = Net.Sched.synchronous () in
   let s = Net.Sched.rush_process ~inner ~favored:1 in
@@ -277,6 +314,25 @@ let test_net_corrupted_can_still_send_after () =
   checkb "flagged" true (Net.Network.is_corrupted net 0);
   checkb "correct predicate" false (Net.Network.correct net 0)
 
+let test_net_unregister_drops_then_register_revives () =
+  let engine, _, net = make_net () in
+  let got = ref 0 in
+  Net.Network.register net 1 (fun ~src:_ _ -> incr got);
+  Net.Network.send net ~src:0 ~dst:1 ~kind:"k" ~bits:8 "m1";
+  ignore (Sim.Engine.run engine ());
+  checki "delivered while registered" 1 !got;
+  Net.Network.unregister net 1;
+  Net.Network.send net ~src:0 ~dst:1 ~kind:"k" ~bits:8 "m2";
+  ignore (Sim.Engine.run engine ());
+  checki "dropped while crashed" 1 !got;
+  Net.Network.register net 1 (fun ~src:_ _ -> incr got);
+  Net.Network.send net ~src:0 ~dst:1 ~kind:"k" ~bits:8 "m3";
+  ignore (Sim.Engine.run engine ());
+  checki "revived by register" 2 !got;
+  Alcotest.check_raises "bad index rejected"
+    (Invalid_argument "Network: bad process index in unregister") (fun () ->
+      Net.Network.unregister net 9)
+
 let test_net_unregistered_destination_is_noop () =
   let engine, _, net = make_net () in
   Net.Network.send net ~src:0 ~dst:3 ~kind:"k" ~bits:8 "m";
@@ -378,6 +434,9 @@ let () =
           Alcotest.test_case "skewed in unit" `Quick test_sched_skewed_in_unit;
           Alcotest.test_case "delay process" `Quick test_sched_delay_process;
           Alcotest.test_case "delay matching" `Quick test_sched_delay_matching;
+          Alcotest.test_case "partition" `Quick test_sched_partition;
+          Alcotest.test_case "kind storm" `Quick test_sched_kind_storm;
+          Alcotest.test_case "partition window" `Quick test_sched_partition_window;
           Alcotest.test_case "rush" `Quick test_sched_rush;
           Alcotest.test_case "window" `Quick test_sched_window;
           Alcotest.test_case "bimodal" `Quick test_sched_bimodal;
@@ -391,6 +450,8 @@ let () =
           Alcotest.test_case "corrupt drops in-flight" `Quick
             test_net_corrupt_drops_in_flight;
           Alcotest.test_case "corrupt without drop" `Quick test_net_corrupt_without_drop;
+          Alcotest.test_case "unregister drops, register revives" `Quick
+            test_net_unregister_drops_then_register_revives;
           Alcotest.test_case "corrupted still sends" `Quick
             test_net_corrupted_can_still_send_after;
           Alcotest.test_case "unregistered dst" `Quick

@@ -198,6 +198,32 @@ let prop_pqueue_sorts =
       List.length popped = List.length items
       && popped = List.sort compare popped)
 
+let prop_pqueue_stable =
+  QCheck.Test.make
+    ~name:"pqueue is FIFO-stable for equal priorities" ~count:200
+    QCheck.(list small_nat)
+    (fun values ->
+      (* every push shares one priority, so pop order must be exactly
+         insertion order — the seq tiebreak at work *)
+      let q = Stdx.Pqueue.create () in
+      List.iteri (fun i v -> Stdx.Pqueue.push q ~priority:1.0 ~seq:i v) values;
+      let rec drain acc =
+        match Stdx.Pqueue.pop q with
+        | Some (_, _, v) -> drain (v :: acc)
+        | None -> List.rev acc
+      in
+      drain [] = values)
+
+let prop_rng_same_seed_same_stream =
+  QCheck.Test.make ~name:"rng: same seed yields same stream" ~count:100
+    QCheck.(pair small_nat (int_bound 50))
+    (fun (seed, len) ->
+      let draw () =
+        let rng = Stdx.Rng.create seed in
+        List.init (len + 1) (fun _ -> Stdx.Rng.next rng)
+      in
+      draw () = draw ())
+
 (* ---- Stats ---- *)
 
 let test_stats_empty () =
@@ -299,14 +325,16 @@ let () =
             test_rng_sample_without_replacement;
           Alcotest.test_case "exponential" `Quick test_rng_exponential_positive;
           Alcotest.test_case "geometric" `Quick test_rng_geometric;
-          Alcotest.test_case "range errors" `Quick test_rng_range_errors ] );
+          Alcotest.test_case "range errors" `Quick test_rng_range_errors;
+          QCheck_alcotest.to_alcotest prop_rng_same_seed_same_stream ] );
       ( "pqueue",
         [ Alcotest.test_case "basic order" `Quick test_pqueue_basic_order;
           Alcotest.test_case "fifo ties" `Quick test_pqueue_fifo_ties;
           Alcotest.test_case "peek" `Quick test_pqueue_peek;
           Alcotest.test_case "clear" `Quick test_pqueue_clear;
           Alcotest.test_case "interleaved" `Quick test_pqueue_interleaved;
-          QCheck_alcotest.to_alcotest prop_pqueue_sorts ] );
+          QCheck_alcotest.to_alcotest prop_pqueue_sorts;
+          QCheck_alcotest.to_alcotest prop_pqueue_stable ] );
       ( "stats",
         [ Alcotest.test_case "empty" `Quick test_stats_empty;
           Alcotest.test_case "mean/stddev" `Quick test_stats_mean_stddev;
