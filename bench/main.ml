@@ -7,6 +7,11 @@
      dune exec bench/main.exe -- micro         -- Bechamel microbenches
      dune exec bench/main.exe -- list          -- list experiment names
 
+   Add "--json [FILE]" to any experiment invocation to also serialize
+   the table(s) — rows, notes, and the runs' metrics snapshots
+   (per-kind bit counters, latency percentiles, engine gauges) — as a
+   JSON array. FILE defaults to BENCH_PR2.json.
+
    Each table regenerates one artifact of the paper (DESIGN.md §4 maps
    table/figure -> experiment id); EXPERIMENTS.md records paper-claimed
    vs measured values. *)
@@ -199,15 +204,49 @@ let run_micro () =
         results)
     (micro_tests ())
 
-let run_experiment (_name, _desc, f) =
+let run_experiment (name, _desc, f) =
   let t0 = Sys.time () in
   let table = f () in
   let dt = Sys.time () -. t0 in
   print_string (Harness.Experiments.render table);
-  Printf.printf "  (regenerated in %.1fs cpu)\n\n" dt
+  Printf.printf "  (regenerated in %.1fs cpu)\n\n" dt;
+  (name, table)
+
+let write_json path named_tables =
+  let entry (name, table) =
+    match Harness.Experiments.to_json table with
+    | Stdx.Json.Obj fields ->
+      Stdx.Json.Obj (("experiment", Stdx.Json.String name) :: fields)
+    | other -> other
+  in
+  let json = Stdx.Json.List (List.map entry named_tables) in
+  let oc = open_out path in
+  output_string oc (Stdx.Json.to_string json);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "wrote %s (%d experiment%s)\n" path
+    (List.length named_tables)
+    (if List.length named_tables = 1 then "" else "s")
+
+let default_json_file = "BENCH_PR2.json"
+
+(* pull "--json [FILE]" out of the argument list; the remaining
+   arguments parse as before *)
+let rec extract_json acc = function
+  | [] -> (None, List.rev acc)
+  | "--json" :: rest -> (
+    match rest with
+    | file :: more when file = "" || file.[0] <> '-' ->
+      (Some file, List.rev_append acc more)
+    | _ -> (Some default_json_file, List.rev_append acc rest))
+  | a :: rest -> extract_json (a :: acc) rest
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
+  let json_out, args = extract_json [] args in
+  let maybe_write tables =
+    match json_out with None -> () | Some path -> write_json path tables
+  in
   match args with
   | [ "list" ] ->
     List.iter
@@ -217,15 +256,16 @@ let () =
   | [ "micro" ] -> run_micro ()
   | [ name ] -> (
     match List.find_opt (fun (n, _, _) -> n = name) experiments with
-    | Some exp -> run_experiment exp
+    | Some exp -> maybe_write [ run_experiment exp ]
     | None ->
       Printf.eprintf "unknown experiment %S; try 'list'\n" name;
       exit 1)
   | [] ->
     print_endline
       "DAG-Rider reproduction: regenerating every paper table/figure\n";
-    List.iter run_experiment experiments;
-    run_micro ()
+    let tables = List.map run_experiment experiments in
+    run_micro ();
+    maybe_write tables
   | _ ->
-    prerr_endline "usage: main.exe [list | micro | <experiment>]";
+    prerr_endline "usage: main.exe [list | micro | <experiment>] [--json [FILE]]";
     exit 1

@@ -3,6 +3,7 @@
 
    Subcommands:
      run           simulate a fleet and print a summary
+     trace         simulate with structured tracing, render the timeline
      render-dag    regenerate Figure 1: a live DAG rendered as ASCII/DOT
      render-commit regenerate Figure 2: the cross-wave commit narrative
      experiments   print every experiment table (same as bench default)
@@ -10,6 +11,8 @@
    Examples:
      dune exec bin/dagrider_run.exe -- run -n 7 --backend avid --until 60
      dune exec bin/dagrider_run.exe -- run -n 7 --crash 5 --crash 6
+     dune exec bin/dagrider_run.exe -- trace -n 4 --limit 80
+     dune exec bin/dagrider_run.exe -- trace -n 4 --jsonl run.trace.jsonl
      dune exec bin/dagrider_run.exe -- render-dag --dot
      dune exec bin/dagrider_run.exe -- render-commit *)
 
@@ -112,6 +115,60 @@ let run_cmd =
       const run $ n_arg $ seed_arg $ backend_arg $ sched_arg $ crash_arg
       $ byz_arg $ block_bytes_arg $ until_arg)
 
+(* ---- trace ---- *)
+
+let trace_cmd =
+  let run n seed backend schedule block_bytes until limit jsonl_out =
+    let tracer = Trace.create () in
+    let fleet =
+      Harness.Runner.build
+        { (Harness.Runner.default_options ~n) with
+          seed;
+          backend;
+          schedule;
+          block_bytes;
+          trace = Some tracer }
+    in
+    Harness.Runner.run fleet ~until;
+    (match jsonl_out with
+    | Some path ->
+      let oc = open_out path in
+      output_string oc (Trace.to_jsonl tracer);
+      close_out oc;
+      Printf.printf "wrote %d events to %s (%d emitted, %d dropped)\n"
+        (List.length (Trace.events tracer))
+        path (Trace.emitted tracer) (Trace.dropped tracer)
+    | None -> print_string (Trace.render_timeline ?limit tracer));
+    Printf.printf
+      "\nrun summary: n=%d seed=%d until=%.0f; delivered at p0: %d vertices\n"
+      n seed until
+      (Dagrider.Ordering.delivered_count
+         (Dagrider.Node.ordering (Harness.Runner.node fleet 0)))
+  in
+  let limit_arg =
+    Arg.(
+      value & opt (some int) (Some 120)
+      & info [ "limit" ] ~docv:"K"
+          ~doc:"Show only the newest $(docv) events (use --limit -1 for all).")
+  in
+  let jsonl_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "jsonl" ] ~docv:"FILE"
+          ~doc:"Dump the trace as JSONL to $(docv) instead of rendering.")
+  in
+  let normalize_limit = function Some k when k < 0 -> None | l -> l in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Simulate with structured tracing and render the event timeline \
+          (sends/recvs, RBC phases, rounds, coin flips, leaders, commits).")
+    Term.(
+      const (fun n seed backend sched bytes until limit jsonl ->
+          run n seed backend sched bytes until (normalize_limit limit) jsonl)
+      $ n_arg $ seed_arg $ backend_arg $ sched_arg $ block_bytes_arg
+      $ until_arg $ limit_arg $ jsonl_arg)
+
 (* ---- render-dag (Figure 1) ---- *)
 
 let render_dag_cmd =
@@ -208,4 +265,5 @@ let () =
        (Cmd.group ~default
           (Cmd.info "dagrider_run" ~version:"1.0.0"
              ~doc:"DAG-Rider simulation driver (PODC 2021 reproduction).")
-          [ run_cmd; render_dag_cmd; render_commit_cmd; experiments_cmd ]))
+          [ run_cmd; trace_cmd; render_dag_cmd; render_commit_cmd;
+            experiments_cmd ]))

@@ -54,6 +54,19 @@ let sabotage_arg =
 let verbose_arg =
   Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Per-seed output.")
 
+(* re-run the (shrunk) failing scenario with tracing — runs are pure
+   functions of the seed, so the traced re-run reproduces the failing
+   execution — and drop the event log next to the repro command *)
+let dump_trace (sc : Check.Scenario.t) =
+  let tracer = Check.Swarm.trace_scenario sc in
+  let path = Printf.sprintf "swarm-seed%d.trace.jsonl" sc.Check.Scenario.seed in
+  let oc = open_out path in
+  output_string oc (Trace.to_jsonl tracer);
+  close_out oc;
+  Printf.printf "  trace: %s (%d events retained, %d dropped)\n" path
+    (List.length (Trace.events tracer))
+    (Trace.dropped tracer)
+
 let print_failure (o : Check.Swarm.outcome) =
   Printf.printf "FAIL %s\n" (Check.Scenario.describe o.Check.Swarm.scenario);
   List.iter
@@ -65,7 +78,8 @@ let print_failure (o : Check.Swarm.outcome) =
     Printf.printf "  shrunk fault script: [%s]\n"
       (String.concat "; " (List.map Check.Scenario.describe_fault faults)));
   Printf.printf "  repro: %s\n"
-    (Check.Swarm.repro_command o.Check.Swarm.scenario)
+    (Check.Swarm.repro_command o.Check.Swarm.scenario);
+  dump_trace o.Check.Swarm.scenario
 
 let summarize ~sabotage (report : Check.Swarm.report) =
   let failed = List.length report.Check.Swarm.failures in

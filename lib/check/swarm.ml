@@ -11,7 +11,7 @@ type outcome = {
    mid-run safety checks (agreement + append-only logs) *)
 let slices = 5
 
-let run_scenario (sc : Scenario.t) =
+let run_scenario ?trace (sc : Scenario.t) =
   let commits = ref [] in
   let violations = ref [] in
   (* the hook fires synchronously inside the ordering step, before the
@@ -20,7 +20,8 @@ let run_scenario (sc : Scenario.t) =
   let runner_ref = ref None in
   let options =
     { (Scenario.to_options sc) with
-      Harness.Runner.on_commit =
+      Harness.Runner.trace;
+      on_commit =
         Some
           (fun ~node c ->
             commits :=
@@ -96,6 +97,11 @@ let run_scenario (sc : Scenario.t) =
     delivered_max = List.fold_left max 0 counts;
     commits = List.length !commits;
     events = Sim.Engine.events_executed engine }
+
+let trace_scenario (sc : Scenario.t) =
+  let tracer = Trace.create () in
+  ignore (run_scenario ~trace:tracer sc);
+  tracer
 
 let repro_command (sc : Scenario.t) =
   Printf.sprintf "dune exec bin/swarm.exe -- --seed %d%s%s" sc.Scenario.seed

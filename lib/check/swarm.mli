@@ -18,7 +18,16 @@ type outcome = {
   events : int;  (** simulator events executed *)
 }
 
-val run_scenario : Scenario.t -> outcome
+val run_scenario : ?trace:Trace.t -> Scenario.t -> outcome
+(** [?trace] threads a tracer into the fleet's options
+    ({!Harness.Runner.options.trace}); because a scenario run is a pure
+    function of the seed, tracing a re-run reproduces the original
+    execution event for event. *)
+
+val trace_scenario : Scenario.t -> Trace.t
+(** Re-run [sc] with a fresh tracer and return it — the swarm CLI calls
+    this on every (shrunk) failure so the event log can be written next
+    to the repro command. *)
 
 val repro_command : Scenario.t -> string
 (** The exact command line that replays this scenario. *)

@@ -32,6 +32,7 @@ let default_config ~n ~f =
 type t = {
   config : config;
   me : int;
+  trace : Trace.t option;
   coin : Crypto.Threshold_coin.t;
   coin_net : coin_msg Net.Network.t;
   mutable sync_net : sync_msg Net.Network.t option;
@@ -67,6 +68,9 @@ let rbc t =
   match t.rbc with
   | Some r -> r
   | None -> invalid_arg "Node: rbc backend not wired (internal error)"
+
+let tr_emit t kind =
+  match t.trace with None -> () | Some tr -> Trace.emit tr kind
 
 (* ---- vertex creation (Algorithm 2, lines 16-21 and 27-31) ---- *)
 
@@ -147,6 +151,7 @@ let in_dag_share t ~round =
     let wave_length = t.config.wave_length in
     if round > wave_length && (round - 1) mod wave_length = 0 then begin
       let wave = (round - 1) / wave_length in
+      tr_emit t (Trace.Coin_flip { node = t.me; wave });
       Some (Crypto.Threshold_coin.make_share t.coin ~holder:t.me ~instance:wave)
     end
     else None
@@ -171,6 +176,7 @@ let create_and_broadcast_vertex t ~round =
       wrap_payload ~vertex_bytes:(Vertex.encode v)
         ~share:(in_dag_share t ~round)
   in
+  tr_emit t (Trace.Vertex_created { node = t.me; round });
   (rbc t).rbc_bcast ~payload ~round
 
 (* ---- coin handling ---- *)
@@ -183,6 +189,7 @@ let coin_share_bits (s : Crypto.Threshold_coin.share) =
   8 * 12
 
 let broadcast_share t ~wave =
+  tr_emit t (Trace.Coin_flip { node = t.me; wave });
   let share = Crypto.Threshold_coin.make_share t.coin ~holder:t.me ~instance:wave in
   Net.Network.broadcast t.coin_net ~src:t.me ~kind:"coin-share"
     ~bits:(coin_share_bits share) (Coin_share share)
@@ -230,11 +237,28 @@ let rec try_order_waves t =
       Ordering.process_wave t.ordering ~dag:t.dag ~wave:w
         ~choose_leader:(fun w' -> Hashtbl.find t.leaders w')
     in
+    if commits = [] then
+      tr_emit t
+        (Trace.Leader_skipped
+           { node = t.me; wave = w; leader = Hashtbl.find t.leaders w });
     List.iter
       (fun (c : Ordering.commit) ->
+        tr_emit t
+          (Trace.Commit
+             { node = t.me;
+               wave = c.wave;
+               leader_round = c.leader.Vertex.round;
+               leader_source = c.leader.Vertex.source;
+               direct = c.direct;
+               delivered = List.length c.delivered });
         t.on_commit c;
         List.iter
           (fun v ->
+            tr_emit t
+              (Trace.A_deliver
+                 { node = t.me;
+                   round = v.Vertex.round;
+                   source = v.Vertex.source });
             t.a_deliver ~block:v.Vertex.block ~round:v.Vertex.round
               ~source:v.Vertex.source)
           c.delivered)
@@ -250,6 +274,7 @@ let try_resolve_coin t ~wave =
     match Crypto.Threshold_coin.combine t.coin ~instance:wave shares with
     | Some leader ->
       Hashtbl.add t.leaders wave leader;
+      tr_emit t (Trace.Leader_elected { node = t.me; wave; leader });
       try_order_waves t
     | None -> ()
   end
@@ -289,7 +314,15 @@ let rec try_advance t =
       List.partition (fun v -> Dag.can_add t.dag v) t.buffer
     in
     if ready <> [] then begin
-      List.iter (fun v -> Dag.add t.dag v) ready;
+      List.iter
+        (fun v ->
+          Dag.add t.dag v;
+          tr_emit t
+            (Trace.Vertex_added
+               { node = t.me;
+                 round = v.Vertex.round;
+                 source = v.Vertex.source }))
+        ready;
       t.buffer <- waiting;
       progressed := true
     end
@@ -302,6 +335,7 @@ let rec try_advance t =
     | Some w -> wave_ready t ~wave:w
     | None -> ());
     t.round <- t.round + 1;
+    tr_emit t (Trace.Round_advanced { node = t.me; round = t.round });
     create_and_broadcast_vertex t ~round:t.round;
     try_advance t
   end
@@ -413,7 +447,7 @@ let on_sync_msg t ~src msg =
 
 (* ---- construction ---- *)
 
-let create ~config ~me ~coin ~coin_net ~make_rbc ?sync_net
+let create ~config ~me ~coin ~coin_net ~make_rbc ?sync_net ?trace
     ?(block_source = fun ~round:_ -> "")
     ?(a_deliver = fun ~block:_ ~round:_ ~source:_ -> ())
     ?(on_commit = fun _ -> ()) () =
@@ -422,6 +456,7 @@ let create ~config ~me ~coin ~coin_net ~make_rbc ?sync_net
   let t =
     { config;
       me;
+      trace;
       coin;
       coin_net;
       sync_net;
@@ -467,11 +502,11 @@ let checkpoint t =
     ck_decided_wave = Ordering.decided_wave t.ordering;
     ck_round = t.round }
 
-let restore ~config ~me ~coin ~coin_net ~make_rbc ?sync_net ?block_source
-    ?a_deliver ?on_commit ck =
+let restore ~config ~me ~coin ~coin_net ~make_rbc ?sync_net ?trace
+    ?block_source ?a_deliver ?on_commit ck =
   let t =
-    create ~config ~me ~coin ~coin_net ~make_rbc ?sync_net ?block_source
-      ?a_deliver ?on_commit ()
+    create ~config ~me ~coin ~coin_net ~make_rbc ?sync_net ?trace
+      ?block_source ?a_deliver ?on_commit ()
   in
   (* graft the persisted DAG in: rebuild through Dag.add to re-establish
      the causal-closure invariant *)

@@ -75,6 +75,7 @@ val create :
   coin_net:coin_msg Net.Network.t ->
   make_rbc:rbc_factory ->
   ?sync_net:sync_msg Net.Network.t ->
+  ?trace:Trace.t ->
   ?block_source:(round:int -> string) ->
   ?a_deliver:(block:string -> round:int -> source:int -> unit) ->
   ?on_commit:(Ordering.commit -> unit) ->
@@ -84,7 +85,10 @@ val create :
     the paper assumes processes always have blocks (Algorithm 2 line
     17); the default returns an empty block. [a_deliver] is the BAB
     output upcall; [on_commit] observes committed leaders (experiment
-    instrumentation). *)
+    instrumentation). [trace] records this process's protocol events
+    ({!Trace.Vertex_created}, [Vertex_added], [Round_advanced],
+    [Coin_flip], [Leader_elected], [Leader_skipped], [Commit],
+    [A_deliver]); omitted, no event is ever allocated. *)
 
 type checkpoint = {
   ck_dag : Dag.t;
@@ -104,6 +108,7 @@ val restore : config:config -> me:int ->
   coin_net:coin_msg Net.Network.t ->
   make_rbc:rbc_factory ->
   ?sync_net:sync_msg Net.Network.t ->
+  ?trace:Trace.t ->
   ?block_source:(round:int -> string) ->
   ?a_deliver:(block:string -> round:int -> source:int -> unit) ->
   ?on_commit:(Ordering.commit -> unit) ->

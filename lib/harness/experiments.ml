@@ -2,6 +2,7 @@ type table = {
   title : string;
   header : string list;
   rows : string list list;
+  snapshots : (string * Metrics.Registry.snapshot) list;
   notes : string list;
 }
 
@@ -11,6 +12,21 @@ let render t =
   Buffer.add_string buf (Stdx.Table.render ~header:t.header ~rows:t.rows);
   List.iter (fun n -> Buffer.add_string buf ("  note: " ^ n ^ "\n")) t.notes;
   Buffer.contents buf
+
+let to_json t =
+  let str s = Stdx.Json.String s in
+  Stdx.Json.Obj
+    [ ("title", str t.title);
+      ("header", Stdx.Json.List (List.map str t.header));
+      ( "rows",
+        Stdx.Json.List
+          (List.map (fun r -> Stdx.Json.List (List.map str r)) t.rows) );
+      ("notes", Stdx.Json.List (List.map str t.notes));
+      ( "snapshots",
+        Stdx.Json.Obj
+          (List.map
+             (fun (k, s) -> (k, Metrics.Registry.snapshot_to_json s))
+             t.snapshots) ) ]
 
 let fmt_int = string_of_int
 let fmt_float f = Printf.sprintf "%.2f" f
@@ -121,9 +137,13 @@ let table1_communication ?(ns = [ 4; 7; 10; 13 ]) ?(seed = 42) () =
   let txs_per_block n =
     n * max 1 (int_of_float (Float.round (log (float_of_int n))))
   in
-  let dag backend ~n =
+  let snapshots = ref [] in
+  let dag name backend ~n =
     let block_bytes = tx_bytes * txs_per_block n in
-    let bits, ordered, _ = run_dagrider ~backend ~n ~seed ~block_bytes ~until () in
+    let bits, ordered, h = run_dagrider ~backend ~n ~seed ~block_bytes ~until () in
+    snapshots :=
+      (Printf.sprintf "%s/n=%d" name n, Runner.metrics_snapshot h)
+      :: !snapshots;
     float_of_int bits /. float_of_int (max 1 (ordered * txs_per_block n))
   in
   let smr protocol ~n =
@@ -135,9 +155,9 @@ let table1_communication ?(ns = [ 4; 7; 10; 13 ]) ?(seed = 42) () =
   let systems =
     [ ("VABA SMR", smr Baselines.Smr.Vaba_smr);
       ("Dumbo SMR", smr Baselines.Smr.Dumbo_smr);
-      ("DAG-Rider+Bracha", dag Runner.Bracha);
-      ("DAG-Rider+gossip", dag Runner.Gossip);
-      ("DAG-Rider+AVID", dag Runner.Avid) ]
+      ("DAG-Rider+Bracha", dag "DAG-Rider+Bracha" Runner.Bracha);
+      ("DAG-Rider+gossip", dag "DAG-Rider+gossip" Runner.Gossip);
+      ("DAG-Rider+AVID", dag "DAG-Rider+AVID" Runner.Avid) ]
   in
   let rows =
     List.map
@@ -155,6 +175,7 @@ let table1_communication ?(ns = [ 4; 7; 10; 13 ]) ?(seed = 42) () =
       ("system" :: List.map (fun n -> Printf.sprintf "n=%d" n) ns)
       @ [ "growth exp" ];
     rows;
+    snapshots = List.rev !snapshots;
     notes =
       [ Printf.sprintf
           "%d-byte txs, n*round(ln n) txs per block; %g-time-unit horizon; seed %d"
@@ -231,6 +252,7 @@ let table1_time ?(ns = [ 4; 7; 10; 13 ]) ?(seed = 42) () =
       ("system" :: List.map (fun n -> Printf.sprintf "n=%d" n) ns)
       @ [ "slowdown n_max/n_min" ];
     rows;
+    snapshots = [];
     notes =
       [ "8-seed averages with the last f processes slowed 100x (legal \
          asynchrony); a slot whose coin elects a slowed leader burns \
@@ -287,6 +309,7 @@ let table1_fairness ?(seed = 42) () =
           "no (signatures on safety path)" ];
         [ "DAG-Rider"; pct dr; (if dr >= 0.125 then "yes" else "NO");
           "yes (safety uses only hashes + info-theoretic coin agreement)" ] ];
+    snapshots = [];
     notes =
       [ "n = 4, so an unbiased order gives the victim 25% of values;";
         "post-quantum column is structural: DAG-Rider's safety path has no \
@@ -317,6 +340,7 @@ let table1_combined ?(seed = 42) () =
           "yes"; fair dr ];
         [ "DAG-Rider+AVID"; comm_exp "DAG-Rider+AVID"; time_cells "DAG-Rider";
           "yes"; fair dr ] ];
+    snapshots = [];
     notes =
       [ "paper's Table 1 claims: VABA O(n^2)/O(log n)/no/no; Dumbo \
          O(n)/O(log n)/no/no; DAG-Rider+Bracha O(n^2)/O(1)/yes/yes; +[25] \
@@ -352,6 +376,7 @@ let claim6_waves ?(seed = 42) ?(runs = 5) () =
       [ measure ~schedule:Runner.Uniform_random ~sched_name:"uniform random";
         measure ~schedule:Runner.Skewed_random ~sched_name:"skewed random";
         measure ~schedule:Runner.Synchronous ~sched_name:"synchronous" ];
+    snapshots = [];
     notes =
       [ "the 3/2 bound is against the worst-case adaptive adversary; \
          non-adversarial schedules should sit near 1.0" ] }
@@ -388,6 +413,7 @@ let chain_quality ?(seed = 42) () =
           ~faults:
             [ Runner.Byzantine_live 0; Runner.Byzantine_live 1;
               Runner.Byzantine_live 2 ] ];
+    snapshots = [];
     notes =
       [ "Byzantine-live processes run the protocol (their best strategy for \
          order share); the bound must hold on every (2f+1)-multiple prefix" ] }
@@ -415,6 +441,7 @@ let batching ?(seed = 42) () =
       [ run ~txs_per_block:1; run ~txs_per_block:n;
         run ~txs_per_block:(n * ln_n); run ~txs_per_block:(n * n);
         run ~txs_per_block:(4 * n * n) ];
+    snapshots = [];
     notes =
       [ "the paper: batching O(n) proposals per vertex shaves a factor n off \
          per-transaction cost even with Bracha (\"since we are anyway \
@@ -444,6 +471,7 @@ let ablation_wave_length ?(seed = 42) () =
       [ "wave len"; "waves completed"; "waves decided"; "decide rate";
         "rounds per decided wave" ];
     rows = List.map (fun wl -> run ~wave_length:wl) [ 2; 3; 4; 5; 6 ];
+    snapshots = [];
     notes =
       [ "under non-adversarial schedules short waves also commit — the paper \
          needs >= 4 rounds for the common-core argument to bound the commit \
@@ -473,6 +501,7 @@ let ablation_rbc ?(seed = 42) () =
         run ~backend:Runner.Bracha ~name:"Bracha" ~block_bytes:4096;
         run ~backend:Runner.Gossip ~name:"gossip" ~block_bytes:4096;
         run ~backend:Runner.Avid ~name:"AVID" ~block_bytes:4096 ];
+    snapshots = [];
     notes =
       [ "Bracha's echo/ready carry the whole vertex: it loses badly on large \
          blocks; AVID ships |block|/(f+1) fragments and wins there; gossip \
@@ -504,6 +533,7 @@ let ablation_weak_edges ?(seed = 42) () =
   { title = "Ablation: weak edges under censorship (victim's messages delayed 15x)";
     header = [ "weak edges"; "values ordered"; "from victim"; "verdict" ];
     rows = [ run ~enable_weak_edges:true; run ~enable_weak_edges:false ];
+    snapshots = [];
     notes =
       [ "weak edges exist exactly to pull slow processes' vertices into \
          committed leaders' causal histories (paper §5, Validity)" ] }
@@ -513,6 +543,7 @@ let ablation_weak_edges ?(seed = 42) () =
 let latency ?(seed = 42) () =
   let n = 4 in
   let injections_per_node = 15 in
+  let snapshots = ref [] in
   let run ~backend ~name ~coin_in_dag =
     let recorder = Metrics.Latency.create () in
     let opts =
@@ -540,6 +571,7 @@ let latency ?(seed = 42) () =
       done
     done;
     Runner.run h ~until:120.0;
+    snapshots := (name, Runner.metrics_snapshot h) :: !snapshots;
     let stats = Stdx.Stats.create () in
     List.iter (Stdx.Stats.add stats) (Metrics.Latency.all_first_delivery_latencies recorder);
     let undelivered = List.length (Metrics.Latency.undelivered recorder) in
@@ -559,6 +591,7 @@ let latency ?(seed = 42) () =
         run ~backend:Runner.Bracha ~name:"Bracha, coin in DAG" ~coin_in_dag:true;
         run ~backend:Runner.Avid ~name:"AVID, separate coin" ~coin_in_dag:false;
         run ~backend:Runner.Gossip ~name:"gossip, separate coin" ~coin_in_dag:false ];
+    snapshots = List.rev !snapshots;
     notes =
       [ Printf.sprintf
           "%d probes per process at a 2-unit cadence, n = %d; a probe's            latency spans: queueing in blocksToPropose + RBC of its vertex            + wave completion + coin resolution + commit"
@@ -592,6 +625,7 @@ let ablation_coin ?(seed = 42) () =
       [ "coin transport"; "total bits"; "coin-share bits"; "messages";
         "delivered"; "waves" ];
     rows = [ run ~coin_in_dag:false; run ~coin_in_dag:true ];
+    snapshots = [];
     notes =
       [ "embedding shares in the first vertex after each wave removes the          n^2-messages-per-wave coin channel entirely; shares then arrive          with reliable-broadcast deliveries, bound to their holder by the          broadcast's authenticated source" ] }
 
@@ -624,6 +658,7 @@ let ablation_gc ?(seed = 42) () =
     rows =
       [ row (off_name, off_retained, off_delivered);
         row (on_name, on_retained, on_delivered) ];
+    snapshots = [];
     notes =
       [ Printf.sprintf "identical ordered output with GC on and off: %b"
           (off_log = on_log);
@@ -652,6 +687,7 @@ let throughput ?(seed = 42) () =
       "Throughput scaling (DAG-Rider+AVID, 4n txs per block): ordered txs per time unit";
     header = [ "system"; "txs/block"; "txs ordered"; "txs per time unit"; "bits per tx" ];
     rows = List.map (fun n -> run ~n) [ 4; 7; 10; 13 ];
+    snapshots = [];
     notes =
       [ "every process proposes in every round, so throughput grows with n          while per-transaction cost stays amortized — the property the          paper's descendants (Narwhal/Bullshark) industrialized" ] }
 
@@ -722,6 +758,7 @@ let related_work ?(seed = 42) () =
     rows =
       [ row "Aleph (per-vertex ABBA)" (a_total, a_victim, a_bits, a_instances);
         row "DAG-Rider" (d_total, d_victim, d_bits, 0) ];
+    snapshots = [];
     notes =
       [ "the paper's section-7 claims, measured: Aleph runs n binary          agreements per round and has no weak edges, so the censored          process's vertices are decided out and never ordered; DAG-Rider          orders them (Validity) and uses one coin flip per wave instead          of n agreement instances per round" ] }
 

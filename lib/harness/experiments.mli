@@ -11,10 +11,21 @@ type table = {
   title : string;
   header : string list;
   rows : string list list;
+  snapshots : (string * Metrics.Registry.snapshot) list;
+      (** labeled {!Metrics.Registry} snapshots of the underlying runs
+          (per-kind bit counters, engine gauges, latency percentiles) —
+          populated by the experiments that go through {!Runner}
+          (currently E1 communication and the latency table); empty
+          where the rendered rows are the whole story *)
   notes : string list;
 }
 
 val render : table -> string
+
+val to_json : table -> Stdx.Json.t
+(** The table plus its snapshots as one JSON object
+    ([{"title", "header", "rows", "notes", "snapshots"}]); the bench's
+    [--json] export is a list of these. *)
 
 (** E1 — Table 1, communication complexity column. Bits sent by honest
     processes per ordered value, for each system and system size, plus

@@ -30,6 +30,7 @@ type options = {
     option;
   on_commit : (node:int -> Dagrider.Ordering.commit -> unit) option;
   faults : fault list;
+  trace : Trace.t option;
 }
 
 let default_options ~n =
@@ -47,7 +48,8 @@ let default_options ~n =
     coin_override = None;
     on_deliver = None;
     on_commit = None;
-    faults = [] }
+    faults = [];
+    trace = None }
 
 type t = {
   options : options;
@@ -62,6 +64,7 @@ type t = {
   silence_rbc : drop_in_flight:bool -> int -> unit;
   faulty : bool array;  (* counted as Byzantine *)
   crashed : bool array; (* additionally, never started *)
+  latency : Metrics.Latency.t;
   mutable started : bool;
 }
 
@@ -97,8 +100,22 @@ let build options =
     | Some coin -> coin
     | None -> Crypto.Threshold_coin.setup ~rng:coin_rng ~n ~f
   in
+  (* tracing is strictly additive: with [trace = None] nothing below is
+     installed, so the event schedule is identical to an untraced build *)
+  (match options.trace with
+  | None -> ()
+  | Some tr ->
+    Trace.set_clock tr (fun () -> Sim.Engine.now engine);
+    Sim.Engine.set_sampler engine ~interval:1.0
+      (fun ~time:_ ~executed ~pending ->
+        Trace.emit tr (Trace.Engine_sample { executed; pending })));
   let coin_net = Net.Network.create ~engine ~sched ~counters ~n in
   let sync_net = Net.Network.create ~engine ~sched ~counters ~n in
+  (match options.trace with
+  | None -> ()
+  | Some tr ->
+    Net.Network.set_trace coin_net tr;
+    Net.Network.set_trace sync_net tr);
   (* one typed network per backend protocol; same engine/schedule/counters,
      so semantically a single multiplexed network. [mute_rbc] silences a
      process on that network after wiring (true-crash fault injection). *)
@@ -108,26 +125,41 @@ let build options =
       Net.Network.corrupt net ~drop_in_flight i;
       Net.Network.unregister net i
     in
+    let traced net =
+      (match options.trace with
+      | None -> ()
+      | Some tr -> Net.Network.set_trace net tr);
+      net
+    in
     match options.backend with
     | Bracha ->
-      let net = Net.Network.create ~engine ~sched ~counters ~n in
+      let net = traced (Net.Network.create ~engine ~sched ~counters ~n) in
       ( (fun ~me ~deliver ->
           let b = Rbc.Bracha.create ~net ~me ~f ~deliver in
+          (match options.trace with
+          | None -> ()
+          | Some tr -> Rbc.Bracha.set_trace b tr);
           { Dagrider.Node.rbc_bcast =
               (fun ~payload ~round -> Rbc.Bracha.bcast b ~payload ~round) }),
         silencer net )
     | Avid ->
-      let net = Net.Network.create ~engine ~sched ~counters ~n in
+      let net = traced (Net.Network.create ~engine ~sched ~counters ~n) in
       ( (fun ~me ~deliver ->
           let a = Rbc.Avid.create ~net ~me ~f ~deliver in
+          (match options.trace with
+          | None -> ()
+          | Some tr -> Rbc.Avid.set_trace a tr);
           { Dagrider.Node.rbc_bcast =
               (fun ~payload ~round -> Rbc.Avid.bcast a ~payload ~round) }),
         silencer net )
     | Gossip ->
-      let net = Net.Network.create ~engine ~sched ~counters ~n in
+      let net = traced (Net.Network.create ~engine ~sched ~counters ~n) in
       ( (fun ~me ~deliver ->
           let rng = Stdx.Rng.split gossip_rng in
           let g = Rbc.Gossip.create ~net ~rng ~me ~f ~deliver () in
+          (match options.trace with
+          | None -> ()
+          | Some tr -> Rbc.Gossip.set_trace g tr);
           { Dagrider.Node.rbc_bcast =
               (fun ~payload ~round -> Rbc.Gossip.bcast g ~payload ~round) }),
         silencer net )
@@ -143,24 +175,39 @@ let build options =
         (if options.coin_in_dag then Dagrider.Node.In_dag
          else Dagrider.Node.Separate_network) }
   in
+  let latency = Metrics.Latency.create () in
   let nodes =
     Array.init n (fun me ->
         let a_deliver =
-          match options.on_deliver with
-          | None -> fun ~block:_ ~round:_ ~source:_ -> ()
-          | Some hook ->
-            fun ~block ~round ~source ->
-              hook ~node:me ~block ~round ~source ~time:(Sim.Engine.now engine)
+          let user_hook =
+            match options.on_deliver with
+            | None -> fun ~block:_ ~round:_ ~source:_ -> ()
+            | Some hook ->
+              fun ~block ~round ~source ->
+                hook ~node:me ~block ~round ~source
+                  ~time:(Sim.Engine.now engine)
+          in
+          fun ~block ~round ~source ->
+            Metrics.Latency.delivered latency block ~process:me
+              ~now:(Sim.Engine.now engine);
+            user_hook ~block ~round ~source
         in
         let on_commit =
           match options.on_commit with
           | None -> fun _ -> ()
           | Some hook -> fun commit -> hook ~node:me commit
         in
+        (* [block_source] fires exactly when this node creates its round
+           vertex, so the proposal timestamp lands on the vertex's birth *)
+        let block_source ~round =
+          let block =
+            synthetic_block ~block_bytes:options.block_bytes ~me ~round
+          in
+          Metrics.Latency.proposed latency block ~now:(Sim.Engine.now engine);
+          block
+        in
         Dagrider.Node.create ~config ~me ~coin ~coin_net ~make_rbc ~sync_net
-          ~block_source:(fun ~round ->
-            synthetic_block ~block_bytes:options.block_bytes ~me ~round)
-          ~a_deliver ~on_commit ())
+          ?trace:options.trace ~block_source ~a_deliver ~on_commit ())
   in
   let faulty = Array.make n false in
   let crashed = Array.make n false in
@@ -248,6 +295,7 @@ let build options =
     silence_rbc;
     faulty;
     crashed;
+    latency;
     started = false }
 
 let engine t = t.engine
@@ -375,6 +423,38 @@ let check_integrity t =
 let honest_bits t =
   Metrics.Counters.total_bits_from t.counters ~senders:(is_correct t)
 
+let latency t = t.latency
+
+let metrics_snapshot t =
+  let reg = Metrics.Registry.create () in
+  Metrics.Registry.incr reg "net.bits.total"
+    ~by:(Metrics.Counters.total_bits t.counters) ();
+  Metrics.Registry.incr reg "net.bits.honest" ~by:(honest_bits t) ();
+  Metrics.Registry.incr reg "net.messages.total"
+    ~by:(Metrics.Counters.total_messages t.counters) ();
+  List.iter
+    (fun (kind, bits) ->
+      Metrics.Registry.incr reg ("net.bits." ^ kind) ~by:bits ())
+    (Metrics.Counters.bits_by_kind t.counters);
+  Metrics.Registry.set_gauge reg "engine.time" (Sim.Engine.now t.engine);
+  Metrics.Registry.set_gauge reg "engine.events"
+    (float_of_int (Sim.Engine.events_executed t.engine));
+  Metrics.Registry.set_gauge reg "engine.pending"
+    (float_of_int (Sim.Engine.pending t.engine));
+  List.iter
+    (Metrics.Registry.observe reg "latency.first_delivery")
+    (Metrics.Latency.all_first_delivery_latencies t.latency);
+  List.iter
+    (Metrics.Registry.observe reg "latency.per_process")
+    (Metrics.Latency.all_per_process_latencies t.latency);
+  Array.iteri
+    (fun i node ->
+      Metrics.Registry.incr reg (Printf.sprintf "node.%d.delivered" i)
+        ~by:(Dagrider.Ordering.delivered_count (Dagrider.Node.ordering node))
+        ())
+    t.nodes;
+  Metrics.Registry.snapshot reg
+
 let restart_node t i =
   if i < 0 || i >= t.options.n then invalid_arg "Runner.restart_node: bad index";
   let ck = Dagrider.Node.checkpoint t.nodes.(i) in
@@ -404,23 +484,34 @@ let restart_node t i =
       ck_round = ck.Dagrider.Node.ck_round }
   in
   let a_deliver =
-    match t.options.on_deliver with
-    | None -> fun ~block:_ ~round:_ ~source:_ -> ()
-    | Some hook ->
-      fun ~block ~round ~source ->
-        hook ~node:i ~block ~round ~source ~time:(Sim.Engine.now t.engine)
+    let user_hook =
+      match t.options.on_deliver with
+      | None -> fun ~block:_ ~round:_ ~source:_ -> ()
+      | Some hook ->
+        fun ~block ~round ~source ->
+          hook ~node:i ~block ~round ~source ~time:(Sim.Engine.now t.engine)
+    in
+    fun ~block ~round ~source ->
+      Metrics.Latency.delivered t.latency block ~process:i
+        ~now:(Sim.Engine.now t.engine);
+      user_hook ~block ~round ~source
   in
   let on_commit =
     match t.options.on_commit with
     | None -> fun _ -> ()
     | Some hook -> fun commit -> hook ~node:i commit
   in
+  let block_source ~round =
+    let block =
+      synthetic_block ~block_bytes:t.options.block_bytes ~me:i ~round
+    in
+    Metrics.Latency.proposed t.latency block ~now:(Sim.Engine.now t.engine);
+    block
+  in
   let restored =
     Dagrider.Node.restore ~config:t.node_config ~me:i ~coin:t.coin
       ~coin_net:t.coin_net ~make_rbc:t.make_rbc ~sync_net:t.sync_net
-      ~block_source:(fun ~round ->
-        synthetic_block ~block_bytes:t.options.block_bytes ~me:i ~round)
-      ~a_deliver ~on_commit ck
+      ?trace:t.options.trace ~block_source ~a_deliver ~on_commit ck
   in
   t.nodes.(i) <- restored;
   (* broadcasts that straddled the restart surface a little later *)

@@ -60,6 +60,14 @@ type options = {
       (** observe every committed wave leader at every node (the swarm
           checker's leader-support oracle); [None] costs nothing *)
   faults : fault list;
+  trace : Trace.t option;
+      (** record structured events from every layer — network
+          sends/recvs, RBC phases, DAG/round progress, coin flips,
+          leader elections, commits, a_delivers, plus a periodic engine
+          sample. [build] wires the tracer's clock to the engine and
+          fans it out to every network, RBC instance, and node. [None]
+          (the default) installs nothing: the run's event schedule and
+          delivered logs are identical to a build without tracing. *)
 }
 
 val default_options : n:int -> options
@@ -123,6 +131,18 @@ val check_integrity : t -> (unit, string) result
 
 val honest_bits : t -> int
 (** Bits sent by correct processes (the paper's communication measure). *)
+
+val latency : t -> Metrics.Latency.t
+(** The harness's built-in proposal-to-delivery recorder. Every
+    synthetic block is timestamped when its proposer creates the vertex
+    carrying it and again at each process's [a_deliver] — always on, no
+    RNG or engine events involved, so it never perturbs the schedule. *)
+
+val metrics_snapshot : t -> Metrics.Registry.snapshot
+(** One snapshot of the run's health: communication counters (total,
+    honest, per message kind), engine gauges (virtual time, events
+    executed, events pending), latency histograms (first delivery and
+    per-process delivery), and per-node delivered counts. *)
 
 val restart_node : t -> int -> unit
 (** Crash-and-recover process [i] in place: checkpoint it (through the

@@ -3,7 +3,8 @@ type key = string
 type record = {
   proposed_at : float;
   mutable first_delivery : float option;
-  mutable deliverers : int list;
+  mutable deliveries : (int * float) list;
+      (* first delivery time per process, newest first *)
 }
 
 type t = { records : (key, record) Hashtbl.t }
@@ -13,14 +14,14 @@ let create () = { records = Hashtbl.create 64 }
 let proposed t key ~now =
   if not (Hashtbl.mem t.records key) then
     Hashtbl.add t.records key
-      { proposed_at = now; first_delivery = None; deliverers = [] }
+      { proposed_at = now; first_delivery = None; deliveries = [] }
 
 let delivered t key ~process ~now =
   match Hashtbl.find_opt t.records key with
   | None -> ()
   | Some r ->
-    if not (List.mem process r.deliverers) then
-      r.deliverers <- process :: r.deliverers;
+    if not (List.mem_assoc process r.deliveries) then
+      r.deliveries <- (process, now) :: r.deliveries;
     (match r.first_delivery with
     | Some earlier when earlier <= now -> ()
     | _ -> r.first_delivery <- Some now)
@@ -47,4 +48,20 @@ let undelivered t =
 let delivery_count t key =
   match Hashtbl.find_opt t.records key with
   | None -> 0
-  | Some r -> List.length r.deliverers
+  | Some r -> List.length r.deliveries
+
+let per_process_latency t key =
+  match Hashtbl.find_opt t.records key with
+  | None -> []
+  | Some r ->
+    List.sort
+      (fun (p, _) (q, _) -> compare (p : int) q)
+      (List.map (fun (p, at) -> (p, at -. r.proposed_at)) r.deliveries)
+
+let all_per_process_latencies t =
+  Hashtbl.fold
+    (fun _ r acc ->
+      List.fold_left
+        (fun acc (_, at) -> (at -. r.proposed_at) :: acc)
+        acc r.deliveries)
+    t.records []

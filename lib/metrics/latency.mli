@@ -30,3 +30,13 @@ val undelivered : t -> key list
 
 val delivery_count : t -> key -> int
 (** Number of distinct processes that delivered the payload. *)
+
+val per_process_latency : t -> key -> (int * float) list
+(** Proposal-to-delivery latency at each process that delivered the
+    payload, sorted by process id. Only the first delivery at each
+    process counts; [[]] if never proposed or not yet delivered. *)
+
+val all_per_process_latencies : t -> float list
+(** Every (payload, process) delivery latency pooled together — the
+    distribution a "time to delivery at each process" histogram is
+    built from. *)

@@ -1,0 +1,127 @@
+type t = {
+  counters : (string, int ref) Hashtbl.t;
+  gauges : (string, float ref) Hashtbl.t;
+  histograms : (string, Stdx.Stats.t) Hashtbl.t;
+}
+
+let create () =
+  { counters = Hashtbl.create 32;
+    gauges = Hashtbl.create 16;
+    histograms = Hashtbl.create 16 }
+
+let incr t name ?(by = 1) () =
+  match Hashtbl.find_opt t.counters name with
+  | Some r -> r := !r + by
+  | None -> Hashtbl.add t.counters name (ref by)
+
+let set_gauge t name v =
+  match Hashtbl.find_opt t.gauges name with
+  | Some r -> r := v
+  | None -> Hashtbl.add t.gauges name (ref v)
+
+let histogram t name =
+  match Hashtbl.find_opt t.histograms name with
+  | Some h -> h
+  | None ->
+    let h = Stdx.Stats.create () in
+    Hashtbl.add t.histograms name h;
+    h
+
+let observe t name v = Stdx.Stats.add (histogram t name) v
+
+let counter_value t name =
+  match Hashtbl.find_opt t.counters name with Some r -> !r | None -> 0
+
+let gauge_value t name =
+  Option.map ( ! ) (Hashtbl.find_opt t.gauges name)
+
+(* ---- snapshots ---- *)
+
+type histogram_summary = {
+  h_count : int;
+  h_mean : float;
+  h_min : float;
+  h_max : float;
+  h_p50 : float;
+  h_p90 : float;
+  h_p99 : float;
+}
+
+type snapshot = {
+  counters : (string * int) list;
+  gauges : (string * float) list;
+  histograms : (string * histogram_summary) list;
+}
+
+let summarize stats =
+  { h_count = Stdx.Stats.count stats;
+    h_mean = Stdx.Stats.mean stats;
+    h_min = Stdx.Stats.min_value stats;
+    h_max = Stdx.Stats.max_value stats;
+    h_p50 = Stdx.Stats.percentile stats 50.0;
+    h_p90 = Stdx.Stats.percentile stats 90.0;
+    h_p99 = Stdx.Stats.percentile stats 99.0 }
+
+let by_name (a, _) (b, _) = compare (a : string) b
+
+let snapshot (t : t) =
+  { counters =
+      List.sort by_name
+        (Hashtbl.fold (fun k r acc -> (k, !r) :: acc) t.counters []);
+    gauges =
+      List.sort by_name
+        (Hashtbl.fold (fun k r acc -> (k, !r) :: acc) t.gauges []);
+    histograms =
+      List.sort by_name
+        (Hashtbl.fold
+           (fun k stats acc -> (k, summarize stats) :: acc)
+           t.histograms []) }
+
+let summary_to_json s =
+  Stdx.Json.Obj
+    [ ("count", Stdx.Json.Int s.h_count);
+      ("mean", Stdx.Json.Float s.h_mean);
+      ("min", Stdx.Json.Float s.h_min);
+      ("max", Stdx.Json.Float s.h_max);
+      ("p50", Stdx.Json.Float s.h_p50);
+      ("p90", Stdx.Json.Float s.h_p90);
+      ("p99", Stdx.Json.Float s.h_p99) ]
+
+let snapshot_to_json s =
+  Stdx.Json.Obj
+    [ ( "counters",
+        Stdx.Json.Obj (List.map (fun (k, v) -> (k, Stdx.Json.Int v)) s.counters)
+      );
+      ( "gauges",
+        Stdx.Json.Obj (List.map (fun (k, v) -> (k, Stdx.Json.Float v)) s.gauges)
+      );
+      ( "histograms",
+        Stdx.Json.Obj
+          (List.map (fun (k, v) -> (k, summary_to_json v)) s.histograms) ) ]
+
+let render s =
+  let buf = Buffer.create 512 in
+  if s.counters <> [] then begin
+    Buffer.add_string buf "counters:\n";
+    List.iter
+      (fun (k, v) -> Buffer.add_string buf (Printf.sprintf "  %-32s %d\n" k v))
+      s.counters
+  end;
+  if s.gauges <> [] then begin
+    Buffer.add_string buf "gauges:\n";
+    List.iter
+      (fun (k, v) ->
+        Buffer.add_string buf (Printf.sprintf "  %-32s %.3f\n" k v))
+      s.gauges
+  end;
+  if s.histograms <> [] then begin
+    Buffer.add_string buf "histograms:\n";
+    List.iter
+      (fun (k, h) ->
+        Buffer.add_string buf
+          (Printf.sprintf
+             "  %-32s n=%d mean=%.3f p50=%.3f p90=%.3f p99=%.3f max=%.3f\n" k
+             h.h_count h.h_mean h.h_p50 h.h_p90 h.h_p99 h.h_max))
+      s.histograms
+  end;
+  Buffer.contents buf

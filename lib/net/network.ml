@@ -9,6 +9,7 @@ type 'msg t = {
   mutable op_seq : int;
   corrupted_at_op : int option array;
   mutable delivered : int;
+  mutable trace : Trace.t option;
 }
 
 let create ~engine ~sched ~counters ~n =
@@ -20,7 +21,10 @@ let create ~engine ~sched ~counters ~n =
     handlers = Array.make n None;
     op_seq = 0;
     corrupted_at_op = Array.make n None;
-    delivered = 0 }
+    delivered = 0;
+    trace = None }
+
+let set_trace t tr = t.trace <- Some tr
 
 let n t = t.n
 
@@ -40,6 +44,9 @@ let send t ~src ~dst ~kind ~bits msg =
   check_index t dst "send";
   if bits < 0 then invalid_arg "Network.send: negative size";
   Metrics.Counters.record_send t.counters ~src ~kind ~bits;
+  (match t.trace with
+  | None -> ()
+  | Some tr -> Trace.emit tr (Trace.Send { src; dst; msg_kind = kind; bits }));
   let now = Sim.Engine.now t.engine in
   let { Sched.delay } = t.sched.Sched.decide ~now ~src ~dst ~kind in
   let sent_op = t.op_seq in
@@ -56,6 +63,9 @@ let send t ~src ~dst ~kind ~bits msg =
         match t.handlers.(dst) with
         | Some handler ->
           t.delivered <- t.delivered + 1;
+          (match t.trace with
+          | None -> ()
+          | Some tr -> Trace.emit tr (Trace.Recv { src; dst; msg_kind = kind }));
           handler ~src msg
         | None -> ())
 

@@ -21,6 +21,13 @@ val create :
   n:int ->
   'msg t
 
+val set_trace : 'msg t -> Trace.t -> unit
+(** Attach a tracer: from now on every send emits {!Trace.Send}
+    (stamped before the scheduler decides the delay) and every delivery
+    that reaches a registered handler emits {!Trace.Recv}; dropped or
+    handler-less deliveries emit nothing. Without a tracer the hot path
+    is unchanged. *)
+
 val n : 'msg t -> int
 
 val register : 'msg t -> int -> (src:int -> 'msg -> unit) -> unit

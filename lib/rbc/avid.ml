@@ -121,7 +121,16 @@ type t = {
   deliver : deliver;
   instances : instance Tbl.t;
   mutable delivered_count : int;
+  mutable trace : Trace.t option;
 }
+
+let set_trace t tr = t.trace <- Some tr
+
+let phase t ~origin ~round p =
+  match t.trace with
+  | None -> ()
+  | Some tr ->
+    Trace.emit tr (Trace.Rbc_phase { node = t.me; origin; round; phase = p })
 
 let get_instance t key =
   match Tbl.find_opt t.instances key with
@@ -174,6 +183,7 @@ let valid_fragment t ~commit ~frag ~proof ~frag_index =
 let send_ready t inst ~origin ~round ~commit =
   if not inst.ready_sent then begin
     inst.ready_sent <- true;
+    phase t ~origin ~round "ready";
     let msg =
       Ready { origin; round; root = commit.root; data_len = commit.data_len }
     in
@@ -193,7 +203,9 @@ let try_deliver t inst ~origin ~round ~commit =
         match
           Crypto.Reed_solomon.decode t.coder ~data_len:commit.data_len pieces
         with
-        | exception Invalid_argument _ -> inst.discarded <- true
+        | exception Invalid_argument _ ->
+          inst.discarded <- true;
+          phase t ~origin ~round "discard"
         | payload ->
           (* re-encode and check the committed root: rejects Byzantine
              non-codeword dispersals deterministically, so every correct
@@ -203,9 +215,13 @@ let try_deliver t inst ~origin ~round ~commit =
           if String.equal (Crypto.Merkle.root tree) commit.root then begin
             inst.delivered <- true;
             t.delivered_count <- t.delivered_count + 1;
+            phase t ~origin ~round "deliver";
             t.deliver ~payload ~round ~source:origin
           end
-          else inst.discarded <- true
+          else begin
+            inst.discarded <- true;
+            phase t ~origin ~round "discard"
+          end
       end
       | _ -> ()
     end
@@ -224,6 +240,7 @@ let handle t ~src msg =
     then begin
       inst.echoed <- true;
       store_fragment inst ~commit ~frag_index ~frag;
+      phase t ~origin ~round "echo";
       let msg = Echo { origin; round; root; data_len; frag_index; frag; proof } in
       Net.Network.broadcast t.net ~src:t.me ~kind:"avid-echo"
         ~bits:(msg_bits msg) msg
@@ -256,12 +273,14 @@ let create ~net ~me ~f ~deliver =
       coder = Crypto.Reed_solomon.make ~k ~n;
       deliver;
       instances = Tbl.create 64;
-      delivered_count = 0 }
+      delivered_count = 0;
+      trace = None }
   in
   Net.Network.register net me (fun ~src msg -> handle t ~src msg);
   t
 
 let disperse t ~round ~frags ~data_len =
+  phase t ~origin:t.me ~round "disperse";
   let tree = Crypto.Merkle.build frags in
   let root = Crypto.Merkle.root tree in
   Array.iteri

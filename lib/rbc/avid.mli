@@ -54,6 +54,11 @@ type t
 val create :
   net:msg Net.Network.t -> me:int -> f:int -> deliver:Rbc_intf.deliver -> t
 
+val set_trace : t -> Trace.t -> unit
+(** Emit {!Trace.Rbc_phase} events ("disperse", "echo", "ready",
+    "deliver", "discard") for every instance transition at this process
+    from now on. *)
+
 val bcast : t -> payload:string -> round:int -> unit
 
 val delivered_instances : t -> int

@@ -61,7 +61,16 @@ type t = {
   deliver : deliver;
   instances : instance Tbl.t;
   mutable delivered_count : int;
+  mutable trace : Trace.t option;
 }
+
+let set_trace t tr = t.trace <- Some tr
+
+let phase t ~origin ~round p =
+  match t.trace with
+  | None -> ()
+  | Some tr ->
+    Trace.emit tr (Trace.Rbc_phase { node = t.me; origin; round; phase = p })
 
 let get_instance t key =
   match Tbl.find_opt t.instances key with
@@ -94,6 +103,7 @@ let add_voter table digest voter =
   Iset.cardinal !set
 
 let send_echo t ~origin ~round ~payload =
+  phase t ~origin ~round "echo";
   let msg = Echo { origin; round; payload } in
   Net.Network.broadcast t.net ~src:t.me ~kind:"bracha-echo"
     ~bits:(msg_bits msg) msg
@@ -101,6 +111,7 @@ let send_echo t ~origin ~round ~payload =
 let send_ready t inst ~origin ~round ~payload =
   if not inst.ready_sent then begin
     inst.ready_sent <- true;
+    phase t ~origin ~round "ready";
     let msg = Ready { origin; round; payload } in
     Net.Network.broadcast t.net ~src:t.me ~kind:"bracha-ready"
       ~bits:(msg_bits msg) msg
@@ -114,6 +125,7 @@ let try_deliver t inst ~origin ~round ~digest =
       | Some payload ->
         inst.delivered <- true;
         t.delivered_count <- t.delivered_count + 1;
+        phase t ~origin ~round "deliver";
         t.deliver ~payload ~round ~source:origin
       | None -> ())
     | _ -> ()
@@ -147,12 +159,19 @@ let handle t ~src msg =
 
 let create ~net ~me ~f ~deliver =
   let t =
-    { net; me; f; deliver; instances = Tbl.create 64; delivered_count = 0 }
+    { net;
+      me;
+      f;
+      deliver;
+      instances = Tbl.create 64;
+      delivered_count = 0;
+      trace = None }
   in
   Net.Network.register net me (fun ~src msg -> handle t ~src msg);
   t
 
 let bcast t ~payload ~round =
+  phase t ~origin:t.me ~round "init";
   let msg = Init { round; payload } in
   Net.Network.broadcast t.net ~src:t.me ~kind:"bracha-init"
     ~bits:(msg_bits msg) msg

@@ -33,6 +33,10 @@ val create :
   net:msg Net.Network.t -> me:int -> f:int -> deliver:Rbc_intf.deliver -> t
 (** Registers process [me]'s handler on [net]. *)
 
+val set_trace : t -> Trace.t -> unit
+(** Emit {!Trace.Rbc_phase} events ("init", "echo", "ready", "deliver")
+    for every instance transition at this process from now on. *)
+
 val bcast : t -> payload:string -> round:int -> unit
 (** [r_bcast] of the abstraction. A correct process calls this at most
     once per round (the DAG layer guarantees it). *)

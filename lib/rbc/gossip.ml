@@ -89,7 +89,16 @@ type t = {
   ready_feedback : int;
   instances : instance Tbl.t;
   mutable delivered_count : int;
+  mutable trace : Trace.t option;
 }
+
+let set_trace t tr = t.trace <- Some tr
+
+let phase t ~origin ~round p =
+  match t.trace with
+  | None -> ()
+  | Some tr ->
+    Trace.emit tr (Trace.Rbc_phase { node = t.me; origin; round; phase = p })
 
 let sample_size n factor =
   let ln_n = log (float_of_int (max 2 n)) in
@@ -149,6 +158,7 @@ let progress t inst ~origin ~round =
       && (echo_count >= t.echo_need || ready_count >= t.ready_feedback)
     then begin
       inst.ready_sent <- true;
+      phase t ~origin ~round "ready";
       let msg = Ready { origin; round; digest } in
       send_sample t ~size:t.ready_size ~kind:"gossip-ready"
         ~bits:(msg_bits msg) msg
@@ -158,6 +168,7 @@ let progress t inst ~origin ~round =
       | Some payload ->
         inst.delivered <- true;
         t.delivered_count <- t.delivered_count + 1;
+        phase t ~origin ~round "deliver";
         t.deliver ~payload ~round ~source:origin
       | None -> ()
 
@@ -171,12 +182,14 @@ let handle t ~src msg =
       inst.accepted_digest <- Some digest;
       if not inst.relayed then begin
         inst.relayed <- true;
+        phase t ~origin ~round "gossip";
         let msg = Gossip { origin; round; payload } in
         send_sample t ~size:t.gossip_size ~kind:"gossip-relay"
           ~bits:(msg_bits msg) msg
       end;
       if not inst.echo_sent then begin
         inst.echo_sent <- true;
+        phase t ~origin ~round "echo";
         let msg = Echo { origin; round; digest } in
         send_sample t ~size:t.echo_size ~kind:"gossip-echo"
           ~bits:(msg_bits msg) msg
@@ -216,12 +229,14 @@ let create ~net ~rng ?(params = default_params) ~me ~f:_ ~deliver () =
       ready_need;
       ready_feedback = max 1 (ready_need / 2);
       instances = Tbl.create 64;
-      delivered_count = 0 }
+      delivered_count = 0;
+      trace = None }
   in
   Net.Network.register net me (fun ~src msg -> handle t ~src msg);
   t
 
 let bcast t ~payload ~round =
+  phase t ~origin:t.me ~round "init";
   (* the sender seeds the epidemic through its own gossip sample and also
      processes the message locally (send-to-self through the queue) *)
   let msg = Gossip { origin = t.me; round; payload } in

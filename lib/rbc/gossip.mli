@@ -54,6 +54,11 @@ val create :
   unit ->
   t
 
+val set_trace : t -> Trace.t -> unit
+(** Emit {!Trace.Rbc_phase} events ("init", "gossip", "echo", "ready",
+    "deliver") for every instance transition at this process from now
+    on. *)
+
 val bcast : t -> payload:string -> round:int -> unit
 
 val delivered_instances : t -> int

@@ -46,3 +46,13 @@ let run t ?(max_events = max_int) ?(until = infinity) () =
 let pending t = Stdx.Pqueue.length t.queue
 
 let events_executed t = t.executed
+
+let set_sampler t ~interval f =
+  if interval <= 0.0 then invalid_arg "Engine.set_sampler: interval must be positive";
+  let rec tick () =
+    (* [pending] here excludes the sampler event itself (already popped) *)
+    f ~time:t.clock ~executed:t.executed ~pending:(pending t);
+    (* re-arm only while other work remains, so [run] still terminates *)
+    if pending t > 0 then schedule t ~delay:interval tick
+  in
+  schedule t ~delay:interval tick

@@ -42,3 +42,12 @@ val pending : t -> int
 
 val events_executed : t -> int
 (** Total events executed since creation (simulation-cost metric). *)
+
+val set_sampler : t -> interval:float -> (time:float -> executed:int -> pending:int -> unit) -> unit
+(** Install a periodic observer: every [interval] time units the engine
+    runs [f ~time ~executed ~pending] as a regular event. The sampler
+    re-arms itself only while other events remain queued, so a drained
+    simulation still terminates — but note it does occupy queue slots,
+    so only install one when observing (the harness does this exactly
+    when tracing is enabled, keeping untraced runs schedule-identical).
+    @raise Invalid_argument on a non-positive interval. *)

@@ -1,0 +1,266 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+(* ---- emission ---- *)
+
+let escape_into buf s =
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s
+
+(* floats print so that [float_of_string] recovers them exactly, and
+   always with a '.' or exponent so the parser reads them back as Float,
+   keeping value round-trips type-stable *)
+let float_repr f =
+  if Float.is_nan f || f = infinity || f = neg_infinity then
+    (* not representable in JSON; callers should not emit these *)
+    "null"
+  else begin
+    let s = Printf.sprintf "%.17g" f in
+    let shortest =
+      let cand = Printf.sprintf "%.12g" f in
+      if float_of_string cand = f then cand else s
+    in
+    if String.exists (fun c -> c = '.' || c = 'e' || c = 'E') shortest then
+      shortest
+    else shortest ^ ".0"
+  end
+
+let rec write buf = function
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Int i -> Buffer.add_string buf (string_of_int i)
+  | Float f -> Buffer.add_string buf (float_repr f)
+  | String s ->
+    Buffer.add_char buf '"';
+    escape_into buf s;
+    Buffer.add_char buf '"'
+  | List items ->
+    Buffer.add_char buf '[';
+    List.iteri
+      (fun i item ->
+        if i > 0 then Buffer.add_char buf ',';
+        write buf item)
+      items;
+    Buffer.add_char buf ']'
+  | Obj fields ->
+    Buffer.add_char buf '{';
+    List.iteri
+      (fun i (key, value) ->
+        if i > 0 then Buffer.add_char buf ',';
+        Buffer.add_char buf '"';
+        escape_into buf key;
+        Buffer.add_string buf "\":";
+        write buf value)
+      fields;
+    Buffer.add_char buf '}'
+
+let to_string v =
+  let buf = Buffer.create 256 in
+  write buf v;
+  Buffer.contents buf
+
+(* ---- parsing (the subset this module emits, plus whitespace) ---- *)
+
+exception Parse_error of string
+
+type parser_state = { src : string; mutable pos : int }
+
+let peek p = if p.pos < String.length p.src then Some p.src.[p.pos] else None
+
+let advance p = p.pos <- p.pos + 1
+
+let fail p msg = raise (Parse_error (Printf.sprintf "%s at offset %d" msg p.pos))
+
+let skip_ws p =
+  while
+    match peek p with
+    | Some (' ' | '\t' | '\n' | '\r') -> true
+    | _ -> false
+  do
+    advance p
+  done
+
+let expect p c =
+  match peek p with
+  | Some got when got = c -> advance p
+  | _ -> fail p (Printf.sprintf "expected %C" c)
+
+let expect_word p word =
+  let len = String.length word in
+  if p.pos + len <= String.length p.src && String.sub p.src p.pos len = word
+  then p.pos <- p.pos + len
+  else fail p (Printf.sprintf "expected %s" word)
+
+let parse_hex4 p =
+  let v = ref 0 in
+  for _ = 1 to 4 do
+    (match peek p with
+    | Some c ->
+      let d =
+        match c with
+        | '0' .. '9' -> Char.code c - Char.code '0'
+        | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+        | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+        | _ -> fail p "bad \\u escape"
+      in
+      v := (!v * 16) + d
+    | None -> fail p "bad \\u escape");
+    advance p
+  done;
+  !v
+
+let parse_string p =
+  expect p '"';
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek p with
+    | None -> fail p "unterminated string"
+    | Some '"' ->
+      advance p;
+      Buffer.contents buf
+    | Some '\\' ->
+      advance p;
+      (match peek p with
+      | Some '"' -> Buffer.add_char buf '"'; advance p
+      | Some '\\' -> Buffer.add_char buf '\\'; advance p
+      | Some '/' -> Buffer.add_char buf '/'; advance p
+      | Some 'n' -> Buffer.add_char buf '\n'; advance p
+      | Some 'r' -> Buffer.add_char buf '\r'; advance p
+      | Some 't' -> Buffer.add_char buf '\t'; advance p
+      | Some 'b' -> Buffer.add_char buf '\b'; advance p
+      | Some 'f' -> Buffer.add_char buf '\012'; advance p
+      | Some 'u' ->
+        advance p;
+        let code = parse_hex4 p in
+        (* we only emit \u00XX for control bytes; decode the low byte *)
+        if code < 0x100 then Buffer.add_char buf (Char.chr code)
+        else fail p "unsupported \\u escape above 0xFF"
+      | _ -> fail p "bad escape");
+      go ()
+    | Some c ->
+      Buffer.add_char buf c;
+      advance p;
+      go ()
+  in
+  go ()
+
+let parse_number p =
+  let start = p.pos in
+  let is_num_char c =
+    match c with
+    | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+    | _ -> false
+  in
+  while (match peek p with Some c when is_num_char c -> true | _ -> false) do
+    advance p
+  done;
+  let s = String.sub p.src start (p.pos - start) in
+  if s = "" then fail p "expected number"
+  else if String.exists (fun c -> c = '.' || c = 'e' || c = 'E') s then
+    match float_of_string_opt s with
+    | Some f -> Float f
+    | None -> fail p "bad float"
+  else
+    match int_of_string_opt s with
+    | Some i -> Int i
+    | None -> (
+      match float_of_string_opt s with
+      | Some f -> Float f
+      | None -> fail p "bad number")
+
+let rec parse_value p =
+  skip_ws p;
+  match peek p with
+  | None -> fail p "unexpected end of input"
+  | Some 'n' -> expect_word p "null"; Null
+  | Some 't' -> expect_word p "true"; Bool true
+  | Some 'f' -> expect_word p "false"; Bool false
+  | Some '"' -> String (parse_string p)
+  | Some '[' ->
+    advance p;
+    skip_ws p;
+    if peek p = Some ']' then begin
+      advance p;
+      List []
+    end
+    else begin
+      let items = ref [ parse_value p ] in
+      skip_ws p;
+      while peek p = Some ',' do
+        advance p;
+        items := parse_value p :: !items;
+        skip_ws p
+      done;
+      expect p ']';
+      List (List.rev !items)
+    end
+  | Some '{' ->
+    advance p;
+    skip_ws p;
+    if peek p = Some '}' then begin
+      advance p;
+      Obj []
+    end
+    else begin
+      let field () =
+        skip_ws p;
+        let key = parse_string p in
+        skip_ws p;
+        expect p ':';
+        let value = parse_value p in
+        (key, value)
+      in
+      let fields = ref [ field () ] in
+      skip_ws p;
+      while peek p = Some ',' do
+        advance p;
+        fields := field () :: !fields;
+        skip_ws p
+      done;
+      expect p '}';
+      Obj (List.rev !fields)
+    end
+  | Some _ -> parse_number p
+
+let of_string src =
+  let p = { src; pos = 0 } in
+  try
+    let v = parse_value p in
+    skip_ws p;
+    if p.pos = String.length src then Ok v else Error "trailing garbage"
+  with Parse_error msg -> Error msg
+
+(* ---- accessors ---- *)
+
+let member key = function
+  | Obj fields -> List.assoc_opt key fields
+  | _ -> None
+
+let to_int_opt = function Int i -> Some i | _ -> None
+
+let to_float_opt = function
+  | Float f -> Some f
+  | Int i -> Some (float_of_int i)
+  | _ -> None
+
+let to_string_opt = function String s -> Some s | _ -> None
+
+let to_bool_opt = function Bool b -> Some b | _ -> None
+
+let to_list_opt = function List l -> Some l | _ -> None

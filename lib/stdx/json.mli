@@ -1,0 +1,37 @@
+(** Minimal JSON emitter/parser — just enough for the machine-readable
+    bench output ([bench/main.exe -- ... --json]) and the tracer's JSONL
+    event logs, with no external dependency.
+
+    Emission is compact (no whitespace). Floats are printed with a
+    decimal point or exponent so they parse back as [Float] (type-stable
+    round-trips); non-finite floats are emitted as [null]. The parser
+    accepts everything the emitter produces plus arbitrary whitespace;
+    [\u] escapes above [0x00FF] are rejected (the emitter never produces
+    them — strings are treated as raw bytes). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact one-line rendering. *)
+
+val of_string : string -> (t, string) result
+(** Parse a complete JSON document; [Error] carries the offset of the
+    first problem or "trailing garbage". *)
+
+val member : string -> t -> t option
+(** Field lookup on an [Obj]; [None] on anything else. *)
+
+val to_int_opt : t -> int option
+val to_float_opt : t -> float option
+(** [Int] widens to float. *)
+
+val to_string_opt : t -> string option
+val to_bool_opt : t -> bool option
+val to_list_opt : t -> t list option

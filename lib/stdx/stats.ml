@@ -5,11 +5,15 @@ type t = {
   mutable sum_sq : float;
   mutable min_v : float;
   mutable max_v : float;
+  (* sorted snapshot of [values], rebuilt lazily by [percentile] and
+     invalidated by [add] — repeated percentile queries between
+     additions (summary, registry snapshots) cost one sort total *)
+  mutable sorted : float array option;
 }
 
 let create () =
   { values = []; n = 0; sum = 0.0; sum_sq = 0.0;
-    min_v = infinity; max_v = neg_infinity }
+    min_v = infinity; max_v = neg_infinity; sorted = None }
 
 let add t x =
   t.values <- x :: t.values;
@@ -17,7 +21,8 @@ let add t x =
   t.sum <- t.sum +. x;
   t.sum_sq <- t.sum_sq +. (x *. x);
   if x < t.min_v then t.min_v <- x;
-  if x > t.max_v then t.max_v <- x
+  if x > t.max_v then t.max_v <- x;
+  t.sorted <- None
 
 let count t = t.n
 
@@ -34,11 +39,19 @@ let stddev t =
 let min_value t = if t.n = 0 then 0.0 else t.min_v
 let max_value t = if t.n = 0 then 0.0 else t.max_v
 
+let sorted_values t =
+  match t.sorted with
+  | Some arr -> arr
+  | None ->
+    let arr = Array.of_list t.values in
+    Array.sort compare arr;
+    t.sorted <- Some arr;
+    arr
+
 let percentile t p =
   if t.n = 0 then 0.0
   else begin
-    let sorted = List.sort compare t.values in
-    let arr = Array.of_list sorted in
+    let arr = sorted_values t in
     let rank =
       int_of_float (ceil (p /. 100.0 *. float_of_int t.n)) - 1
     in

@@ -22,7 +22,9 @@ val max_value : t -> float
 
 val percentile : t -> float -> float
 (** [percentile t p] with [p] in [\[0, 100\]]; nearest-rank on the sorted
-    observations. 0 if empty. *)
+    observations. 0 if empty. The sorted array is cached and invalidated
+    by {!add}, so alternating queries (p50/p99/...) between additions
+    sort at most once. *)
 
 val summary : t -> string
 (** One-line human-readable summary: count/mean/p50/p99/max. *)

@@ -1,0 +1,313 @@
+type kind =
+  | Send of { src : int; dst : int; msg_kind : string; bits : int }
+  | Recv of { src : int; dst : int; msg_kind : string }
+  | Rbc_phase of { node : int; origin : int; round : int; phase : string }
+  | Vertex_created of { node : int; round : int }
+  | Vertex_added of { node : int; round : int; source : int }
+  | Round_advanced of { node : int; round : int }
+  | Coin_flip of { node : int; wave : int }
+  | Leader_elected of { node : int; wave : int; leader : int }
+  | Leader_skipped of { node : int; wave : int; leader : int }
+  | Commit of {
+      node : int;
+      wave : int;
+      leader_round : int;
+      leader_source : int;
+      direct : bool;
+      delivered : int;
+    }
+  | A_deliver of { node : int; round : int; source : int }
+  | Engine_sample of { executed : int; pending : int }
+
+type event = { seq : int; time : float; kind : kind }
+
+type t = {
+  capacity : int;
+  ring : event option array;
+  mutable emitted : int;
+  mutable clock : unit -> float;
+}
+
+let default_capacity = 1 lsl 16
+
+let create ?(capacity = default_capacity) () =
+  if capacity < 1 then invalid_arg "Trace.create: capacity must be positive";
+  { capacity;
+    ring = Array.make capacity None;
+    emitted = 0;
+    clock = (fun () -> 0.0) }
+
+let set_clock t clock = t.clock <- clock
+
+let emit t kind =
+  let seq = t.emitted in
+  t.emitted <- seq + 1;
+  t.ring.(seq mod t.capacity) <- Some { seq; time = t.clock (); kind }
+
+let emitted t = t.emitted
+
+let dropped t = max 0 (t.emitted - t.capacity)
+
+let capacity t = t.capacity
+
+let events t =
+  let count = min t.emitted t.capacity in
+  let first = t.emitted - count in
+  List.init count (fun i ->
+      match t.ring.((first + i) mod t.capacity) with
+      | Some e -> e
+      | None -> assert false)
+
+(* ---- labels ---- *)
+
+let node_of = function
+  | Send { src; _ } -> Some src
+  | Recv { dst; _ } -> Some dst
+  | Rbc_phase { node; _ }
+  | Vertex_created { node; _ }
+  | Vertex_added { node; _ }
+  | Round_advanced { node; _ }
+  | Coin_flip { node; _ }
+  | Leader_elected { node; _ }
+  | Leader_skipped { node; _ }
+  | Commit { node; _ }
+  | A_deliver { node; _ } -> Some node
+  | Engine_sample _ -> None
+
+let kind_label = function
+  | Send _ -> "send"
+  | Recv _ -> "recv"
+  | Rbc_phase _ -> "rbc-phase"
+  | Vertex_created _ -> "vertex-created"
+  | Vertex_added _ -> "vertex-added"
+  | Round_advanced _ -> "round-advanced"
+  | Coin_flip _ -> "coin-flip"
+  | Leader_elected _ -> "leader-elected"
+  | Leader_skipped _ -> "leader-skipped"
+  | Commit _ -> "commit"
+  | A_deliver _ -> "a-deliver"
+  | Engine_sample _ -> "engine-sample"
+
+let describe_kind = function
+  | Send { src; dst; msg_kind; bits } ->
+    Printf.sprintf "send p%d->p%d %s (%d bits)" src dst msg_kind bits
+  | Recv { src; dst; msg_kind } ->
+    Printf.sprintf "recv p%d->p%d %s" src dst msg_kind
+  | Rbc_phase { node; origin; round; phase } ->
+    Printf.sprintf "rbc p%d: instance (p%d,r%d) -> %s" node origin round phase
+  | Vertex_created { node; round } ->
+    Printf.sprintf "p%d created its r%d vertex" node round
+  | Vertex_added { node; round; source } ->
+    Printf.sprintf "p%d added (r%d,p%d) to its DAG" node round source
+  | Round_advanced { node; round } ->
+    Printf.sprintf "p%d advanced to round %d" node round
+  | Coin_flip { node; wave } ->
+    Printf.sprintf "p%d flipped the wave-%d coin (share out)" node wave
+  | Leader_elected { node; wave; leader } ->
+    Printf.sprintf "p%d resolved wave %d: leader p%d" node wave leader
+  | Leader_skipped { node; wave; leader } ->
+    Printf.sprintf "p%d skipped wave %d (leader p%d unsupported/absent)" node
+      wave leader
+  | Commit { node; wave; leader_round; leader_source; direct; delivered } ->
+    Printf.sprintf "p%d committed wave %d leader (r%d,p%d)%s, %d delivered"
+      node wave leader_round leader_source
+      (if direct then "" else " [chained]")
+      delivered
+  | A_deliver { node; round; source } ->
+    Printf.sprintf "p%d a-delivered (r%d,p%d)" node round source
+  | Engine_sample { executed; pending } ->
+    Printf.sprintf "engine: %d events executed, %d pending" executed pending
+
+(* ---- JSONL ---- *)
+
+let event_to_json { seq; time; kind } =
+  let base = [ ("seq", Stdx.Json.Int seq); ("t", Stdx.Json.Float time) ] in
+  let ev name fields =
+    Stdx.Json.Obj (base @ (("ev", Stdx.Json.String name) :: fields))
+  in
+  let i k v = (k, Stdx.Json.Int v) in
+  let s k v = (k, Stdx.Json.String v) in
+  match kind with
+  | Send { src; dst; msg_kind; bits } ->
+    ev "send" [ i "src" src; i "dst" dst; s "kind" msg_kind; i "bits" bits ]
+  | Recv { src; dst; msg_kind } ->
+    ev "recv" [ i "src" src; i "dst" dst; s "kind" msg_kind ]
+  | Rbc_phase { node; origin; round; phase } ->
+    ev "rbc-phase"
+      [ i "node" node; i "origin" origin; i "round" round; s "phase" phase ]
+  | Vertex_created { node; round } ->
+    ev "vertex-created" [ i "node" node; i "round" round ]
+  | Vertex_added { node; round; source } ->
+    ev "vertex-added" [ i "node" node; i "round" round; i "source" source ]
+  | Round_advanced { node; round } ->
+    ev "round-advanced" [ i "node" node; i "round" round ]
+  | Coin_flip { node; wave } -> ev "coin-flip" [ i "node" node; i "wave" wave ]
+  | Leader_elected { node; wave; leader } ->
+    ev "leader-elected" [ i "node" node; i "wave" wave; i "leader" leader ]
+  | Leader_skipped { node; wave; leader } ->
+    ev "leader-skipped" [ i "node" node; i "wave" wave; i "leader" leader ]
+  | Commit { node; wave; leader_round; leader_source; direct; delivered } ->
+    ev "commit"
+      [ i "node" node; i "wave" wave; i "leader_round" leader_round;
+        i "leader_source" leader_source;
+        ("direct", Stdx.Json.Bool direct); i "delivered" delivered ]
+  | A_deliver { node; round; source } ->
+    ev "a-deliver" [ i "node" node; i "round" round; i "source" source ]
+  | Engine_sample { executed; pending } ->
+    ev "engine-sample" [ i "executed" executed; i "pending" pending ]
+
+let event_of_json json =
+  let ( let* ) r f = Result.bind r f in
+  let field name conv =
+    match Option.bind (Stdx.Json.member name json) conv with
+    | Some v -> Ok v
+    | None -> Error (Printf.sprintf "missing or mistyped field %S" name)
+  in
+  let int_field name = field name Stdx.Json.to_int_opt in
+  let str_field name = field name Stdx.Json.to_string_opt in
+  let bool_field name = field name Stdx.Json.to_bool_opt in
+  let* seq = int_field "seq" in
+  let* time = field "t" Stdx.Json.to_float_opt in
+  let* ev = str_field "ev" in
+  let* kind =
+    match ev with
+    | "send" ->
+      let* src = int_field "src" in
+      let* dst = int_field "dst" in
+      let* msg_kind = str_field "kind" in
+      let* bits = int_field "bits" in
+      Ok (Send { src; dst; msg_kind; bits })
+    | "recv" ->
+      let* src = int_field "src" in
+      let* dst = int_field "dst" in
+      let* msg_kind = str_field "kind" in
+      Ok (Recv { src; dst; msg_kind })
+    | "rbc-phase" ->
+      let* node = int_field "node" in
+      let* origin = int_field "origin" in
+      let* round = int_field "round" in
+      let* phase = str_field "phase" in
+      Ok (Rbc_phase { node; origin; round; phase })
+    | "vertex-created" ->
+      let* node = int_field "node" in
+      let* round = int_field "round" in
+      Ok (Vertex_created { node; round })
+    | "vertex-added" ->
+      let* node = int_field "node" in
+      let* round = int_field "round" in
+      let* source = int_field "source" in
+      Ok (Vertex_added { node; round; source })
+    | "round-advanced" ->
+      let* node = int_field "node" in
+      let* round = int_field "round" in
+      Ok (Round_advanced { node; round })
+    | "coin-flip" ->
+      let* node = int_field "node" in
+      let* wave = int_field "wave" in
+      Ok (Coin_flip { node; wave })
+    | "leader-elected" ->
+      let* node = int_field "node" in
+      let* wave = int_field "wave" in
+      let* leader = int_field "leader" in
+      Ok (Leader_elected { node; wave; leader })
+    | "leader-skipped" ->
+      let* node = int_field "node" in
+      let* wave = int_field "wave" in
+      let* leader = int_field "leader" in
+      Ok (Leader_skipped { node; wave; leader })
+    | "commit" ->
+      let* node = int_field "node" in
+      let* wave = int_field "wave" in
+      let* leader_round = int_field "leader_round" in
+      let* leader_source = int_field "leader_source" in
+      let* direct = bool_field "direct" in
+      let* delivered = int_field "delivered" in
+      Ok (Commit { node; wave; leader_round; leader_source; direct; delivered })
+    | "a-deliver" ->
+      let* node = int_field "node" in
+      let* round = int_field "round" in
+      let* source = int_field "source" in
+      Ok (A_deliver { node; round; source })
+    | "engine-sample" ->
+      let* executed = int_field "executed" in
+      let* pending = int_field "pending" in
+      Ok (Engine_sample { executed; pending })
+    | other -> Error (Printf.sprintf "unknown event kind %S" other)
+  in
+  Ok { seq; time; kind }
+
+let to_jsonl t =
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun e ->
+      Buffer.add_string buf (Stdx.Json.to_string (event_to_json e));
+      Buffer.add_char buf '\n')
+    (events t);
+  Buffer.contents buf
+
+let events_of_jsonl text =
+  let lines =
+    List.filter (fun l -> String.trim l <> "") (String.split_on_char '\n' text)
+  in
+  let rec go acc lineno = function
+    | [] -> Ok (List.rev acc)
+    | line :: rest -> (
+      match Stdx.Json.of_string line with
+      | Error e -> Error (Printf.sprintf "line %d: %s" lineno e)
+      | Ok json -> (
+        match event_of_json json with
+        | Error e -> Error (Printf.sprintf "line %d: %s" lineno e)
+        | Ok ev -> go (ev :: acc) (lineno + 1) rest))
+  in
+  go [] 1 lines
+
+(* ---- ASCII timeline ---- *)
+
+let render_events ?(max_lanes = 16) events =
+  let buf = Buffer.create 4096 in
+  let lanes =
+    List.fold_left
+      (fun acc e ->
+        match node_of e.kind with Some p -> max acc (p + 1) | None -> acc)
+      0 events
+  in
+  let lanes = min lanes max_lanes in
+  let lane_cells node =
+    String.init lanes (fun i ->
+        match node with
+        | Some p when p = i -> '*'
+        | Some p when p >= lanes && i = lanes - 1 -> '+'
+        | _ -> '.')
+  in
+  Buffer.add_string buf
+    (Printf.sprintf "%10s  %8s  %-*s  %s\n" "time" "seq" (max lanes 5)
+       (if lanes > 0 then "lanes" else "-")
+       "event");
+  List.iter
+    (fun e ->
+      Buffer.add_string buf
+        (Printf.sprintf "%10.3f  %8d  %-*s  %s\n" e.time e.seq (max lanes 5)
+           (lane_cells (node_of e.kind))
+           (describe_kind e.kind)))
+    events;
+  Buffer.contents buf
+
+let render_timeline ?max_lanes ?limit t =
+  let evs = events t in
+  let evs =
+    match limit with
+    | None -> evs
+    | Some k when k >= List.length evs -> evs
+    | Some k ->
+      (* keep the newest [k] — the tail is where failures live *)
+      let skip = List.length evs - k in
+      List.filteri (fun i _ -> i >= skip) evs
+  in
+  let header =
+    Printf.sprintf
+      "trace: %d event(s) emitted, %d retained (capacity %d), %d dropped\n"
+      t.emitted
+      (min t.emitted t.capacity)
+      t.capacity (dropped t)
+  in
+  header ^ render_events ?max_lanes evs

@@ -1,0 +1,112 @@
+(** Structured execution tracing for the whole stack.
+
+    A tracer is a fixed-capacity ring buffer of typed events, each
+    stamped with the virtual time it was emitted at and a monotone
+    sequence number. Every layer takes an optional tracer — network
+    sends/receives, reliable-broadcast phase transitions, DAG vertex
+    and round progress, coin flips, leader election, wave commits, and
+    the BAB [a_deliver] upcalls — so one trace interleaves the full
+    causal story of a run. With no tracer installed ([None] everywhere)
+    nothing is allocated and the simulation is byte-identical to an
+    untraced build of the same seed.
+
+    The buffer keeps the {e newest} [capacity] events: when it wraps,
+    the oldest are overwritten (failures live at the tail). Export is
+    JSONL — one compact JSON object per line, decodable by
+    {!events_of_jsonl} for offline analysis — and there is an ASCII
+    timeline renderer for eyeballs. *)
+
+type kind =
+  | Send of { src : int; dst : int; msg_kind : string; bits : int }
+      (** a message left [src] (kind tags as in {!Metrics.Counters}) *)
+  | Recv of { src : int; dst : int; msg_kind : string }
+      (** delivery at [dst]'s handler *)
+  | Rbc_phase of { node : int; origin : int; round : int; phase : string }
+      (** reliable-broadcast instance [(origin, round)] changed phase at
+          [node]: "init"/"disperse"/"gossip", "echo", "ready",
+          "deliver", "discard" *)
+  | Vertex_created of { node : int; round : int }
+      (** Algorithm 2 lines 16-21: [node] built and broadcast its own
+          round-[round] vertex *)
+  | Vertex_added of { node : int; round : int; source : int }
+      (** Algorithm 2 lines 6-9: a buffered vertex joined [node]'s DAG *)
+  | Round_advanced of { node : int; round : int }
+      (** Algorithm 2 lines 10-15: the 2f+1 quorum for the previous
+          round assembled; [round] is the round being entered *)
+  | Coin_flip of { node : int; wave : int }
+      (** [node] completed wave [wave] and released its coin share *)
+  | Leader_elected of { node : int; wave : int; leader : int }
+      (** f+1 shares combined at [node]: wave [wave]'s leader is known *)
+  | Leader_skipped of { node : int; wave : int; leader : int }
+      (** ordering processed a resolved wave without committing it
+          (leader vertex absent or under-supported, Algorithm 3) *)
+  | Commit of {
+      node : int;
+      wave : int;
+      leader_round : int;
+      leader_source : int;
+      direct : bool; (** [false] = chained retroactively, lines 38-43 *)
+      delivered : int; (** fresh vertices ordered by this commit *)
+    }
+  | A_deliver of { node : int; round : int; source : int }
+      (** the atomic-broadcast output upcall *)
+  | Engine_sample of { executed : int; pending : int }
+      (** periodic simulator health sample (event count, queue depth) *)
+
+type event = { seq : int; time : float; kind : kind }
+
+type t
+
+val default_capacity : int
+(** 65536 events. *)
+
+val create : ?capacity:int -> unit -> t
+(** The clock initially reads 0.0 everywhere; whoever owns the
+    simulation engine calls {!set_clock} (the harness does it in
+    [Runner.build]).
+    @raise Invalid_argument on a non-positive capacity. *)
+
+val set_clock : t -> (unit -> float) -> unit
+(** Install the virtual-time source events are stamped with. *)
+
+val emit : t -> kind -> unit
+
+val events : t -> event list
+(** Retained events, oldest first. *)
+
+val emitted : t -> int
+(** Total events ever emitted (including overwritten ones). *)
+
+val dropped : t -> int
+(** Events lost to ring-buffer wrap: [max 0 (emitted - capacity)]. *)
+
+val capacity : t -> int
+
+val node_of : kind -> int option
+(** The process a kind is attributed to ([None] for engine samples). *)
+
+val kind_label : kind -> string
+(** Stable short name, identical to the JSONL "ev" field. *)
+
+val describe_kind : kind -> string
+(** One-line human rendering (the timeline's event column). *)
+
+val event_to_json : event -> Stdx.Json.t
+
+val event_of_json : Stdx.Json.t -> (event, string) result
+(** Inverse of {!event_to_json}. *)
+
+val to_jsonl : t -> string
+(** One compact JSON object per line, oldest first. *)
+
+val events_of_jsonl : string -> (event list, string) result
+(** Parse a JSONL dump (blank lines ignored); error names the line. *)
+
+val render_events : ?max_lanes:int -> event list -> string
+(** ASCII timeline: one row per event with its virtual time, sequence
+    number, a lane column marking the process involved ([max_lanes]
+    caps the lane width, default 16), and the human description. *)
+
+val render_timeline : ?max_lanes:int -> ?limit:int -> t -> string
+(** {!render_events} over the retained events (newest [limit] if given),
+    prefixed with an emitted/retained/dropped summary line. *)

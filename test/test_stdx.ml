@@ -273,6 +273,93 @@ let test_stats_growth_exponent_drops_nonpositive () =
   (* the (0, 1) point must be dropped, leaving slope 1 on log-log *)
   check Alcotest.(float 1e-9) "exponent" 1.0 (Stdx.Stats.growth_exponent pts)
 
+let test_stats_percentile_caching_not_quadratic () =
+  (* the sorted snapshot is cached between adds: 1000 summaries over
+     1e5 points must cost ~one sort, not one sort per call (which
+     would take minutes) *)
+  let s = Stdx.Stats.create () in
+  let rng = Stdx.Rng.create 77 in
+  for _ = 1 to 100_000 do
+    Stdx.Stats.add s (Stdx.Rng.float rng 1000.0)
+  done;
+  let t0 = Sys.time () in
+  for _ = 1 to 1000 do
+    ignore (Stdx.Stats.summary s)
+  done;
+  let dt = Sys.time () -. t0 in
+  checkb
+    (Printf.sprintf "1000 summaries on 1e5 points in %.2fs cpu (< 5s)" dt)
+    true (dt < 5.0)
+
+let test_stats_percentile_cache_invalidated () =
+  let s = Stdx.Stats.create () in
+  List.iter (Stdx.Stats.add s) [ 1.0; 2.0; 3.0 ];
+  check Alcotest.(float 0.0) "p100 before" 3.0 (Stdx.Stats.percentile s 100.0);
+  (* an add after a percentile query must invalidate the sorted cache *)
+  Stdx.Stats.add s 10.0;
+  check Alcotest.(float 0.0) "p100 after add" 10.0
+    (Stdx.Stats.percentile s 100.0);
+  check Alcotest.(float 0.0) "p1 after add" 1.0 (Stdx.Stats.percentile s 1.0)
+
+(* ---- Json ---- *)
+
+let json_sample =
+  Stdx.Json.(
+    Obj
+      [ ("null", Null);
+        ("flag", Bool true);
+        ("count", Int (-42));
+        ("pi", Float 3.14159);
+        ("tiny", Float 1e-9);
+        ("text", String "he said \"hi\"\n\ttab \\ slash");
+        ("empty_list", List []);
+        ("empty_obj", Obj []);
+        ("nested", List [ Int 1; List [ Bool false ]; Obj [ ("k", Null) ] ]) ])
+
+let test_json_round_trip () =
+  let s = Stdx.Json.to_string json_sample in
+  match Stdx.Json.of_string s with
+  | Ok v -> checkb "round trip" true (v = json_sample)
+  | Error e -> Alcotest.fail ("parse failed: " ^ e)
+
+let test_json_floats_stay_floats () =
+  (* the emitter must keep a decimal point/exponent so Float round-trips
+     as Float, not Int *)
+  match Stdx.Json.of_string (Stdx.Json.to_string (Stdx.Json.Float 2.0)) with
+  | Ok (Stdx.Json.Float f) -> check Alcotest.(float 0.0) "value" 2.0 f
+  | Ok _ -> Alcotest.fail "float re-parsed as non-float"
+  | Error e -> Alcotest.fail e
+
+let test_json_nonfinite_is_null () =
+  checkb "nan" true (Stdx.Json.to_string (Stdx.Json.Float Float.nan) = "null");
+  checkb "inf" true (Stdx.Json.to_string (Stdx.Json.Float infinity) = "null")
+
+let test_json_accessors () =
+  let open Stdx.Json in
+  checkb "member" true (member "count" json_sample = Some (Int (-42)));
+  checkb "member missing" true (member "nope" json_sample = None);
+  checkb "to_int" true (to_int_opt (Int 5) = Some 5);
+  checkb "int widens" true (to_float_opt (Int 5) = Some 5.0);
+  checkb "to_string" true (to_string_opt (String "x") = Some "x");
+  checkb "to_bool" true (to_bool_opt (Bool false) = Some false);
+  checkb "to_list" true (to_list_opt (List [ Null ]) = Some [ Null ])
+
+let test_json_parse_errors () =
+  let bad = [ ""; "{"; "[1,]"; "{\"a\":}"; "12 34"; "\"unterminated" ] in
+  List.iter
+    (fun s ->
+      match Stdx.Json.of_string s with
+      | Ok _ -> Alcotest.fail (Printf.sprintf "accepted %S" s)
+      | Error _ -> ())
+    bad
+
+let test_json_whitespace_tolerated () =
+  match Stdx.Json.of_string "  { \"a\" : [ 1 , 2 ] }  " with
+  | Ok v ->
+    checkb "parsed" true
+      Stdx.Json.(v = Obj [ ("a", List [ Int 1; Int 2 ]) ])
+  | Error e -> Alcotest.fail e
+
 (* ---- Table ---- *)
 
 let test_stats_linear_fit_errors () =
@@ -344,7 +431,21 @@ let () =
           Alcotest.test_case "growth exponent" `Quick test_stats_growth_exponent;
           Alcotest.test_case "growth drops nonpositive" `Quick
             test_stats_growth_exponent_drops_nonpositive;
-          Alcotest.test_case "linear fit errors" `Quick test_stats_linear_fit_errors ] );
+          Alcotest.test_case "linear fit errors" `Quick test_stats_linear_fit_errors;
+          Alcotest.test_case "percentile caching not quadratic" `Quick
+            test_stats_percentile_caching_not_quadratic;
+          Alcotest.test_case "percentile cache invalidated by add" `Quick
+            test_stats_percentile_cache_invalidated ] );
+      ( "json",
+        [ Alcotest.test_case "round trip" `Quick test_json_round_trip;
+          Alcotest.test_case "floats stay floats" `Quick
+            test_json_floats_stay_floats;
+          Alcotest.test_case "non-finite is null" `Quick
+            test_json_nonfinite_is_null;
+          Alcotest.test_case "accessors" `Quick test_json_accessors;
+          Alcotest.test_case "parse errors" `Quick test_json_parse_errors;
+          Alcotest.test_case "whitespace tolerated" `Quick
+            test_json_whitespace_tolerated ] );
       ( "table",
         [ Alcotest.test_case "renders" `Quick test_table_renders;
           Alcotest.test_case "ragged rejected" `Quick test_table_ragged_rejected ] )
