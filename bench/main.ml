@@ -10,7 +10,7 @@
    Add "--json [FILE]" to any experiment invocation to also serialize
    the table(s) — rows, notes, and the runs' metrics snapshots
    (per-kind bit counters, latency percentiles, engine gauges) — as a
-   JSON array. FILE defaults to BENCH_PR2.json.
+   JSON array. FILE defaults to BENCH.json.
 
    Each table regenerates one artifact of the paper (DESIGN.md §4 maps
    table/figure -> experiment id); EXPERIMENTS.md records paper-claimed
@@ -228,7 +228,7 @@ let write_json path named_tables =
     (List.length named_tables)
     (if List.length named_tables = 1 then "" else "s")
 
-let default_json_file = "BENCH_PR2.json"
+let default_json_file = "BENCH.json"
 
 (* pull "--json [FILE]" out of the argument list; the remaining
    arguments parse as before *)

@@ -4,6 +4,8 @@
    Subcommands:
      run           simulate a fleet and print a summary
      trace         simulate with structured tracing, render the timeline
+     analyze       run the protocol analyzer (live run or replayed JSONL)
+     dot           render the DAG as Graphviz with leader/commit classes
      render-dag    regenerate Figure 1: a live DAG rendered as ASCII/DOT
      render-commit regenerate Figure 2: the cross-wave commit narrative
      experiments   print every experiment table (same as bench default)
@@ -13,6 +15,9 @@
      dune exec bin/dagrider_run.exe -- run -n 7 --crash 5 --crash 6
      dune exec bin/dagrider_run.exe -- trace -n 4 --limit 80
      dune exec bin/dagrider_run.exe -- trace -n 4 --jsonl run.trace.jsonl
+     dune exec bin/dagrider_run.exe -- analyze -n 4 --until 200
+     dune exec bin/dagrider_run.exe -- analyze --jsonl run.trace.jsonl
+     dune exec bin/dagrider_run.exe -- dot -n 4 --rounds 12 > dag.dot
      dune exec bin/dagrider_run.exe -- render-dag --dot
      dune exec bin/dagrider_run.exe -- render-commit *)
 
@@ -169,6 +174,151 @@ let trace_cmd =
       $ n_arg $ seed_arg $ backend_arg $ sched_arg $ block_bytes_arg
       $ until_arg $ limit_arg $ jsonl_arg)
 
+(* ---- analyze ---- *)
+
+let write_file path contents =
+  let oc = open_out path in
+  output_string oc contents;
+  close_out oc
+
+let analyze_cmd =
+  let run n seed backend schedule crashes byzantines block_bytes until jsonl
+      json_out =
+    let report =
+      match jsonl with
+      | Some path ->
+        (match Analyze.of_jsonl_file path with
+        | Ok report -> report
+        | Error e ->
+          Printf.eprintf "analyze: %s\n" e;
+          exit 1)
+      | None ->
+        let tracer = Trace.create ~capacity:4096 () in
+        let faults =
+          List.map (fun i -> Harness.Runner.Crash i) crashes
+          @ List.map (fun i -> Harness.Runner.Byzantine_live i) byzantines
+        in
+        let fleet =
+          Harness.Runner.build
+            { (Harness.Runner.default_options ~n) with
+              seed;
+              backend;
+              schedule;
+              faults;
+              block_bytes;
+              trace = Some tracer }
+        in
+        Harness.Runner.run fleet ~until;
+        Option.get (Harness.Runner.analysis fleet)
+    in
+    (match json_out with
+    | Some path ->
+      write_file path (Stdx.Json.to_string (Analyze.report_to_json report));
+      Printf.printf "wrote analysis report to %s\n\n" path
+    | None -> ());
+    print_string (Analyze.render report)
+  in
+  let jsonl_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "jsonl" ] ~docv:"FILE"
+          ~doc:
+            "Replay a trace dumped by `trace --jsonl` (or a swarm failure \
+             repro) instead of running a fresh simulation.")
+  in
+  let json_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:"Also write the full report as JSON to $(docv).")
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:
+         "Run the protocol analyzer: commit-latency breakdown per stage, \
+          per-wave commit/skip records vs the paper's 3/2 bound, round \
+          skew, RBC phase durations, chain quality, and anomaly detection \
+          — over a live traced run or a replayed JSONL trace.")
+    Term.(
+      const run $ n_arg $ seed_arg $ backend_arg $ sched_arg $ crash_arg
+      $ byz_arg $ block_bytes_arg $ until_arg $ jsonl_arg $ json_arg)
+
+(* ---- dot (Figures 1-2 style DAG rendering, analyzer-classified) ---- *)
+
+let dot_cmd =
+  let run n seed backend schedule block_bytes until rounds shade_wave snapshot
+      save_snapshot =
+    match snapshot with
+    | Some path ->
+      (* offline: a saved snapshot has no trace, so no leader classes *)
+      let contents =
+        let ic = open_in_bin path in
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      in
+      (match Dagrider.Snapshot.dag_of_string contents with
+      | Ok dag ->
+        print_string (Dagrider.Render.dot_classified ~max_round:rounds dag)
+      | Error e ->
+        Printf.eprintf "dot: bad snapshot %s: %s\n" path e;
+        exit 1)
+    | None ->
+      let tracer = Trace.create ~capacity:4096 () in
+      let fleet =
+        Harness.Runner.build
+          { (Harness.Runner.default_options ~n) with
+            seed;
+            backend;
+            schedule;
+            block_bytes;
+            trace = Some tracer }
+      in
+      Harness.Runner.run fleet ~until;
+      let report = Option.get (Harness.Runner.analysis fleet) in
+      let dag = Dagrider.Node.dag (Harness.Runner.node fleet 0) in
+      (match save_snapshot with
+      | Some path ->
+        write_file path (Dagrider.Snapshot.dag_to_string dag);
+        Printf.eprintf "saved DAG snapshot to %s\n" path
+      | None -> ());
+      print_string (Analyze.dot ?shade_wave ~max_round:rounds ~dag report)
+  in
+  let rounds_arg =
+    Arg.(
+      value & opt int 12 & info [ "rounds" ] ~docv:"R" ~doc:"Rounds to show.")
+  in
+  let shade_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "shade-wave" ] ~docv:"W"
+          ~doc:
+            "Shade the causal history of wave $(docv)'s committed leader \
+             (default: the newest committed wave).")
+  in
+  let snapshot_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "snapshot" ] ~docv:"FILE"
+          ~doc:"Render a DAG snapshot saved with --save-snapshot (offline).")
+  in
+  let save_snapshot_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "save-snapshot" ] ~docv:"FILE"
+          ~doc:"Also save the rendered DAG's snapshot to $(docv).")
+  in
+  Cmd.v
+    (Cmd.info "dot"
+       ~doc:
+         "Render the DAG as Graphviz DOT in the style of the paper's \
+          Figures 1-2: strong edges solid, weak edges dashed, leaders \
+          colored by outcome (committed/skipped/elected), and the causal \
+          history of a chosen commit shaded.")
+    Term.(
+      const run $ n_arg $ seed_arg $ backend_arg $ sched_arg $ block_bytes_arg
+      $ until_arg $ rounds_arg $ shade_arg $ snapshot_arg $ save_snapshot_arg)
+
 (* ---- render-dag (Figure 1) ---- *)
 
 let render_dag_cmd =
@@ -265,5 +415,5 @@ let () =
        (Cmd.group ~default
           (Cmd.info "dagrider_run" ~version:"1.0.0"
              ~doc:"DAG-Rider simulation driver (PODC 2021 reproduction).")
-          [ run_cmd; trace_cmd; render_dag_cmd; render_commit_cmd;
-            experiments_cmd ]))
+          [ run_cmd; trace_cmd; analyze_cmd; dot_cmd; render_dag_cmd;
+            render_commit_cmd; experiments_cmd ]))

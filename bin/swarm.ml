@@ -56,16 +56,31 @@ let verbose_arg =
 
 (* re-run the (shrunk) failing scenario with tracing — runs are pure
    functions of the seed, so the traced re-run reproduces the failing
-   execution — and drop the event log next to the repro command *)
+   execution (honest AND sabotage mode: trace_scenario replays the
+   weakened quorum and leader-hiding schedule too) — drop the event log
+   next to the repro command and attach the protocol analyzer's anomaly
+   summary so the first triage pass needs no tooling *)
 let dump_trace (sc : Check.Scenario.t) =
   let tracer = Check.Swarm.trace_scenario sc in
   let path = Printf.sprintf "swarm-seed%d.trace.jsonl" sc.Check.Scenario.seed in
   let oc = open_out path in
   output_string oc (Trace.to_jsonl tracer);
   close_out oc;
-  Printf.printf "  trace: %s (%d events retained, %d dropped)\n" path
+  Printf.printf "  trace: %s (%s mode; %d events retained, %d dropped)\n" path
+    (if sc.Check.Scenario.sabotage then "sabotage" else "honest")
     (List.length (Trace.events tracer))
-    (Trace.dropped tracer)
+    (Trace.dropped tracer);
+  (* the analyzer sees only the ring's retained window; truncation is
+     reported inside the summary rather than hidden *)
+  let config =
+    { Analyze.default_config with
+      f = Some sc.Check.Scenario.f;
+      byzantine = Check.Scenario.faulty_nodes sc }
+  in
+  let report = Analyze.analyze ~config (Trace.events tracer) in
+  List.iter
+    (fun line -> if line <> "" then Printf.printf "  %s\n" line)
+    (String.split_on_char '\n' (Analyze.render_anomalies report))
 
 let print_failure (o : Check.Swarm.outcome) =
   Printf.printf "FAIL %s\n" (Check.Scenario.describe o.Check.Swarm.scenario);

@@ -1,0 +1,879 @@
+type config = {
+  wave_length : int;
+  f : int option;
+  byzantine : int list;
+  observer : int option;
+  stall_factor : float;
+  slow_wave_factor : float;
+  skip_streak : int;
+}
+
+let default_config =
+  { wave_length = 4;
+    f = None;
+    byzantine = [];
+    observer = None;
+    stall_factor = 8.0;
+    slow_wave_factor = 4.0;
+    skip_streak = 3 }
+
+type summary = {
+  s_count : int;
+  s_mean : float;
+  s_p50 : float;
+  s_p99 : float;
+  s_max : float;
+}
+
+type wave_outcome =
+  | Committed_direct
+  | Committed_chained of int
+  | Skipped of string
+  | Unresolved
+
+type wave_record = {
+  w_wave : int;
+  w_leader : int option;
+  w_elected_at : float option;
+  w_resolution : float option;
+  w_outcome : wave_outcome;
+  w_committed_at : float option;
+  w_delivered : int;
+  w_running_mean : float;
+}
+
+type anomaly =
+  | Round_stall of {
+      node : int;
+      round : int;
+      at : float;
+      gap : float;
+      median : float;
+    }
+  | Commit_stall of {
+      node : int;
+      after_wave : int;
+      at : float;
+      gap : float;
+      median : float;
+    }
+  | Quorum_starvation of {
+      node : int;
+      round : int;
+      stuck_for : float;
+      have : int;
+      need : int;
+    }
+  | Skip_streak of { node : int; first_wave : int; length : int }
+  | Slow_wave of { wave : int; took : float; median : float }
+
+let describe_anomaly = function
+  | Round_stall { node; round; at; gap; median } ->
+    Printf.sprintf
+      "round stall: p%d entered round %d at t=%.2f after a %.2f-unit gap \
+       (median %.2f)"
+      node round at gap median
+  | Commit_stall { node; after_wave; at; gap; median } ->
+    Printf.sprintf
+      "commit stall: p%d went %.2f units without a direct commit after \
+       wave %d (until t=%.2f; median gap %.2f)"
+      node gap after_wave at median
+  | Quorum_starvation { node; round; stuck_for; have; need } ->
+    Printf.sprintf
+      "quorum starvation: p%d stuck in round %d for the last %.2f units \
+       with %d/%d round vertices"
+      node round stuck_for have need
+  | Skip_streak { node; first_wave; length } ->
+    Printf.sprintf "skip streak: p%d skipped %d consecutive waves from wave %d"
+      node length first_wave
+  | Slow_wave { wave; took; median } ->
+    Printf.sprintf
+      "slow wave: wave %d took %.2f units from first coin share to \
+       election (median %.2f)"
+      wave took median
+
+type report = {
+  r_processes : int;
+  r_f : int;
+  r_wave_length : int;
+  r_observer : int;
+  r_events : int;
+  r_truncated : bool;
+  r_span : float * float;
+  r_sends : int;
+  r_send_bits : int;
+  r_stages : (string * summary) list;
+  r_incomplete_vertices : int;
+  r_waves : wave_record list;
+  r_waves_resolved : int;
+  r_commits_direct : int;
+  r_commits_chained : int;
+  r_waves_skipped : int;
+  r_waves_per_commit : float;
+  r_claim6_ok : bool;
+  r_rounds : (int * int) list;
+  r_round_skew : summary;
+  r_rbc_phases : (string * summary) list;
+  r_ordered : int;
+  r_chain_quality : Metrics.Chain_quality.report;
+  r_chain_quality_bound : float;
+  r_anomalies : anomaly list;
+}
+
+(* ---- accumulation ---- *)
+
+(* the observer's ordering events, chronological once reversed *)
+type ord_ev =
+  | Oelect of { wave : int; leader : int; at : float }
+  | Oskip of { wave : int; leader : int; at : float }
+  | Ocommit of {
+      wave : int;
+      leader_source : int;
+      direct : bool;
+      delivered : int;
+      at : float;
+    }
+
+type t = {
+  mutable count : int;
+  mutable first_seq : int; (* -1 until the first event *)
+  mutable t_min : float;
+  mutable t_max : float;
+  mutable have_time : bool;
+  mutable max_node : int;
+  mutable sends : int;
+  mutable send_bits : int;
+  created : (int * int, float) Hashtbl.t; (* (round, source) -> time *)
+  rbc_deliver : (int * int * int, float) Hashtbl.t;
+      (* (node, origin, round) -> deliver time *)
+  rbc_last : (int * int * int, string * float) Hashtbl.t;
+  rbc_stats : (string, Stdx.Stats.t) Hashtbl.t; (* "echo->ready" -> durations *)
+  inserted : (int * int * int, float) Hashtbl.t;
+      (* (node, round, source) -> time *)
+  advances : (int, (int * float) list ref) Hashtbl.t; (* node -> rev *)
+  coin_first : (int, float) Hashtbl.t; (* wave -> first share out *)
+  ord : (int, ord_ev list ref) Hashtbl.t; (* node -> rev *)
+  last_commit : (int, float) Hashtbl.t;
+  adeliv : (int, (int * int * float * float option) list ref) Hashtbl.t;
+      (* node -> rev (round, source, at, attributed commit time) *)
+}
+
+let create () =
+  { count = 0;
+    first_seq = -1;
+    t_min = 0.0;
+    t_max = 0.0;
+    have_time = false;
+    max_node = -1;
+    sends = 0;
+    send_bits = 0;
+    created = Hashtbl.create 1024;
+    rbc_deliver = Hashtbl.create 4096;
+    rbc_last = Hashtbl.create 4096;
+    rbc_stats = Hashtbl.create 16;
+    inserted = Hashtbl.create 4096;
+    advances = Hashtbl.create 16;
+    coin_first = Hashtbl.create 256;
+    ord = Hashtbl.create 16;
+    last_commit = Hashtbl.create 16;
+    adeliv = Hashtbl.create 16 }
+
+let push tbl key v =
+  match Hashtbl.find_opt tbl key with
+  | Some r -> r := v :: !r
+  | None -> Hashtbl.add tbl key (ref [ v ])
+
+let feed t (e : Trace.event) =
+  if t.first_seq < 0 then t.first_seq <- e.Trace.seq;
+  t.count <- t.count + 1;
+  let time = e.Trace.time in
+  if not t.have_time then begin
+    t.have_time <- true;
+    t.t_min <- time;
+    t.t_max <- time
+  end
+  else begin
+    if time < t.t_min then t.t_min <- time;
+    if time > t.t_max then t.t_max <- time
+  end;
+  let bump i = if i > t.max_node then t.max_node <- i in
+  match e.Trace.kind with
+  | Trace.Send { src; dst; bits; _ } ->
+    bump src;
+    bump dst;
+    t.sends <- t.sends + 1;
+    t.send_bits <- t.send_bits + bits
+  | Trace.Recv { src; dst; _ } ->
+    bump src;
+    bump dst
+  | Trace.Rbc_phase { node; origin; round; phase } ->
+    bump node;
+    bump origin;
+    let key = (node, origin, round) in
+    (match Hashtbl.find_opt t.rbc_last key with
+    | Some (prev, at) ->
+      let label = prev ^ "->" ^ phase in
+      let st =
+        match Hashtbl.find_opt t.rbc_stats label with
+        | Some st -> st
+        | None ->
+          let st = Stdx.Stats.create () in
+          Hashtbl.add t.rbc_stats label st;
+          st
+      in
+      Stdx.Stats.add st (time -. at)
+    | None -> ());
+    Hashtbl.replace t.rbc_last key (phase, time);
+    if phase = "deliver" && not (Hashtbl.mem t.rbc_deliver key) then
+      Hashtbl.add t.rbc_deliver key time
+  | Trace.Vertex_created { node; round } ->
+    bump node;
+    if not (Hashtbl.mem t.created (round, node)) then
+      Hashtbl.add t.created (round, node) time
+  | Trace.Vertex_added { node; round; source } ->
+    bump node;
+    bump source;
+    let key = (node, round, source) in
+    if not (Hashtbl.mem t.inserted key) then Hashtbl.add t.inserted key time
+  | Trace.Round_advanced { node; round } ->
+    bump node;
+    push t.advances node (round, time)
+  | Trace.Coin_flip { node; wave } ->
+    bump node;
+    if not (Hashtbl.mem t.coin_first wave) then
+      Hashtbl.add t.coin_first wave time
+  | Trace.Leader_elected { node; wave; leader } ->
+    bump node;
+    bump leader;
+    push t.ord node (Oelect { wave; leader; at = time })
+  | Trace.Leader_skipped { node; wave; leader } ->
+    bump node;
+    bump leader;
+    push t.ord node (Oskip { wave; leader; at = time })
+  | Trace.Commit { node; wave; leader_source; direct; delivered; _ } ->
+    bump node;
+    bump leader_source;
+    push t.ord node (Ocommit { wave; leader_source; direct; delivered; at = time });
+    Hashtbl.replace t.last_commit node time
+  | Trace.A_deliver { node; round; source } ->
+    bump node;
+    bump source;
+    push t.adeliv node (round, source, time, Hashtbl.find_opt t.last_commit node)
+  | Trace.Engine_sample _ -> ()
+
+(* ---- finalize ---- *)
+
+let empty_summary = { s_count = 0; s_mean = 0.0; s_p50 = 0.0; s_p99 = 0.0; s_max = 0.0 }
+
+let summary_of_stats st =
+  if Stdx.Stats.count st = 0 then empty_summary
+  else
+    { s_count = Stdx.Stats.count st;
+      s_mean = Stdx.Stats.mean st;
+      s_p50 = Stdx.Stats.percentile st 50.0;
+      s_p99 = Stdx.Stats.percentile st 99.0;
+      s_max = Stdx.Stats.max_value st }
+
+let median xs =
+  let st = Stdx.Stats.create () in
+  List.iter (Stdx.Stats.add st) xs;
+  Stdx.Stats.percentile st 50.0
+
+let chronological tbl key =
+  match Hashtbl.find_opt tbl key with Some r -> List.rev !r | None -> []
+
+(* gaps need a meaningful median before a multiple of it means anything,
+   and tiny absolute gaps are scheduling noise whatever the ratio *)
+let min_gaps_for_median = 4
+let min_flagged_gap = 0.5
+
+let finalize ?(config = default_config) t =
+  let processes = max 1 (t.max_node + 1) in
+  let f =
+    match config.f with Some f -> f | None -> (processes - 1) / 3
+  in
+  let wave_length = max 1 config.wave_length in
+  let span = if t.have_time then (t.t_min, t.t_max) else (0.0, 0.0) in
+  let horizon = snd span in
+  (* observer: longest a_deliver log, ties to the lowest id *)
+  let observer =
+    match config.observer with
+    | Some o -> o
+    | None ->
+      let best = ref 0 and best_len = ref (-1) in
+      for i = 0 to processes - 1 do
+        let len = List.length (chronological t.adeliv i) in
+        if len > !best_len then begin
+          best := i;
+          best_len := len
+        end
+      done;
+      !best
+  in
+  let leader_round w = ((w - 1) * wave_length) + 1 in
+  (* ---- wave records from the observer's ordering events ---- *)
+  let obs_ord = chronological t.ord observer in
+  let elected : (int, int * float) Hashtbl.t = Hashtbl.create 256 in
+  let skipped : (int, int * float) Hashtbl.t = Hashtbl.create 64 in
+  let committed : (int, float * bool * int * int) Hashtbl.t =
+    (* wave -> (at, direct, delivered, resolver) *)
+    Hashtbl.create 256
+  in
+  let pending_chained = ref [] in
+  List.iter
+    (fun ev ->
+      match ev with
+      | Oelect { wave; leader; at } ->
+        if not (Hashtbl.mem elected wave) then
+          Hashtbl.add elected wave (leader, at)
+      | Oskip { wave; leader; at } ->
+        if not (Hashtbl.mem skipped wave) then Hashtbl.add skipped wave (leader, at)
+      | Ocommit { wave; direct; delivered; at; _ } ->
+        if direct then begin
+          (* the anchor: chained commits emitted just before it belong
+             to this wave's backward chain (Algorithm 3 lines 38-43) *)
+          Hashtbl.replace committed wave (at, true, delivered, wave);
+          List.iter
+            (fun (w, a, d) -> Hashtbl.replace committed w (a, false, d, wave))
+            !pending_chained;
+          pending_chained := []
+        end
+        else pending_chained := (wave, at, delivered) :: !pending_chained)
+    obs_ord;
+  (* chained commits with no following anchor in the stream (truncated
+     tail): attribute them to themselves *)
+  List.iter
+    (fun (w, a, d) -> Hashtbl.replace committed w (a, false, d, w))
+    !pending_chained;
+  let wave_ids =
+    let seen = Hashtbl.create 256 in
+    let note w = if not (Hashtbl.mem seen w) then Hashtbl.add seen w () in
+    Hashtbl.iter (fun w _ -> note w) elected;
+    Hashtbl.iter (fun w _ -> note w) skipped;
+    Hashtbl.iter (fun w _ -> note w) committed;
+    Hashtbl.iter (fun w _ -> note w) t.coin_first;
+    List.sort compare (Hashtbl.fold (fun w () acc -> w :: acc) seen [])
+  in
+  let processed = ref 0 and direct_commits = ref 0 in
+  let chained_commits = ref 0 and skipped_final = ref 0 in
+  let waves =
+    List.map
+      (fun w ->
+        let leader_elect = Hashtbl.find_opt elected w in
+        let skip = Hashtbl.find_opt skipped w in
+        let commit = Hashtbl.find_opt committed w in
+        if skip <> None || commit <> None then incr processed;
+        let outcome, committed_at, delivered =
+          match commit with
+          | Some (at, true, delivered, _) ->
+            incr direct_commits;
+            (Committed_direct, Some at, delivered)
+          | Some (at, false, delivered, resolver) ->
+            incr chained_commits;
+            (Committed_chained resolver, Some at, delivered)
+          | None -> (
+            match skip with
+            | Some (leader, at) ->
+              incr skipped_final;
+              let reason =
+                match
+                  Hashtbl.find_opt t.inserted (observer, leader_round w, leader)
+                with
+                | Some ins when ins <= at -> "leader under-supported"
+                | _ -> "leader vertex absent"
+              in
+              (Skipped reason, None, 0)
+            | None -> (Unresolved, None, 0))
+        in
+        let leader =
+          match (leader_elect, skip) with
+          | Some (l, _), _ -> Some l
+          | None, Some (l, _) -> Some l
+          | None, None -> (
+            match commit with
+            | Some _ -> None (* leader_source is the vertex, same thing *)
+            | None -> None)
+        in
+        let elected_at = Option.map snd leader_elect in
+        let resolution =
+          match (Hashtbl.find_opt t.coin_first w, elected_at) with
+          | Some c, Some e when e >= c -> Some (e -. c)
+          | _ -> None
+        in
+        let running_mean =
+          if !direct_commits = 0 then
+            if !processed = 0 then 0.0 else infinity
+          else float_of_int !processed /. float_of_int !direct_commits
+        in
+        { w_wave = w;
+          w_leader = leader;
+          w_elected_at = elected_at;
+          w_resolution = resolution;
+          w_outcome = outcome;
+          w_committed_at = committed_at;
+          w_delivered = delivered;
+          w_running_mean = running_mean })
+      wave_ids
+  in
+  let waves_per_commit =
+    if !direct_commits = 0 then if !processed = 0 then 0.0 else infinity
+    else float_of_int !processed /. float_of_int !direct_commits
+  in
+  (* ---- commit-latency breakdown at the observer ---- *)
+  let obs_adeliv = chronological t.adeliv observer in
+  let st_rbc = Stdx.Stats.create () in
+  let st_insert = Stdx.Stats.create () in
+  let st_commit = Stdx.Stats.create () in
+  let st_order = Stdx.Stats.create () in
+  let st_total = Stdx.Stats.create () in
+  let incomplete = ref 0 in
+  List.iter
+    (fun (round, source, at, commit_at) ->
+      match
+        ( Hashtbl.find_opt t.created (round, source),
+          Hashtbl.find_opt t.rbc_deliver (observer, source, round),
+          Hashtbl.find_opt t.inserted (observer, round, source),
+          commit_at )
+      with
+      | Some created, Some rbc, Some ins, Some commit ->
+        Stdx.Stats.add st_rbc (rbc -. created);
+        Stdx.Stats.add st_insert (ins -. rbc);
+        Stdx.Stats.add st_commit (commit -. ins);
+        Stdx.Stats.add st_order (at -. commit);
+        Stdx.Stats.add st_total (at -. created)
+      | _ -> incr incomplete)
+    obs_adeliv;
+  let stages =
+    [ ("create->rbc_deliver", summary_of_stats st_rbc);
+      ("rbc_deliver->dag_insert", summary_of_stats st_insert);
+      ("dag_insert->commit", summary_of_stats st_commit);
+      ("commit->a_deliver", summary_of_stats st_order);
+      ("create->a_deliver (total)", summary_of_stats st_total) ]
+  in
+  (* ---- per-process rounds and skew ---- *)
+  let rounds =
+    List.init processes (fun i ->
+        let top =
+          List.fold_left (fun acc (r, _) -> max acc r) 0 (chronological t.advances i)
+        in
+        (i, top))
+  in
+  let round_skew =
+    let entries : (int, float * float) Hashtbl.t = Hashtbl.create 1024 in
+    for i = 0 to processes - 1 do
+      List.iter
+        (fun (r, at) ->
+          match Hashtbl.find_opt entries r with
+          | None -> Hashtbl.add entries r (at, at)
+          | Some (lo, hi) -> Hashtbl.replace entries r (min lo at, max hi at))
+        (chronological t.advances i)
+    done;
+    let st = Stdx.Stats.create () in
+    Hashtbl.fold (fun r (lo, hi) acc -> (r, hi -. lo) :: acc) entries []
+    |> List.sort compare
+    |> List.iter (fun (_, skew) -> Stdx.Stats.add st skew);
+    summary_of_stats st
+  in
+  let rbc_phases =
+    Hashtbl.fold (fun label st acc -> (label, summary_of_stats st) :: acc) t.rbc_stats []
+    |> List.sort compare
+  in
+  (* ---- chain quality ---- *)
+  let sources = List.map (fun (_, s, _, _) -> s) obs_adeliv in
+  let correct i = not (List.mem i config.byzantine) in
+  let chain_quality = Metrics.Chain_quality.audit ~f ~correct ~sources in
+  let bound = float_of_int (f + 1) /. float_of_int ((2 * f) + 1) in
+  (* ---- anomalies ---- *)
+  let anomalies = ref [] in
+  let add a = anomalies := a :: !anomalies in
+  (* round stalls + horizon starvation, per process *)
+  for node = 0 to processes - 1 do
+    let adv = chronological t.advances node in
+    let gaps =
+      let rec go acc = function
+        | (_, a) :: ((r2, b) :: _ as rest) -> go ((r2, b, b -. a) :: acc) rest
+        | _ -> List.rev acc
+      in
+      go [] adv
+    in
+    if List.length gaps >= min_gaps_for_median then begin
+      let med = median (List.map (fun (_, _, g) -> g) gaps) in
+      let threshold = max (config.stall_factor *. med) min_flagged_gap in
+      List.iter
+        (fun (round, at, gap) ->
+          if gap > threshold then add (Round_stall { node; round; at; gap; median = med }))
+        gaps;
+      match List.rev adv with
+      | (last_round, last_at) :: _ ->
+        let end_gap = horizon -. last_at in
+        if end_gap > threshold then begin
+          let have =
+            Hashtbl.fold
+              (fun (n, r, _) _ acc ->
+                if n = node && r = last_round then acc + 1 else acc)
+              t.inserted 0
+          in
+          add
+            (Quorum_starvation
+               { node;
+                 round = last_round;
+                 stuck_for = end_gap;
+                 have;
+                 need = (2 * f) + 1 })
+        end
+      | [] -> ()
+    end
+  done;
+  (* commit stalls at the observer (direct commits anchor the clock) *)
+  let commit_times =
+    List.filter_map
+      (function Ocommit { wave; direct = true; at; _ } -> Some (wave, at) | _ -> None)
+      obs_ord
+  in
+  (match commit_times with
+  | [] -> ()
+  | (first_wave, _) :: _ ->
+    ignore first_wave;
+    let gaps =
+      let rec go acc = function
+        | (w1, a) :: ((_, b) :: _ as rest) -> go ((w1, b, b -. a) :: acc) rest
+        | _ -> List.rev acc
+      in
+      go [] commit_times
+    in
+    if List.length gaps >= min_gaps_for_median then begin
+      let med = median (List.map (fun (_, _, g) -> g) gaps) in
+      let threshold = max (config.stall_factor *. med) min_flagged_gap in
+      List.iter
+        (fun (after_wave, at, gap) ->
+          if gap > threshold then
+            add (Commit_stall { node = observer; after_wave; at; gap; median = med }))
+        gaps;
+      let last_wave, last_at = List.nth commit_times (List.length commit_times - 1) in
+      let end_gap = horizon -. last_at in
+      if end_gap > threshold then
+        add
+          (Commit_stall
+             { node = observer;
+               after_wave = last_wave;
+               at = horizon;
+               gap = end_gap;
+               median = med })
+    end);
+  (* skip streaks at the observer *)
+  let streak = ref 0 and streak_start = ref 0 in
+  let flush_streak () =
+    if !streak >= config.skip_streak then
+      add (Skip_streak { node = observer; first_wave = !streak_start; length = !streak });
+    streak := 0
+  in
+  List.iter
+    (fun ev ->
+      match ev with
+      | Oskip { wave; _ } ->
+        if !streak = 0 then streak_start := wave;
+        incr streak
+      | Ocommit _ -> flush_streak ()
+      | Oelect _ -> ())
+    obs_ord;
+  flush_streak ();
+  (* slow waves: coin release to observer election *)
+  let resolutions =
+    List.filter_map (fun wr -> Option.map (fun d -> (wr.w_wave, d)) wr.w_resolution) waves
+  in
+  if List.length resolutions >= min_gaps_for_median then begin
+    let med = median (List.map snd resolutions) in
+    let threshold = max (config.slow_wave_factor *. med) min_flagged_gap in
+    List.iter
+      (fun (wave, took) ->
+        if took > threshold then add (Slow_wave { wave; took; median = med }))
+      resolutions
+  end;
+  { r_processes = processes;
+    r_f = f;
+    r_wave_length = wave_length;
+    r_observer = observer;
+    r_events = t.count;
+    r_truncated = t.first_seq > 0;
+    r_span = span;
+    r_sends = t.sends;
+    r_send_bits = t.send_bits;
+    r_stages = stages;
+    r_incomplete_vertices = !incomplete;
+    r_waves = waves;
+    r_waves_resolved = Hashtbl.length elected;
+    r_commits_direct = !direct_commits;
+    r_commits_chained = !chained_commits;
+    r_waves_skipped = !skipped_final;
+    r_waves_per_commit = waves_per_commit;
+    r_claim6_ok = waves_per_commit <= 1.5;
+    r_rounds = rounds;
+    r_round_skew = round_skew;
+    r_rbc_phases = rbc_phases;
+    r_ordered = List.length obs_adeliv;
+    r_chain_quality = chain_quality;
+    r_chain_quality_bound = bound;
+    r_anomalies = List.rev !anomalies }
+
+let analyze ?config events =
+  let t = create () in
+  List.iter (feed t) events;
+  finalize ?config t
+
+let of_tracer ?config tracer = analyze ?config (Trace.events tracer)
+
+let of_jsonl_file ?config path =
+  match
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | exception Sys_error e -> Error e
+  | text -> (
+    match Trace.events_of_jsonl text with
+    | Error e -> Error e
+    | Ok events -> Ok (analyze ?config events))
+
+(* ---- output ---- *)
+
+let summary_to_json s =
+  Stdx.Json.Obj
+    [ ("count", Stdx.Json.Int s.s_count);
+      ("mean", Stdx.Json.Float s.s_mean);
+      ("p50", Stdx.Json.Float s.s_p50);
+      ("p99", Stdx.Json.Float s.s_p99);
+      ("max", Stdx.Json.Float s.s_max) ]
+
+let outcome_label = function
+  | Committed_direct -> "committed"
+  | Committed_chained _ -> "committed-chained"
+  | Skipped _ -> "skipped"
+  | Unresolved -> "unresolved"
+
+let wave_to_json w =
+  let opt_f = function None -> Stdx.Json.Null | Some v -> Stdx.Json.Float v in
+  let extra =
+    match w.w_outcome with
+    | Committed_chained by -> [ ("resolved_by", Stdx.Json.Int by) ]
+    | Skipped reason -> [ ("skip_reason", Stdx.Json.String reason) ]
+    | Committed_direct | Unresolved -> []
+  in
+  Stdx.Json.Obj
+    ([ ("wave", Stdx.Json.Int w.w_wave);
+       ( "leader",
+         match w.w_leader with None -> Stdx.Json.Null | Some l -> Stdx.Json.Int l );
+       ("outcome", Stdx.Json.String (outcome_label w.w_outcome));
+       ("elected_at", opt_f w.w_elected_at);
+       ("resolution", opt_f w.w_resolution);
+       ("committed_at", opt_f w.w_committed_at);
+       ("delivered", Stdx.Json.Int w.w_delivered);
+       ("running_waves_per_commit", Stdx.Json.Float w.w_running_mean) ]
+    @ extra)
+
+let anomaly_to_json a =
+  let obj kind fields =
+    Stdx.Json.Obj
+      (("kind", Stdx.Json.String kind)
+      :: fields
+      @ [ ("text", Stdx.Json.String (describe_anomaly a)) ])
+  in
+  let i k v = (k, Stdx.Json.Int v) in
+  let fl k v = (k, Stdx.Json.Float v) in
+  match a with
+  | Round_stall { node; round; at; gap; median } ->
+    obj "round-stall" [ i "node" node; i "round" round; fl "at" at; fl "gap" gap; fl "median" median ]
+  | Commit_stall { node; after_wave; at; gap; median } ->
+    obj "commit-stall"
+      [ i "node" node; i "after_wave" after_wave; fl "at" at; fl "gap" gap; fl "median" median ]
+  | Quorum_starvation { node; round; stuck_for; have; need } ->
+    obj "quorum-starvation"
+      [ i "node" node; i "round" round; fl "stuck_for" stuck_for; i "have" have; i "need" need ]
+  | Skip_streak { node; first_wave; length } ->
+    obj "skip-streak" [ i "node" node; i "first_wave" first_wave; i "length" length ]
+  | Slow_wave { wave; took; median } ->
+    obj "slow-wave" [ i "wave" wave; fl "took" took; fl "median" median ]
+
+let report_to_json r =
+  let lo, hi = r.r_span in
+  Stdx.Json.Obj
+    [ ("processes", Stdx.Json.Int r.r_processes);
+      ("f", Stdx.Json.Int r.r_f);
+      ("wave_length", Stdx.Json.Int r.r_wave_length);
+      ("observer", Stdx.Json.Int r.r_observer);
+      ("events", Stdx.Json.Int r.r_events);
+      ("truncated", Stdx.Json.Bool r.r_truncated);
+      ("span", Stdx.Json.List [ Stdx.Json.Float lo; Stdx.Json.Float hi ]);
+      ("sends", Stdx.Json.Int r.r_sends);
+      ("send_bits", Stdx.Json.Int r.r_send_bits);
+      ( "stages",
+        Stdx.Json.Obj (List.map (fun (k, s) -> (k, summary_to_json s)) r.r_stages) );
+      ("incomplete_vertices", Stdx.Json.Int r.r_incomplete_vertices);
+      ("waves", Stdx.Json.List (List.map wave_to_json r.r_waves));
+      ("waves_resolved", Stdx.Json.Int r.r_waves_resolved);
+      ("commits_direct", Stdx.Json.Int r.r_commits_direct);
+      ("commits_chained", Stdx.Json.Int r.r_commits_chained);
+      ("waves_skipped", Stdx.Json.Int r.r_waves_skipped);
+      ("waves_per_commit", Stdx.Json.Float r.r_waves_per_commit);
+      ("claim6_bound", Stdx.Json.Float 1.5);
+      ("claim6_ok", Stdx.Json.Bool r.r_claim6_ok);
+      ( "rounds",
+        Stdx.Json.Obj
+          (List.map
+             (fun (i, top) -> (Printf.sprintf "p%d" i, Stdx.Json.Int top))
+             r.r_rounds) );
+      ("round_skew", summary_to_json r.r_round_skew);
+      ( "rbc_phases",
+        Stdx.Json.Obj (List.map (fun (k, s) -> (k, summary_to_json s)) r.r_rbc_phases) );
+      ("ordered", Stdx.Json.Int r.r_ordered);
+      ( "chain_quality",
+        Stdx.Json.Obj
+          [ ("total", Stdx.Json.Int r.r_chain_quality.Metrics.Chain_quality.total);
+            ( "correct_entries",
+              Stdx.Json.Int r.r_chain_quality.Metrics.Chain_quality.correct_entries );
+            ( "worst_prefix_len",
+              Stdx.Json.Int r.r_chain_quality.Metrics.Chain_quality.worst_prefix_len );
+            ( "worst_prefix_ratio",
+              Stdx.Json.Float r.r_chain_quality.Metrics.Chain_quality.worst_prefix_ratio );
+            ("bound", Stdx.Json.Float r.r_chain_quality_bound);
+            ("holds", Stdx.Json.Bool r.r_chain_quality.Metrics.Chain_quality.holds) ] );
+      ("anomalies", Stdx.Json.List (List.map anomaly_to_json r.r_anomalies)) ]
+
+let fmt_summary s =
+  if s.s_count = 0 then "(no samples)"
+  else
+    Printf.sprintf "n=%-6d mean=%-8.3f p50=%-8.3f p99=%-8.3f max=%.3f" s.s_count
+      s.s_mean s.s_p50 s.s_p99 s.s_max
+
+let render_anomalies r =
+  match r.r_anomalies with
+  | [] -> "anomalies: none detected\n"
+  | anomalies ->
+    let buf = Buffer.create 256 in
+    Buffer.add_string buf
+      (Printf.sprintf "anomalies: %d flagged\n" (List.length anomalies));
+    List.iter
+      (fun a -> Buffer.add_string buf ("  - " ^ describe_anomaly a ^ "\n"))
+      anomalies;
+    Buffer.contents buf
+
+let render ?(max_waves = 12) r =
+  let buf = Buffer.create 2048 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  let lo, hi = r.r_span in
+  add "== protocol analysis ==\n";
+  add
+    "processes: %d (f=%d, wave length %d); observer: p%d; events: %d%s; \
+     span: %.2f..%.2f\n"
+    r.r_processes r.r_f r.r_wave_length r.r_observer r.r_events
+    (if r.r_truncated then " (TRUNCATED: stream lost its head)" else "")
+    lo hi;
+  add "sends: %d (%d bits); ordered at observer: %d vertices\n\n" r.r_sends
+    r.r_send_bits r.r_ordered;
+  add "commit-latency breakdown (time units per ordered vertex):\n";
+  List.iter (fun (label, s) -> add "  %-26s %s\n" label (fmt_summary s)) r.r_stages;
+  if r.r_incomplete_vertices > 0 then
+    add "  (%d vertices lacked a stage event and were skipped)\n"
+      r.r_incomplete_vertices;
+  add "\nwaves: %d resolved; %d direct commits, %d chained, %d skipped\n"
+    r.r_waves_resolved r.r_commits_direct r.r_commits_chained r.r_waves_skipped;
+  add "waves per commit: %.3f (Claim 6 bound 1.5: %s)\n" r.r_waves_per_commit
+    (if r.r_claim6_ok then "ok" else "ABOVE BOUND");
+  let shown =
+    let total = List.length r.r_waves in
+    if total <= max_waves then r.r_waves
+    else List.filteri (fun i _ -> i >= total - max_waves) r.r_waves
+  in
+  if shown <> [] then begin
+    add "  wave | leader | outcome            | resolution | delivered | running w/c\n";
+    List.iter
+      (fun w ->
+        let outcome =
+          match w.w_outcome with
+          | Committed_direct -> "committed"
+          | Committed_chained by -> Printf.sprintf "chained (by w%d)" by
+          | Skipped reason -> "skipped: " ^ reason
+          | Unresolved -> "unresolved"
+        in
+        add "  %4d | %-6s | %-18s | %10s | %9d | %.3f\n" w.w_wave
+          (match w.w_leader with Some l -> Printf.sprintf "p%d" l | None -> "?")
+          outcome
+          (match w.w_resolution with
+          | Some d -> Printf.sprintf "%.3f" d
+          | None -> "-")
+          w.w_delivered w.w_running_mean)
+      shown
+  end;
+  add "\nround progress: %s\n"
+    (String.concat ", "
+       (List.map (fun (i, top) -> Printf.sprintf "p%d=r%d" i top) r.r_rounds));
+  add "round skew (per-round entry spread): %s\n" (fmt_summary r.r_round_skew);
+  if r.r_rbc_phases <> [] then begin
+    add "\nreliable-broadcast phase durations:\n";
+    List.iter
+      (fun (label, s) -> add "  %-22s %s\n" label (fmt_summary s))
+      r.r_rbc_phases
+  end;
+  let cq = r.r_chain_quality in
+  add
+    "\nchain quality: %d/%d entries from correct processes; worst prefix \
+     %.3f (len %d) vs bound %.3f: %s\n"
+    cq.Metrics.Chain_quality.correct_entries cq.Metrics.Chain_quality.total
+    cq.Metrics.Chain_quality.worst_prefix_ratio
+    cq.Metrics.Chain_quality.worst_prefix_len r.r_chain_quality_bound
+    (if cq.Metrics.Chain_quality.holds then "holds" else "VIOLATED");
+  add "\n%s" (render_anomalies r);
+  Buffer.contents buf
+
+(* ---- DOT export ---- *)
+
+let dot ?shade_wave ?max_round ~dag r =
+  let leader_round w = ((w - 1) * r.r_wave_length) + 1 in
+  let classes : (Dagrider.Vertex.vref, Dagrider.Render.vertex_class) Hashtbl.t =
+    Hashtbl.create 64
+  in
+  List.iter
+    (fun w ->
+      match w.w_leader with
+      | None -> ()
+      | Some l ->
+        let vref = { Dagrider.Vertex.round = leader_round w.w_wave; source = l } in
+        let cls =
+          match w.w_outcome with
+          | Committed_direct | Committed_chained _ -> Dagrider.Render.Committed_leader
+          | Skipped _ -> Dagrider.Render.Skipped_leader
+          | Unresolved -> Dagrider.Render.Elected_leader
+        in
+        Hashtbl.replace classes vref cls)
+    r.r_waves;
+  (* shade the chosen commit's causal history (the paper's Figure 2) *)
+  let chosen =
+    match shade_wave with
+    | Some w -> List.find_opt (fun wr -> wr.w_wave = w) r.r_waves
+    | None ->
+      List.fold_left
+        (fun acc wr ->
+          match (wr.w_outcome, wr.w_leader) with
+          | (Committed_direct | Committed_chained _), Some l
+            when Dagrider.Dag.contains dag
+                   { Dagrider.Vertex.round = leader_round wr.w_wave; source = l }
+            -> Some wr
+          | _ -> acc)
+        None r.r_waves
+  in
+  (match chosen with
+  | Some ({ w_leader = Some l; _ } as wr) ->
+    let vref = { Dagrider.Vertex.round = leader_round wr.w_wave; source = l } in
+    if Dagrider.Dag.contains dag vref then
+      List.iter
+        (fun v ->
+          if not (Hashtbl.mem classes v) then
+            Hashtbl.replace classes v Dagrider.Render.Shaded)
+        (Dagrider.Dag.reachable_from dag vref ~via_strong_only:false)
+  | _ -> ());
+  Dagrider.Render.dot_classified ~legend:true
+    ~classify:(fun v ->
+      match Hashtbl.find_opt classes v with
+      | Some c -> c
+      | None -> Dagrider.Render.Plain)
+    ?max_round dag

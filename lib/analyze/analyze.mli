@@ -1,0 +1,199 @@
+(** Protocol analyzer: turns a {!Trace} event stream into diagnostics
+    keyed to the paper's Algorithms 1–3.
+
+    The input is any sequence of trace events — consumed live through
+    {!Trace.add_sink} (so runs longer than the ring buffer are analyzed
+    in full), replayed from a JSONL dump, or taken from a tracer's
+    retained window. From it the analyzer derives:
+
+    - a per-vertex commit-latency breakdown (vertex creation →
+      reliable-broadcast deliver → DAG insert → wave commit →
+      [a_deliver], one histogram per stage);
+    - per-wave records: the elected leader, direct vs retroactive
+      (chained) commit, skip reason, waves-to-resolve, and the running
+      waves-per-commit mean vs the paper's 3/2 bound (Claim 6);
+    - per-process round progress and round skew, and RBC
+      phase-transition durations;
+    - a chain-quality audit over every (2f+1)-multiple prefix of the
+      ordered log (paper §3, via {!Metrics.Chain_quality});
+    - anomalies: stalled rounds and commits, quorum starvation at the
+      trace horizon, leader-skip streaks, and waves whose resolution
+      time exceeds a configurable multiple of the median.
+
+    All ordering-level diagnostics are computed from one {e observer}
+    process's events (commits, skips, [a_deliver]s); network-level ones
+    (round skew, RBC phases) pool every process. Feeding is cheap and
+    config-free — configuration binds at {!finalize}, so one accumulator
+    can be finalized under several configs. *)
+
+type config = {
+  wave_length : int;  (** rounds per wave (the paper uses 4) *)
+  f : int option;  (** fault bound; [None] infers [(n-1)/3] *)
+  byzantine : int list;
+      (** processes counted Byzantine by the chain-quality audit *)
+  observer : int option;
+      (** process whose ordering events anchor the report; [None] picks
+          the process with the longest [a_deliver] log *)
+  stall_factor : float;
+      (** flag a round/commit gap exceeding this multiple of that
+          process's median gap (default 8.0) *)
+  slow_wave_factor : float;
+      (** flag a wave whose coin-to-election time exceeds this multiple
+          of the median resolution time (default 4.0) *)
+  skip_streak : int;
+      (** flag runs of at least this many consecutive leader skips
+          without an intervening commit (default 3) *)
+}
+
+val default_config : config
+(** [wave_length = 4], everything inferred, [stall_factor = 8.0],
+    [slow_wave_factor = 4.0], [skip_streak = 3]. *)
+
+type summary = {
+  s_count : int;
+  s_mean : float;
+  s_p50 : float;
+  s_p99 : float;
+  s_max : float;
+}
+(** Histogram digest of one stage/metric (all zeros when empty). *)
+
+type wave_outcome =
+  | Committed_direct  (** commit rule fired in the wave itself *)
+  | Committed_chained of int
+      (** committed retroactively by the given later wave's backward
+          chain (Algorithm 3 lines 38–43) *)
+  | Skipped of string
+      (** never committed; the payload says why the ordering skipped it
+          ("leader vertex absent" or "leader under-supported") *)
+  | Unresolved  (** coin flipped but the observer never elected it *)
+
+type wave_record = {
+  w_wave : int;
+  w_leader : int option;  (** the coin's choice, where observed *)
+  w_elected_at : float option;  (** observer's election time *)
+  w_resolution : float option;
+      (** first coin share out → observer's election *)
+  w_outcome : wave_outcome;
+  w_committed_at : float option;
+  w_delivered : int;  (** fresh vertices ordered by this wave's commit *)
+  w_running_mean : float;
+      (** waves resolved per wave committed, up to and including this
+          wave — the running Claim 6 measure *)
+}
+
+type anomaly =
+  | Round_stall of {
+      node : int;
+      round : int;  (** the round whose entry was late *)
+      at : float;
+      gap : float;
+      median : float;  (** that node's median inter-round gap *)
+    }
+  | Commit_stall of {
+      node : int;
+      after_wave : int;  (** last wave committed before the gap *)
+      at : float;
+      gap : float;
+      median : float;
+    }
+  | Quorum_starvation of {
+      node : int;
+      round : int;  (** round it is stuck in at the trace horizon *)
+      stuck_for : float;
+      have : int;  (** round-[round] vertices in its DAG *)
+      need : int;  (** the 2f+1 advance quorum *)
+    }
+  | Skip_streak of { node : int; first_wave : int; length : int }
+  | Slow_wave of { wave : int; took : float; median : float }
+
+val describe_anomaly : anomaly -> string
+(** One-line human rendering. *)
+
+type report = {
+  r_processes : int;
+  r_f : int;
+  r_wave_length : int;
+  r_observer : int;
+  r_events : int;  (** events fed *)
+  r_truncated : bool;
+      (** the stream did not start at sequence 0 (ring-buffer wrap
+          before the first event seen) — head-dependent numbers are
+          lower bounds *)
+  r_span : float * float;  (** first and last event times *)
+  r_sends : int;
+  r_send_bits : int;
+  r_stages : (string * summary) list;
+      (** commit-latency breakdown at the observer, pipeline order *)
+  r_incomplete_vertices : int;
+      (** ordered vertices skipped by the stage breakdown because some
+          stage event was missing (truncated stream) *)
+  r_waves : wave_record list;  (** ascending wave number *)
+  r_waves_resolved : int;  (** waves the observer elected a leader for *)
+  r_commits_direct : int;
+  r_commits_chained : int;
+  r_waves_skipped : int;  (** skipped and never committed *)
+  r_waves_per_commit : float;
+      (** resolved / committed; [infinity] when nothing committed *)
+  r_claim6_ok : bool;  (** [r_waves_per_commit <= 1.5] *)
+  r_rounds : (int * int) list;  (** per process: highest round entered *)
+  r_round_skew : summary;
+      (** per-round spread (last − first process to enter it) *)
+  r_rbc_phases : (string * summary) list;
+      (** reliable-broadcast phase-transition durations, pooled over
+          processes, keyed ["echo->ready"]-style *)
+  r_ordered : int;  (** observer's [a_deliver] count *)
+  r_chain_quality : Metrics.Chain_quality.report;
+  r_chain_quality_bound : float;  (** (f+1)/(2f+1) *)
+  r_anomalies : anomaly list;
+}
+
+(** {1 Accumulation} *)
+
+type t
+(** A streaming accumulator; feed in any order-preserving way. *)
+
+val create : unit -> t
+
+val feed : t -> Trace.event -> unit
+(** O(1) per event; [Trace.add_sink tracer (feed acc)] analyzes a live
+    run in full. *)
+
+val finalize : ?config:config -> t -> report
+(** Compute the report from everything fed so far. Pure with respect to
+    the accumulator — feeding can continue and [finalize] can be called
+    again (e.g. mid-run progress reports). *)
+
+val analyze : ?config:config -> Trace.event list -> report
+(** Feed a replayed event list and finalize. *)
+
+val of_tracer : ?config:config -> Trace.t -> report
+(** Analyze a tracer's retained window ({!Trace.events} — the newest
+    [capacity] events; [r_truncated] reports whether older ones were
+    lost). *)
+
+val of_jsonl_file : ?config:config -> string -> (report, string) result
+(** Replay a JSONL trace dump written by [dagrider_run trace --jsonl]
+    or the swarm checker. *)
+
+(** {1 Output} *)
+
+val report_to_json : report -> Stdx.Json.t
+
+val render : ?max_waves:int -> report -> string
+(** Human-readable report: run shape, stage histograms, wave table
+    (newest [max_waves], default 12), RBC phases, chain quality,
+    anomalies. *)
+
+val render_anomalies : report -> string
+(** Just the anomaly lines ("none detected" when clean) — what the
+    swarm checker appends to a failure repro. *)
+
+val dot :
+  ?shade_wave:int -> ?max_round:int -> dag:Dagrider.Dag.t -> report -> string
+(** Figure 1/2-style Graphviz rendering of [dag] annotated with the
+    report's wave outcomes: committed leaders gold, skipped leaders
+    red, elected-but-unresolved leaders blue, and the causal history of
+    [shade_wave]'s leader (default: the highest committed wave present
+    in [dag]) shaded gray. Strong edges solid, weak edges dashed
+    (via {!Dagrider.Render.dot_classified}). *)

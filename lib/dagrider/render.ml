@@ -31,7 +31,22 @@ let ascii ?(highlight = fun _ -> false) ?(min_round = 1) ?max_round dag =
   done;
   Buffer.contents buf
 
-let dot ?(highlight = fun _ -> false) ?max_round dag =
+type vertex_class =
+  | Plain
+  | Elected_leader
+  | Skipped_leader
+  | Committed_leader
+  | Shaded
+
+let class_style = function
+  | Plain -> ""
+  | Elected_leader -> " [style=filled, fillcolor=lightskyblue]"
+  | Skipped_leader -> " [style=filled, fillcolor=lightcoral]"
+  | Committed_leader -> " [style=filled, fillcolor=gold]"
+  | Shaded -> " [style=filled, fillcolor=gray90]"
+
+let dot_classified ?(classify = fun _ -> Plain) ?(legend = false) ?max_round dag
+    =
   let top =
     match max_round with
     | Some r -> min r (Dag.highest_round dag)
@@ -39,6 +54,12 @@ let dot ?(highlight = fun _ -> false) ?max_round dag =
   in
   let buf = Buffer.create 4096 in
   Buffer.add_string buf "digraph dag {\n  rankdir=LR;\n  node [shape=circle];\n";
+  if legend then
+    Buffer.add_string buf
+      "  // legend: gold = committed leader, lightcoral = skipped leader,\n\
+      \  //         lightskyblue = elected (unresolved) leader,\n\
+      \  //         gray90 = causal history of the chosen commit,\n\
+      \  //         solid edge = strong, dashed edge = weak\n";
   let node_id (vref : Vertex.vref) =
     Printf.sprintf "r%dp%d" vref.Vertex.round vref.Vertex.source
   in
@@ -55,9 +76,7 @@ let dot ?(highlight = fun _ -> false) ?max_round dag =
     List.iter
       (fun v ->
         let vref = Vertex.vref_of v in
-        let style =
-          if highlight vref then " [style=filled, fillcolor=gold]" else ""
-        in
+        let style = class_style (classify vref) in
         Buffer.add_string buf
           (Printf.sprintf "  %s [label=\"%d,%d\"]%s;\n" (node_id vref)
              vref.Vertex.round vref.Vertex.source style);
@@ -77,6 +96,11 @@ let dot ?(highlight = fun _ -> false) ?max_round dag =
   done;
   Buffer.add_string buf "}\n";
   Buffer.contents buf
+
+let dot ?(highlight = fun _ -> false) ?max_round dag =
+  dot_classified
+    ~classify:(fun vref -> if highlight vref then Committed_leader else Plain)
+    ?max_round dag
 
 let wave_summary dag ~wave_length ~f ~leader_of =
   let top_wave = Dag.highest_round dag / wave_length in

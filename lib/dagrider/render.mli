@@ -24,6 +24,26 @@ val dot :
 (** Graphviz digraph; strong edges solid, weak edges dashed, highlighted
     vertices filled. Rounds are ranked as columns. *)
 
+type vertex_class =
+  | Plain
+  | Elected_leader  (** coin chose it; ordering has not processed it *)
+  | Skipped_leader  (** ordering skipped it (absent / under-supported) *)
+  | Committed_leader  (** directly or retroactively committed *)
+  | Shaded  (** in the chosen commit's causal history (Figure 2) *)
+
+val dot_classified :
+  ?classify:(Vertex.vref -> vertex_class) ->
+  ?legend:bool ->
+  ?max_round:int ->
+  Dag.t ->
+  string
+(** {!dot} with per-vertex styling in the style of the paper's
+    Figures 1–2: committed leaders gold, skipped leaders red, elected
+    leaders blue, causal-history members gray, everything else plain.
+    [legend] (default false) prepends a comment block naming the
+    colors. [dot] is [dot_classified] with highlight mapped to
+    {!Committed_leader} and no legend. *)
+
 val wave_summary :
   Dag.t -> wave_length:int -> f:int -> leader_of:(int -> int option) -> string
 (** Per-wave table: leader source, whether the leader vertex is present,

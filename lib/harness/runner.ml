@@ -65,6 +65,7 @@ type t = {
   faulty : bool array;  (* counted as Byzantine *)
   crashed : bool array; (* additionally, never started *)
   latency : Metrics.Latency.t;
+  analyzer : Analyze.t option; (* streaming trace consumer, iff traced *)
   mutable started : bool;
 }
 
@@ -109,6 +110,17 @@ let build options =
     Sim.Engine.set_sampler engine ~interval:1.0
       (fun ~time:_ ~executed ~pending ->
         Trace.emit tr (Trace.Engine_sample { executed; pending })));
+  (* a traced run also streams into the protocol analyzer, so
+     [analysis_report] covers the whole run even when the ring wraps;
+     the sink only reads events — it cannot perturb the schedule *)
+  let analyzer =
+    match options.trace with
+    | None -> None
+    | Some tr ->
+      let acc = Analyze.create () in
+      Trace.add_sink tr (Analyze.feed acc);
+      Some acc
+  in
   let coin_net = Net.Network.create ~engine ~sched ~counters ~n in
   let sync_net = Net.Network.create ~engine ~sched ~counters ~n in
   (match options.trace with
@@ -296,6 +308,7 @@ let build options =
     faulty;
     crashed;
     latency;
+    analyzer;
     started = false }
 
 let engine t = t.engine
@@ -454,6 +467,26 @@ let metrics_snapshot t =
         ())
     t.nodes;
   Metrics.Registry.snapshot reg
+
+let analysis_config t =
+  let byzantine =
+    List.filter (fun i -> t.faulty.(i)) (List.init t.options.n (fun i -> i))
+  in
+  let observer =
+    match correct_indices t with i :: _ -> Some i | [] -> Some 0
+  in
+  { Analyze.default_config with
+    wave_length = t.options.wave_length;
+    f = Some t.options.f;
+    byzantine;
+    observer }
+
+let analysis t =
+  match t.analyzer with
+  | None -> None
+  | Some acc -> Some (Analyze.finalize ~config:(analysis_config t) acc)
+
+let analysis_report t = Option.map Analyze.report_to_json (analysis t)
 
 let restart_node t i =
   if i < 0 || i >= t.options.n then invalid_arg "Runner.restart_node: bad index";

@@ -144,6 +144,19 @@ val metrics_snapshot : t -> Metrics.Registry.snapshot
     executed, events pending), latency histograms (first delivery and
     per-process delivery), and per-node delivered counts. *)
 
+val analysis : t -> Analyze.report option
+(** The protocol analyzer's view of this run: [Some] iff the run was
+    built with a tracer. The analyzer is fed live through a
+    {!Trace.add_sink} hook, so it sees the {e whole} event stream even
+    when the tracer's ring buffer wrapped. Configured from the run's
+    options (wave length, f) with the currently-faulty processes as the
+    Byzantine set and the lowest correct process as observer; callable
+    mid-run for progress snapshots. Untraced runs return [None] and pay
+    nothing. *)
+
+val analysis_report : t -> Stdx.Json.t option
+(** {!analysis} serialized via {!Analyze.report_to_json}. *)
+
 val restart_node : t -> int -> unit
 (** Crash-and-recover process [i] in place: checkpoint it (through the
     full {!Dagrider.Snapshot} serialization round-trip, as a real

@@ -26,6 +26,7 @@ type t = {
   ring : event option array;
   mutable emitted : int;
   mutable clock : unit -> float;
+  mutable sinks : (event -> unit) list;
 }
 
 let default_capacity = 1 lsl 16
@@ -35,14 +36,21 @@ let create ?(capacity = default_capacity) () =
   { capacity;
     ring = Array.make capacity None;
     emitted = 0;
-    clock = (fun () -> 0.0) }
+    clock = (fun () -> 0.0);
+    sinks = [] }
 
 let set_clock t clock = t.clock <- clock
+
+let add_sink t sink = t.sinks <- t.sinks @ [ sink ]
 
 let emit t kind =
   let seq = t.emitted in
   t.emitted <- seq + 1;
-  t.ring.(seq mod t.capacity) <- Some { seq; time = t.clock (); kind }
+  let e = { seq; time = t.clock (); kind } in
+  t.ring.(seq mod t.capacity) <- Some e;
+  match t.sinks with
+  | [] -> ()
+  | sinks -> List.iter (fun sink -> sink e) sinks
 
 let emitted t = t.emitted
 

@@ -69,6 +69,15 @@ val create : ?capacity:int -> unit -> t
 val set_clock : t -> (unit -> float) -> unit
 (** Install the virtual-time source events are stamped with. *)
 
+val add_sink : t -> (event -> unit) -> unit
+(** Register a live consumer called on every {!emit}, after the event is
+    written to the ring — the hook a streaming analyzer uses to see the
+    {e whole} event stream even when it is longer than the ring (the
+    ring then only bounds what {!events} can replay, not what sinks
+    observed). Sinks run in registration order, must not emit into the
+    same tracer, and see events exactly once. With no sinks registered,
+    [emit] costs what it did before this hook existed. *)
+
 val emit : t -> kind -> unit
 
 val events : t -> event list
