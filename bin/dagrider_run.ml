@@ -74,6 +74,41 @@ let block_bytes_arg =
     value & opt int 64
     & info [ "block-bytes" ] ~docv:"BYTES" ~doc:"Synthetic block size.")
 
+(* lossy-link rates; any nonzero rate switches every protocol stack onto
+   the ack/retransmit transport (Harness.Runner.options.link_faults) *)
+let lossy_term =
+  let loss =
+    Arg.(
+      value & opt float 0.0
+      & info [ "loss" ] ~docv:"P"
+          ~doc:"Drop each message with probability $(docv) (0 <= P < 1).")
+  in
+  let dup =
+    Arg.(
+      value & opt float 0.0
+      & info [ "dup" ] ~docv:"P"
+          ~doc:"Duplicate each message with probability $(docv).")
+  in
+  let corrupt =
+    Arg.(
+      value & opt float 0.0
+      & info [ "corrupt" ] ~docv:"P"
+          ~doc:"Bit-corrupt each message with probability $(docv).")
+  in
+  let reorder =
+    Arg.(
+      value & opt float 0.0
+      & info [ "reorder" ] ~docv:"P"
+          ~doc:"Add reordering delay to each message with probability $(docv).")
+  in
+  let mk lf_drop lf_duplicate lf_corrupt lf_reorder =
+    if lf_drop = 0.0 && lf_duplicate = 0.0 && lf_corrupt = 0.0
+       && lf_reorder = 0.0
+    then None
+    else Some { Harness.Runner.lf_drop; lf_duplicate; lf_corrupt; lf_reorder }
+  in
+  Term.(const mk $ loss $ dup $ corrupt $ reorder)
+
 let build_fleet n seed backend schedule crashes byzantines block_bytes =
   let faults =
     List.map (fun i -> Harness.Runner.Crash i) crashes
@@ -90,8 +125,22 @@ let build_fleet n seed backend schedule crashes byzantines block_bytes =
 (* ---- run ---- *)
 
 let run_cmd =
-  let run n seed backend schedule crashes byzantines block_bytes until =
-    let fleet = build_fleet n seed backend schedule crashes byzantines block_bytes in
+  let run n seed backend schedule crashes byzantines block_bytes until
+      link_faults =
+    let faults =
+      List.map (fun i -> Harness.Runner.Crash i) crashes
+      @ List.map (fun i -> Harness.Runner.Byzantine_live i) byzantines
+    in
+    let fleet =
+      Harness.Runner.build
+        { (Harness.Runner.default_options ~n) with
+          seed;
+          backend;
+          schedule;
+          faults;
+          block_bytes;
+          link_faults }
+    in
     Harness.Runner.run fleet ~until;
     Printf.printf "%-8s %-10s %-7s %-7s %-7s\n" "process" "delivered" "round"
       "waves" "status";
@@ -112,18 +161,35 @@ let run_cmd =
     List.iteri
       (fun i (kind, bits) ->
         if i < 6 then Printf.printf "  %-16s %d bits\n" kind bits)
-      (Metrics.Counters.bits_by_kind (Harness.Runner.counters fleet))
+      (Metrics.Counters.bits_by_kind (Harness.Runner.counters fleet));
+    if link_faults <> None then begin
+      let ls = Harness.Runner.link_stats fleet in
+      Printf.printf
+        "lossy links: %d data frames, %d retransmits, %d gave up, %d dups \
+         suppressed, %d corrupt rejected\n"
+        ls.Net.Link.data_sent ls.Net.Link.retransmits ls.Net.Link.gave_up
+        ls.Net.Link.dup_suppressed ls.Net.Link.corrupt_rejected;
+      match Harness.Runner.drop_counts fleet with
+      | [] -> ()
+      | drops ->
+        Printf.printf "  drops: %s\n"
+          (String.concat ", "
+             (List.map
+                (fun (reason, c) -> Printf.sprintf "%s=%d" reason c)
+                drops))
+    end
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Simulate a DAG-Rider fleet and print a summary.")
     Term.(
       const run $ n_arg $ seed_arg $ backend_arg $ sched_arg $ crash_arg
-      $ byz_arg $ block_bytes_arg $ until_arg)
+      $ byz_arg $ block_bytes_arg $ until_arg $ lossy_term)
 
 (* ---- trace ---- *)
 
 let trace_cmd =
-  let run n seed backend schedule block_bytes until limit jsonl_out =
+  let run n seed backend schedule block_bytes until limit jsonl_out link_faults
+      =
     let tracer = Trace.create () in
     let fleet =
       Harness.Runner.build
@@ -132,6 +198,7 @@ let trace_cmd =
           backend;
           schedule;
           block_bytes;
+          link_faults;
           trace = Some tracer }
     in
     Harness.Runner.run fleet ~until;
@@ -169,10 +236,11 @@ let trace_cmd =
          "Simulate with structured tracing and render the event timeline \
           (sends/recvs, RBC phases, rounds, coin flips, leaders, commits).")
     Term.(
-      const (fun n seed backend sched bytes until limit jsonl ->
-          run n seed backend sched bytes until (normalize_limit limit) jsonl)
+      const (fun n seed backend sched bytes until limit jsonl lossy ->
+          run n seed backend sched bytes until (normalize_limit limit) jsonl
+            lossy)
       $ n_arg $ seed_arg $ backend_arg $ sched_arg $ block_bytes_arg
-      $ until_arg $ limit_arg $ jsonl_arg)
+      $ until_arg $ limit_arg $ jsonl_arg $ lossy_term)
 
 (* ---- analyze ---- *)
 
@@ -183,7 +251,7 @@ let write_file path contents =
 
 let analyze_cmd =
   let run n seed backend schedule crashes byzantines block_bytes until jsonl
-      json_out =
+      json_out link_faults =
     let report =
       match jsonl with
       | Some path ->
@@ -206,6 +274,7 @@ let analyze_cmd =
               schedule;
               faults;
               block_bytes;
+              link_faults;
               trace = Some tracer }
         in
         Harness.Runner.run fleet ~until;
@@ -241,7 +310,8 @@ let analyze_cmd =
           — over a live traced run or a replayed JSONL trace.")
     Term.(
       const run $ n_arg $ seed_arg $ backend_arg $ sched_arg $ crash_arg
-      $ byz_arg $ block_bytes_arg $ until_arg $ jsonl_arg $ json_arg)
+      $ byz_arg $ block_bytes_arg $ until_arg $ jsonl_arg $ json_arg
+      $ lossy_term)
 
 (* ---- dot (Figures 1-2 style DAG rendering, analyzer-classified) ---- *)
 

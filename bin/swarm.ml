@@ -54,6 +54,48 @@ let sabotage_arg =
 let verbose_arg =
   Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Per-seed output.")
 
+let loss_arg =
+  Arg.(
+    value & opt (some float) None
+    & info [ "loss" ] ~docv:"P"
+        ~doc:
+          "Force lossy links: drop each message with probability $(docv) \
+           (0 <= P < 1). Combines with --dup/--corrupt/--reorder; any of \
+           the four enables the ack/retransmit transport on every \
+           scenario (ignored in sabotage mode).")
+
+let dup_arg =
+  Arg.(
+    value & opt (some float) None
+    & info [ "dup" ] ~docv:"P"
+        ~doc:"Force lossy links: duplicate each message with probability \
+              $(docv).")
+
+let corrupt_arg =
+  Arg.(
+    value & opt (some float) None
+    & info [ "corrupt" ] ~docv:"P"
+        ~doc:"Force lossy links: bit-corrupt each message with probability \
+              $(docv).")
+
+let reorder_arg =
+  Arg.(
+    value & opt (some float) None
+    & info [ "reorder" ] ~docv:"P"
+        ~doc:"Force lossy links: add reordering delay to each message with \
+              probability $(docv).")
+
+let lossy_of_flags ~loss ~dup ~corrupt ~reorder =
+  match (loss, dup, corrupt, reorder) with
+  | None, None, None, None -> None
+  | _ ->
+    let get = Option.value ~default:0.0 in
+    Some
+      { Harness.Runner.lf_drop = get loss;
+        lf_duplicate = get dup;
+        lf_corrupt = get corrupt;
+        lf_reorder = get reorder }
+
 (* re-run the (shrunk) failing scenario with tracing — runs are pure
    functions of the seed, so the traced re-run reproduces the failing
    execution (honest AND sabotage mode: trace_scenario replays the
@@ -119,7 +161,7 @@ let summarize ~sabotage (report : Check.Swarm.report) =
   end
   else 1
 
-let main seeds seed base quick sabotage verbose =
+let main seeds seed base quick sabotage verbose loss dup corrupt reorder =
   if seeds < 1 && seed = None then begin
     (* a zero-seed sweep would vacuously report "all invariants held"
        and green-light a typo'd CI invocation *)
@@ -141,8 +183,9 @@ let main seeds seed base quick sabotage verbose =
         o.Check.Swarm.delivered_min o.Check.Swarm.delivered_max
         o.Check.Swarm.commits o.Check.Swarm.events
   in
+  let lossy = lossy_of_flags ~loss ~dup ~corrupt ~reorder in
   let report =
-    Check.Swarm.run_seeds ~sabotage ~quick ~progress ~seeds:seed_list ()
+    Check.Swarm.run_seeds ~sabotage ~quick ?lossy ~progress ~seeds:seed_list ()
   in
   summarize ~sabotage report
 
@@ -154,6 +197,6 @@ let cmd =
           reproduction.")
     Term.(
       const main $ seeds_arg $ seed_arg $ base_arg $ quick_arg $ sabotage_arg
-      $ verbose_arg)
+      $ verbose_arg $ loss_arg $ dup_arg $ corrupt_arg $ reorder_arg)
 
 let () = exit (Cmd.eval' cmd)

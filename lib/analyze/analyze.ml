@@ -6,6 +6,8 @@ type config = {
   stall_factor : float;
   slow_wave_factor : float;
   skip_streak : int;
+  lossy_link_factor : float;
+  lossy_link_min : int;
 }
 
 let default_config =
@@ -15,7 +17,9 @@ let default_config =
     observer = None;
     stall_factor = 8.0;
     slow_wave_factor = 4.0;
-    skip_streak = 3 }
+    skip_streak = 3;
+    lossy_link_factor = 4.0;
+    lossy_link_min = 20 }
 
 type summary = {
   s_count : int;
@@ -66,6 +70,13 @@ type anomaly =
     }
   | Skip_streak of { node : int; first_wave : int; length : int }
   | Slow_wave of { wave : int; took : float; median : float }
+  | Lossy_link of {
+      src : int;
+      dst : int;
+      retransmits : int;
+      gave_up : int;
+      median : float;
+    }
 
 let describe_anomaly = function
   | Round_stall { node; round; at; gap; median } ->
@@ -91,6 +102,14 @@ let describe_anomaly = function
       "slow wave: wave %d took %.2f units from first coin share to \
        election (median %.2f)"
       wave took median
+  | Lossy_link { src; dst; retransmits; gave_up; median } ->
+    Printf.sprintf
+      "lossy link starving p%d: %d retransmits on p%d->p%d (median link \
+       %.1f)%s"
+      dst retransmits src dst median
+      (if gave_up > 0 then
+         Printf.sprintf ", %d frames abandoned after retry exhaustion" gave_up
+       else "")
 
 type report = {
   r_processes : int;
@@ -117,6 +136,10 @@ type report = {
   r_ordered : int;
   r_chain_quality : Metrics.Chain_quality.report;
   r_chain_quality_bound : float;
+  r_drops : (string * int) list;
+  r_retransmits : int;
+  r_corrupt_rejects : int;
+  r_link_retransmits : ((int * int) * int) list;
   r_anomalies : anomaly list;
 }
 
@@ -156,6 +179,11 @@ type t = {
   last_commit : (int, float) Hashtbl.t;
   adeliv : (int, (int * int * float * float option) list ref) Hashtbl.t;
       (* node -> rev (round, source, at, attributed commit time) *)
+  drop_reasons : (string, int ref) Hashtbl.t;
+  retrans_links : (int * int, int ref) Hashtbl.t; (* (src, dst) -> count *)
+  giveup_links : (int * int, int ref) Hashtbl.t;
+  mutable retransmit_events : int;
+  mutable corrupt_rejects : int;
 }
 
 let create () =
@@ -176,7 +204,17 @@ let create () =
     coin_first = Hashtbl.create 256;
     ord = Hashtbl.create 16;
     last_commit = Hashtbl.create 16;
-    adeliv = Hashtbl.create 16 }
+    adeliv = Hashtbl.create 16;
+    drop_reasons = Hashtbl.create 8;
+    retrans_links = Hashtbl.create 64;
+    giveup_links = Hashtbl.create 16;
+    retransmit_events = 0;
+    corrupt_rejects = 0 }
+
+let incr_cell tbl key =
+  match Hashtbl.find_opt tbl key with
+  | Some r -> incr r
+  | None -> Hashtbl.add tbl key (ref 1)
 
 let push tbl key v =
   match Hashtbl.find_opt tbl key with
@@ -259,6 +297,20 @@ let feed t (e : Trace.event) =
     bump node;
     bump source;
     push t.adeliv node (round, source, time, Hashtbl.find_opt t.last_commit node)
+  | Trace.Drop { src; dst; reason; _ } ->
+    bump src;
+    bump dst;
+    incr_cell t.drop_reasons reason;
+    if reason = "give-up" then incr_cell t.giveup_links (src, dst)
+  | Trace.Retransmit { src; dst; _ } ->
+    bump src;
+    bump dst;
+    t.retransmit_events <- t.retransmit_events + 1;
+    incr_cell t.retrans_links (src, dst)
+  | Trace.Corrupt_reject { src; dst; _ } ->
+    bump src;
+    bump dst;
+    t.corrupt_rejects <- t.corrupt_rejects + 1
   | Trace.Engine_sample _ -> ()
 
 (* ---- finalize ---- *)
@@ -589,6 +641,46 @@ let finalize ?(config = default_config) t =
         if took > threshold then add (Slow_wave { wave; took; median = med }))
       resolutions
   end;
+  (* ---- loss diagnostics ---- *)
+  let drops =
+    Hashtbl.fold (fun reason r acc -> (reason, !r) :: acc) t.drop_reasons []
+    |> List.sort compare
+  in
+  let link_retransmits =
+    Hashtbl.fold (fun link r acc -> (link, !r) :: acc) t.retrans_links []
+    |> List.sort (fun (l1, c1) (l2, c2) ->
+           match compare c2 c1 with 0 -> compare l1 l2 | o -> o)
+  in
+  (* a lossy link starving its destination: uniform loss keeps every
+     link near the median, so only links far above it (or links that
+     exhausted a retry budget) are flagged. Links appearing only in the
+     give-up table still count — their retransmissions may have fallen
+     outside the ring buffer's retained window *)
+  let suspect_links =
+    Hashtbl.fold
+      (fun link r acc ->
+        if Hashtbl.mem t.retrans_links link then acc else (link, !r) :: acc)
+      t.giveup_links []
+    |> List.map (fun (link, _) -> (link, 0))
+    |> List.append link_retransmits
+  in
+  (if suspect_links <> [] then
+     let med =
+       median (List.map (fun (_, c) -> float_of_int c) link_retransmits)
+     in
+     let threshold =
+       max (config.lossy_link_factor *. med) (float_of_int config.lossy_link_min)
+     in
+     List.iter
+       (fun ((src, dst), retransmits) ->
+         let gave_up =
+           match Hashtbl.find_opt t.giveup_links (src, dst) with
+           | Some r -> !r
+           | None -> 0
+         in
+         if gave_up > 0 || float_of_int retransmits > threshold then
+           add (Lossy_link { src; dst; retransmits; gave_up; median = med }))
+       suspect_links);
   { r_processes = processes;
     r_f = f;
     r_wave_length = wave_length;
@@ -613,6 +705,10 @@ let finalize ?(config = default_config) t =
     r_ordered = List.length obs_adeliv;
     r_chain_quality = chain_quality;
     r_chain_quality_bound = bound;
+    r_drops = drops;
+    r_retransmits = t.retransmit_events;
+    r_corrupt_rejects = t.corrupt_rejects;
+    r_link_retransmits = link_retransmits;
     r_anomalies = List.rev !anomalies }
 
 let analyze ?config events =
@@ -693,6 +789,13 @@ let anomaly_to_json a =
     obj "skip-streak" [ i "node" node; i "first_wave" first_wave; i "length" length ]
   | Slow_wave { wave; took; median } ->
     obj "slow-wave" [ i "wave" wave; fl "took" took; fl "median" median ]
+  | Lossy_link { src; dst; retransmits; gave_up; median } ->
+    obj "lossy-link"
+      [ i "src" src;
+        i "dst" dst;
+        i "retransmits" retransmits;
+        i "gave_up" gave_up;
+        fl "median" median ]
 
 let report_to_json r =
   let lo, hi = r.r_span in
@@ -737,6 +840,20 @@ let report_to_json r =
               Stdx.Json.Float r.r_chain_quality.Metrics.Chain_quality.worst_prefix_ratio );
             ("bound", Stdx.Json.Float r.r_chain_quality_bound);
             ("holds", Stdx.Json.Bool r.r_chain_quality.Metrics.Chain_quality.holds) ] );
+      ( "drops",
+        Stdx.Json.Obj
+          (List.map (fun (reason, c) -> (reason, Stdx.Json.Int c)) r.r_drops) );
+      ("retransmits", Stdx.Json.Int r.r_retransmits);
+      ("corrupt_rejects", Stdx.Json.Int r.r_corrupt_rejects);
+      ( "link_retransmits",
+        Stdx.Json.List
+          (List.map
+             (fun ((src, dst), c) ->
+               Stdx.Json.Obj
+                 [ ("src", Stdx.Json.Int src);
+                   ("dst", Stdx.Json.Int dst);
+                   ("count", Stdx.Json.Int c) ])
+             r.r_link_retransmits) );
       ("anomalies", Stdx.Json.List (List.map anomaly_to_json r.r_anomalies)) ]
 
 let fmt_summary s =
@@ -822,6 +939,26 @@ let render ?(max_waves = 12) r =
     cq.Metrics.Chain_quality.worst_prefix_ratio
     cq.Metrics.Chain_quality.worst_prefix_len r.r_chain_quality_bound
     (if cq.Metrics.Chain_quality.holds then "holds" else "VIOLATED");
+  if r.r_drops <> [] || r.r_retransmits > 0 || r.r_corrupt_rejects > 0 then begin
+    add "\nloss diagnostics: %d retransmits, %d corrupt frames rejected\n"
+      r.r_retransmits r.r_corrupt_rejects;
+    if r.r_drops <> [] then
+      add "  drops by reason: %s\n"
+        (String.concat ", "
+           (List.map
+              (fun (reason, c) -> Printf.sprintf "%s=%d" reason c)
+              r.r_drops));
+    (match r.r_link_retransmits with
+    | [] -> ()
+    | links ->
+      let shown = List.filteri (fun i _ -> i < 8) links in
+      add "  busiest links (retransmits): %s%s\n"
+        (String.concat ", "
+           (List.map
+              (fun ((src, dst), c) -> Printf.sprintf "p%d->p%d=%d" src dst c)
+              shown))
+        (if List.length links > List.length shown then ", ..." else ""))
+  end;
   add "\n%s" (render_anomalies r);
   Buffer.contents buf
 

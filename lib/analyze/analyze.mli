@@ -43,11 +43,18 @@ type config = {
   skip_streak : int;
       (** flag runs of at least this many consecutive leader skips
           without an intervening commit (default 3) *)
+  lossy_link_factor : float;
+      (** flag a link whose retransmit count exceeds this multiple of
+          the median per-link count (default 4.0) *)
+  lossy_link_min : int;
+      (** ...and also exceeds this absolute floor, so mildly unlucky
+          links in short runs stay unflagged (default 20) *)
 }
 
 val default_config : config
 (** [wave_length = 4], everything inferred, [stall_factor = 8.0],
-    [slow_wave_factor = 4.0], [skip_streak = 3]. *)
+    [slow_wave_factor = 4.0], [skip_streak = 3],
+    [lossy_link_factor = 4.0], [lossy_link_min = 20]. *)
 
 type summary = {
   s_count : int;
@@ -106,6 +113,17 @@ type anomaly =
     }
   | Skip_streak of { node : int; first_wave : int; length : int }
   | Slow_wave of { wave : int; took : float; median : float }
+  | Lossy_link of {
+      src : int;
+      dst : int;
+      retransmits : int;  (** frames re-sent on this directed link *)
+      gave_up : int;  (** frames abandoned after retry exhaustion *)
+      median : float;  (** median retransmit count across active links *)
+    }
+      (** One directed link is starving its destination: its retransmit
+          count is far above the median (uniform loss keeps links close
+          together, so this singles out targeted loss), or the transport
+          exhausted a frame's retry budget on it. *)
 
 val describe_anomaly : anomaly -> string
 (** One-line human rendering. *)
@@ -145,6 +163,14 @@ type report = {
   r_ordered : int;  (** observer's [a_deliver] count *)
   r_chain_quality : Metrics.Chain_quality.report;
   r_chain_quality_bound : float;  (** (f+1)/(2f+1) *)
+  r_drops : (string * int) list;
+      (** lost deliveries by reason tag, sorted by reason (empty for a
+          fault-free trace) *)
+  r_retransmits : int;  (** {!Trace.Retransmit} events fed *)
+  r_corrupt_rejects : int;  (** {!Trace.Corrupt_reject} events fed *)
+  r_link_retransmits : ((int * int) * int) list;
+      (** per directed link [(src, dst)], descending by count — the
+          loss-aware view behind the {!Lossy_link} anomaly *)
   r_anomalies : anomaly list;
 }
 

@@ -34,6 +34,8 @@ type t = {
   faults : fault_action list;
   horizon : float;
   commit_quorum : int option;
+  link_faults : Harness.Runner.link_faults option;
+  lossy_forced : bool;
 }
 
 let rbc_prefix = function
@@ -122,7 +124,7 @@ let predicted_leader ~seed ~n ~f ~wave =
   | Some leader -> leader
   | None -> wave mod n
 
-let generate ?(sabotage = false) ?(quick = false) ~seed () =
+let generate ?(sabotage = false) ?(quick = false) ?lossy ~seed () =
   (* offset keeps the sampling stream distinct from the run's own seeded
      streams (Runner also derives from [seed]) *)
   let rng = Stdx.Rng.create (seed lxor 0x5ca40c0de) in
@@ -261,6 +263,29 @@ let generate ?(sabotage = false) ?(quick = false) ~seed () =
       (layers, faults @ restarts)
     end
   in
+  (* lossy links are sampled LAST, so enabling them never perturbs the
+     draws above; the sabotage branch skips them entirely — its attack
+     choreography depends on precise delivery timing. An explicit
+     [lossy] override (the CLI's --loss/--dup/--corrupt flags) replaces
+     whatever was sampled, again without consuming extra draws. *)
+  let link_faults, lossy_forced =
+    if sabotage then (None, false)
+    else
+      match lossy with
+      | Some lf -> (Some lf, true)
+      | None ->
+        if Stdx.Rng.int rng 4 = 0 then
+          ( Some
+              { Harness.Runner.lf_drop = 0.05 +. Stdx.Rng.float rng 0.2;
+                lf_duplicate = Stdx.Rng.float rng 0.1;
+                lf_corrupt = Stdx.Rng.float rng 0.05;
+                lf_reorder = Stdx.Rng.float rng 0.2 },
+            false )
+        else (None, false)
+  in
+  (* retransmission (rto 3.0, backoff) stretches end-to-end latency:
+     give lossy runs room to keep committing inside the horizon *)
+  let horizon = if link_faults <> None then horizon *. 2.0 else horizon in
   { seed;
     quick;
     sabotage;
@@ -271,7 +296,9 @@ let generate ?(sabotage = false) ?(quick = false) ~seed () =
     layers;
     faults;
     horizon;
-    commit_quorum = (if sabotage then Some 0 else None) }
+    commit_quorum = (if sabotage then Some 0 else None);
+    link_faults;
+    lossy_forced }
 
 let base_sched base rng =
   match base with
@@ -314,11 +341,13 @@ let to_options t =
     backend = t.backend;
     schedule = Harness.Runner.Custom (build_sched t);
     commit_quorum = t.commit_quorum;
-    faults = statics }
+    faults = statics;
+    link_faults = t.link_faults }
 
 let expect_validity t =
   (not t.sabotage)
   && t.faults = []
+  && t.link_faults = None
   && List.for_all
        (function Slow_process _ | Hide_process _ -> false | _ -> true)
        t.layers
@@ -358,9 +387,14 @@ let describe_fault = function
   | Corrupt_at { time; node } -> Printf.sprintf "corrupt p%d@%.1f" node time
   | Restart_at { time; node } -> Printf.sprintf "restart p%d@%.1f" node time
 
+let describe_lossy (lf : Harness.Runner.link_faults) =
+  Printf.sprintf "lossy(drop=%.2f,dup=%.2f,corrupt=%.2f,reorder=%.2f)"
+    lf.Harness.Runner.lf_drop lf.Harness.Runner.lf_duplicate
+    lf.Harness.Runner.lf_corrupt lf.Harness.Runner.lf_reorder
+
 let describe t =
   Printf.sprintf
-    "seed %d: n=%d f=%d backend=%s sched=%s%s faults=[%s]%s horizon=%.0f%s"
+    "seed %d: n=%d f=%d backend=%s sched=%s%s faults=[%s]%s%s horizon=%.0f%s"
     t.seed t.n t.f
     (describe_backend t.backend)
     (describe_base t.base)
@@ -371,5 +405,9 @@ let describe t =
     (match t.commit_quorum with
     | None -> ""
     | Some q -> Printf.sprintf " quorum=%d(SABOTAGED)" q)
+    (match t.link_faults with
+    | None -> ""
+    | Some lf ->
+      " " ^ describe_lossy lf ^ if t.lossy_forced then "(forced)" else "")
     t.horizon
     (if t.quick then " (quick)" else "")

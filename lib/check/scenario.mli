@@ -53,9 +53,22 @@ type t = {
   faults : fault_action list;
   horizon : float;
   commit_quorum : int option; (** [Some 0] in sabotage mode *)
+  link_faults : Harness.Runner.link_faults option;
+      (** lossy links under every protocol stack (drop / duplicate /
+          corrupt / reorder per message; see
+          {!Harness.Runner.options.link_faults}) *)
+  lossy_forced : bool;
+      (** [link_faults] came from the caller, not the seed — the repro
+          command must carry the rates explicitly *)
 }
 
-val generate : ?sabotage:bool -> ?quick:bool -> seed:int -> unit -> t
+val generate :
+  ?sabotage:bool ->
+  ?quick:bool ->
+  ?lossy:Harness.Runner.link_faults ->
+  seed:int ->
+  unit ->
+  t
 (** Sample a scenario. The fault script never makes more than [f]
     processes faulty in total (static plus mid-run), so every paper
     invariant must hold — any oracle violation is a bug. With
@@ -67,7 +80,15 @@ val generate : ?sabotage:bool -> ?quick:bool -> seed:int -> unit -> t
     not vacuous. See the comment in [scenario.ml] for why intermediate
     quorums such as [f+1] are still safe under honest reliable
     broadcast. [~quick] shrinks fleet sizes and the horizon for smoke
-    runs. *)
+    runs.
+
+    Honest scenarios also sample lossy links (1 in 4), drawn after
+    everything else so the rest of the scenario is unchanged vs the
+    same seed without them; [~lossy] forces specific rates instead
+    (ignored by sabotage scenarios, whose attack depends on exact
+    delivery timing). Lossy scenarios double the horizon — the
+    retransmit timeout stretches every quorum — and drop the validity
+    promise while keeping every safety oracle. *)
 
 val build_sched : t -> Stdx.Rng.t -> Net.Sched.t
 (** Compose the schedule: base policy wrapped by each layer (partitions

@@ -104,9 +104,17 @@ let trace_scenario (sc : Scenario.t) =
   tracer
 
 let repro_command (sc : Scenario.t) =
-  Printf.sprintf "dune exec bin/swarm.exe -- --seed %d%s%s" sc.Scenario.seed
+  Printf.sprintf "dune exec bin/swarm.exe -- --seed %d%s%s%s" sc.Scenario.seed
     (if sc.Scenario.quick then " --quick" else "")
     (if sc.Scenario.sabotage then " --sabotage" else "")
+    (match sc.Scenario.link_faults with
+    (* seed-sampled rates replay from the seed alone; forced rates came
+       from the command line and must be repeated there *)
+    | Some lf when sc.Scenario.lossy_forced ->
+      Printf.sprintf " --loss %g --dup %g --corrupt %g --reorder %g"
+        lf.Harness.Runner.lf_drop lf.Harness.Runner.lf_duplicate
+        lf.Harness.Runner.lf_corrupt lf.Harness.Runner.lf_reorder
+    | _ -> "")
 
 let shrink_list ~keep xs =
   let rec go kept = function
@@ -145,11 +153,11 @@ type report = {
   agreement_violations : int;
 }
 
-let run_seeds ?(sabotage = false) ?(quick = false) ?progress ~seeds () =
+let run_seeds ?(sabotage = false) ?(quick = false) ?lossy ?progress ~seeds () =
   let failures = ref [] in
   List.iter
     (fun seed ->
-      let sc = Scenario.generate ~sabotage ~quick ~seed () in
+      let sc = Scenario.generate ~sabotage ~quick ?lossy ~seed () in
       let outcome = run_scenario sc in
       let outcome =
         if outcome.violations = [] then outcome else shrink outcome

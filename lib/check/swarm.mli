@@ -54,10 +54,12 @@ type report = {
 val run_seeds :
   ?sabotage:bool ->
   ?quick:bool ->
+  ?lossy:Harness.Runner.link_faults ->
   ?progress:(seed:int -> outcome -> unit) ->
   seeds:int list ->
   unit ->
   report
 (** Generate-and-run each seed; failing outcomes are shrunk before they
     are reported. [progress] observes every run (the CLI uses it for
-    live output). *)
+    live output). [lossy] forces every scenario onto lossy links at the
+    given rates (the CLI's --loss/--dup/--corrupt flags). *)

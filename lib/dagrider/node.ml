@@ -34,8 +34,8 @@ type t = {
   me : int;
   trace : Trace.t option;
   coin : Crypto.Threshold_coin.t;
-  coin_net : coin_msg Net.Network.t;
-  mutable sync_net : sync_msg Net.Network.t option;
+  coin_net : coin_msg Net.Port.t;
+  mutable sync_net : sync_msg Net.Port.t option;
   dag : Dag.t;
   ordering : Ordering.t;
   mutable rbc : rbc_handle option;
@@ -179,6 +179,75 @@ let create_and_broadcast_vertex t ~round =
   tr_emit t (Trace.Vertex_created { node = t.me; round });
   (rbc t).rbc_bcast ~payload ~round
 
+(* ---- wire codecs for the coin and sync channels ----
+
+   Messages on these channels travel as typed OCaml values on reliable
+   networks, but over lossy links (Net.Link) they are carried as bytes
+   — these codecs are what the link endpoints are attached with, and
+   they face the same hostile inputs as the RBC codecs (fuzzed in the
+   suite, must return None rather than raise). *)
+
+module Wire = Rbc.Rbc_intf.Wire
+
+let max_sync_vertices = 500
+
+let encode_coin_msg (Coin_share (s : Crypto.Threshold_coin.share)) =
+  let buf = Buffer.create 16 in
+  Wire.put_u8 buf 1;
+  Wire.put_u32 buf s.holder;
+  Wire.put_u32 buf s.instance;
+  Wire.put_u32 buf s.value;
+  Buffer.contents buf
+
+let decode_coin_msg src =
+  Wire.decode src (fun r ->
+      match Wire.get_u8 r with
+      | 1 ->
+        let holder = Wire.get_u32 r in
+        let instance = Wire.get_u32 r in
+        let value = Wire.get_u32 r in
+        Wire.finish r
+          (Coin_share { Crypto.Threshold_coin.holder; instance; value })
+      | _ -> None)
+
+let encode_sync_msg msg =
+  let buf = Buffer.create 64 in
+  (match msg with
+  | Sync_request { from_round } ->
+    Wire.put_u8 buf 1;
+    Wire.put_u32 buf from_round
+  | Sync_response { vertices } ->
+    Wire.put_u8 buf 2;
+    Wire.put_u32 buf (List.length vertices);
+    List.iter
+      (fun (payload, round, source) ->
+        Wire.put_u32 buf round;
+        Wire.put_u32 buf source;
+        Wire.put_bytes buf payload)
+      vertices);
+  Buffer.contents buf
+
+let decode_sync_msg src =
+  Wire.decode src (fun r ->
+      match Wire.get_u8 r with
+      | 1 ->
+        let from_round = Wire.get_u32 r in
+        Wire.finish r (Sync_request { from_round })
+      | 2 ->
+        let count = Wire.get_u32 r in
+        (* honest responses are capped; a huge count is an attack on the
+           decoder's allocator, not a message *)
+        if count > max_sync_vertices then raise Wire.Bad;
+        let vertices =
+          List.init count (fun _ ->
+              let round = Wire.get_u32 r in
+              let source = Wire.get_u32 r in
+              let payload = Wire.get_bytes r in
+              (payload, round, source))
+        in
+        Wire.finish r (Sync_response { vertices })
+      | _ -> None)
+
 (* ---- coin handling ---- *)
 
 (* coin shares and sync messages are charged at their exact encoded
@@ -191,7 +260,7 @@ let coin_share_bits (s : Crypto.Threshold_coin.share) =
 let broadcast_share t ~wave =
   tr_emit t (Trace.Coin_flip { node = t.me; wave });
   let share = Crypto.Threshold_coin.make_share t.coin ~holder:t.me ~instance:wave in
-  Net.Network.broadcast t.coin_net ~src:t.me ~kind:"coin-share"
+  Net.Port.broadcast t.coin_net ~src:t.me ~kind:"coin-share"
     ~bits:(coin_share_bits share) (Coin_share share)
 
 let shares_for t wave =
@@ -383,6 +452,7 @@ let on_r_deliver t ~payload ~round ~source =
 
 (* ---- catch-up sync (for restarted processes) ---- *)
 
+
 (* first round that might still be missing vertices: the lowest round
    below the frontier that has fewer than n vertices *)
 let first_incomplete_round t =
@@ -398,10 +468,8 @@ let request_sync t =
   | None -> ()
   | Some net ->
     (* u8 tag + u32 from_round *)
-    Net.Network.broadcast net ~src:t.me ~kind:"sync-request" ~bits:(8 * 5)
+    Net.Port.broadcast net ~src:t.me ~kind:"sync-request" ~bits:(8 * 5)
       (Sync_request { from_round = first_incomplete_round t })
-
-let max_sync_vertices = 500
 
 let on_sync_msg t ~src msg =
   match msg with
@@ -434,7 +502,7 @@ let on_sync_msg t ~src msg =
             (fun acc (payload, _, _) -> acc + (8 * (String.length payload + 12)))
             (8 * 5) !vertices
         in
-        Net.Network.send net ~src:t.me ~dst:src ~kind:"sync-response" ~bits
+        Net.Port.send net ~src:t.me ~dst:src ~kind:"sync-response" ~bits
           (Sync_response { vertices = List.rev !vertices })
       end)
   | Sync_response { vertices } ->
@@ -482,10 +550,10 @@ let create ~config ~me ~coin ~coin_net ~make_rbc ?sync_net ?trace
     on_r_deliver t ~payload ~round ~source
   in
   t.rbc <- Some (make_rbc ~me ~deliver);
-  Net.Network.register coin_net me (fun ~src msg -> on_coin_msg t ~src msg);
+  Net.Port.register coin_net me (fun ~src msg -> on_coin_msg t ~src msg);
   (match sync_net with
   | Some net ->
-    Net.Network.register net me (fun ~src msg -> on_sync_msg t ~src msg)
+    Net.Port.register net me (fun ~src msg -> on_sync_msg t ~src msg)
   | None -> ());
   t
 

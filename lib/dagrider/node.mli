@@ -40,6 +40,19 @@ type sync_msg =
     fabrications are caught by the DAG's one-vertex-per-(round, source)
     check against reliably-broadcast copies. *)
 
+val encode_coin_msg : coin_msg -> string
+(** Canonical wire encoding of a coin share (used when the coin channel
+    runs over lossy links, where messages travel as bytes). *)
+
+val decode_coin_msg : string -> coin_msg option
+(** Inverse of {!encode_coin_msg}; [None] on any malformed input. *)
+
+val encode_sync_msg : sync_msg -> string
+
+val decode_sync_msg : string -> sync_msg option
+(** [None] on any malformed input, including responses claiming more
+    vertices than an honest responder would ever send. *)
+
 type coin_mode =
   | Separate_network
       (** shares travel on their own broadcast channel (the default
@@ -72,9 +85,9 @@ val create :
   config:config ->
   me:int ->
   coin:Crypto.Threshold_coin.t ->
-  coin_net:coin_msg Net.Network.t ->
+  coin_net:coin_msg Net.Port.t ->
   make_rbc:rbc_factory ->
-  ?sync_net:sync_msg Net.Network.t ->
+  ?sync_net:sync_msg Net.Port.t ->
   ?trace:Trace.t ->
   ?block_source:(round:int -> string) ->
   ?a_deliver:(block:string -> round:int -> source:int -> unit) ->
@@ -105,9 +118,9 @@ val checkpoint : t -> checkpoint
 
 val restore : config:config -> me:int ->
   coin:Crypto.Threshold_coin.t ->
-  coin_net:coin_msg Net.Network.t ->
+  coin_net:coin_msg Net.Port.t ->
   make_rbc:rbc_factory ->
-  ?sync_net:sync_msg Net.Network.t ->
+  ?sync_net:sync_msg Net.Port.t ->
   ?trace:Trace.t ->
   ?block_source:(round:int -> string) ->
   ?a_deliver:(block:string -> round:int -> source:int -> unit) ->

@@ -12,6 +12,16 @@ type fault =
   | Byzantine_live of int
   | Byzantine_attacker of int
 
+type link_faults = {
+  lf_drop : float;
+  lf_duplicate : float;
+  lf_corrupt : float;
+  lf_reorder : float;
+}
+
+let default_link_faults =
+  { lf_drop = 0.0; lf_duplicate = 0.0; lf_corrupt = 0.0; lf_reorder = 0.0 }
+
 type options = {
   n : int;
   f : int;
@@ -30,6 +40,7 @@ type options = {
     option;
   on_commit : (node:int -> Dagrider.Ordering.commit -> unit) option;
   faults : fault list;
+  link_faults : link_faults option;
   trace : Trace.t option;
 }
 
@@ -49,19 +60,36 @@ let default_options ~n =
     on_deliver = None;
     on_commit = None;
     faults = [];
+    link_faults = None;
     trace = None }
+
+(* One protocol stack's transport: the port the protocol talks to, the
+   fault-injection hooks the harness needs, and the loss-diagnostics
+   counters. Direct mode wraps a bare network; lossy mode runs the
+   stack over Net.Link endpoints on a fault-injected frame network. *)
+type 'msg stack = {
+  st_port : 'msg Net.Port.t;
+  st_corrupt : drop_in_flight:bool -> int -> unit; (* carrier-level, §2 adaptive *)
+  st_detach : int -> unit; (* stop process i sending/receiving for good *)
+  st_link_stats : unit -> Net.Link.stats;
+  st_retransmits : unit -> ((int * int) * int) list; (* (src,dst) -> count *)
+  st_drop_counts : unit -> (string * int) list;
+}
 
 type t = {
   options : options;
   engine : Sim.Engine.t;
   counters : Metrics.Counters.t;
   coin : Crypto.Threshold_coin.t;
-  coin_net : Dagrider.Node.coin_msg Net.Network.t;
-  sync_net : Dagrider.Node.sync_msg Net.Network.t;
+  coin_stack : Dagrider.Node.coin_msg stack;
+  sync_stack : Dagrider.Node.sync_msg stack;
   make_rbc : Dagrider.Node.rbc_factory;
   node_config : Dagrider.Node.config;
   nodes : Dagrider.Node.t array;
   silence_rbc : drop_in_flight:bool -> int -> unit;
+  rbc_link_stats : unit -> Net.Link.stats;
+  rbc_retransmits : unit -> ((int * int) * int) list;
+  rbc_drop_counts : unit -> (string * int) list;
   faulty : bool array;  (* counted as Byzantine *)
   crashed : bool array; (* additionally, never started *)
   latency : Metrics.Latency.t;
@@ -93,6 +121,17 @@ let build options =
   let sched_rng = Stdx.Rng.split root_rng in
   let coin_rng = Stdx.Rng.split root_rng in
   let gossip_rng = Stdx.Rng.split root_rng in
+  (* split AFTER every pre-existing stream and ONLY when lossy links are
+     on, so fault-free runs consume exactly the historical RNG sequence
+     (and [Check.Scenario.predicted_leader]'s mirror stays valid) *)
+  let lossy_rng =
+    match options.link_faults with
+    | None -> None
+    | Some lf ->
+      if lf.lf_drop >= 1.0 then
+        invalid_arg "Runner.build: lf_drop must be < 1";
+      Some (lf, Stdx.Rng.split root_rng)
+  in
   let engine = Sim.Engine.create () in
   let counters = Metrics.Counters.create () in
   let sched = make_sched ~schedule:options.schedule ~rng:sched_rng in
@@ -121,60 +160,134 @@ let build options =
       Trace.add_sink tr (Analyze.feed acc);
       Some acc
   in
-  let coin_net = Net.Network.create ~engine ~sched ~counters ~n in
-  let sync_net = Net.Network.create ~engine ~sched ~counters ~n in
-  (match options.trace with
-  | None -> ()
-  | Some tr ->
-    Net.Network.set_trace coin_net tr;
-    Net.Network.set_trace sync_net tr);
-  (* one typed network per backend protocol; same engine/schedule/counters,
-     so semantically a single multiplexed network. [mute_rbc] silences a
-     process on that network after wiring (true-crash fault injection). *)
-  let (make_rbc : Dagrider.Node.rbc_factory),
-      (silence_rbc : drop_in_flight:bool -> int -> unit) =
-    let silencer net ~drop_in_flight i =
-      Net.Network.corrupt net ~drop_in_flight i;
-      Net.Network.unregister net i
-    in
-    let traced net =
+  (* One transport stack per protocol; same engine/schedule/counters, so
+     semantically a single multiplexed network. Direct mode builds the
+     reliable network the harness always used; lossy mode interposes a
+     fault-injected frame network with one {!Net.Link} endpoint per
+     process. Stacks are created in a fixed order (coin, sync, rbc) and
+     every lossy RNG derives from [lossy_rng] in creation order, so
+     lossy executions stay pure functions of the seed. *)
+  let make_stack (type msg) ~(encode : msg -> string)
+      ~(decode : string -> msg option) : msg stack =
+    match lossy_rng with
+    | None ->
+      ignore encode;
+      ignore decode;
+      let net = Net.Network.create ~engine ~sched ~counters ~n in
       (match options.trace with
       | None -> ()
       | Some tr -> Net.Network.set_trace net tr);
-      net
+      { st_port = Net.Port.of_network net;
+        st_corrupt =
+          (fun ~drop_in_flight i -> Net.Network.corrupt net ~drop_in_flight i);
+        st_detach = (fun i -> Net.Network.unregister net i);
+        st_link_stats = (fun () -> Net.Link.zero_stats);
+        st_retransmits = (fun () -> []);
+        st_drop_counts = (fun () -> Net.Network.drop_counts net) }
+    | Some (lf, lrng) ->
+      let net : Net.Link.frame Net.Network.t =
+        Net.Network.create ~engine ~sched ~counters ~n
+      in
+      (match options.trace with
+      | None -> ()
+      | Some tr -> Net.Network.set_trace net tr);
+      Net.Network.set_faults net
+        (Net.Faults.lossy ~rng:(Stdx.Rng.split lrng) ~drop:lf.lf_drop
+           ~duplicate:lf.lf_duplicate ~corrupt:lf.lf_corrupt
+           ~reorder:lf.lf_reorder ());
+      Net.Network.set_corrupter net
+        (Net.Link.corrupt_frame ~rng:(Stdx.Rng.split lrng));
+      let links =
+        Array.init n (fun me ->
+            Net.Link.attach ~net ~engine ~rng:(Stdx.Rng.split lrng)
+              ?trace:options.trace ~me ~encode ~decode ())
+      in
+      { st_port = Net.Port.of_links links;
+        st_corrupt =
+          (fun ~drop_in_flight i -> Net.Network.corrupt net ~drop_in_flight i);
+        st_detach = (fun i -> Net.Link.detach links.(i));
+        st_link_stats =
+          (fun () ->
+            Array.fold_left
+              (fun acc l -> Net.Link.add_stats acc (Net.Link.stats l))
+              Net.Link.zero_stats links);
+        st_retransmits =
+          (fun () ->
+            List.concat
+              (List.mapi
+                 (fun src l ->
+                   List.map
+                     (fun (dst, count) -> ((src, dst), count))
+                     (Net.Link.retransmits_by_dst l))
+                 (Array.to_list links)));
+        st_drop_counts = (fun () -> Net.Network.drop_counts net) }
+  in
+  let coin_stack =
+    make_stack ~encode:Dagrider.Node.encode_coin_msg
+      ~decode:Dagrider.Node.decode_coin_msg
+  in
+  let sync_stack =
+    make_stack ~encode:Dagrider.Node.encode_sync_msg
+      ~decode:Dagrider.Node.decode_sync_msg
+  in
+  let (make_rbc : Dagrider.Node.rbc_factory),
+      (silence_rbc : drop_in_flight:bool -> int -> unit),
+      rbc_link_stats,
+      rbc_retransmits,
+      rbc_drop_counts =
+    let silencer stack ~drop_in_flight i =
+      stack.st_corrupt ~drop_in_flight i;
+      stack.st_detach i
     in
     match options.backend with
     | Bracha ->
-      let net = traced (Net.Network.create ~engine ~sched ~counters ~n) in
+      let stack =
+        make_stack ~encode:Rbc.Bracha.encode_msg ~decode:Rbc.Bracha.decode_msg
+      in
       ( (fun ~me ~deliver ->
-          let b = Rbc.Bracha.create ~net ~me ~f ~deliver in
+          let b = Rbc.Bracha.create_port ~port:stack.st_port ~me ~f ~deliver in
           (match options.trace with
           | None -> ()
           | Some tr -> Rbc.Bracha.set_trace b tr);
           { Dagrider.Node.rbc_bcast =
               (fun ~payload ~round -> Rbc.Bracha.bcast b ~payload ~round) }),
-        silencer net )
+        silencer stack,
+        stack.st_link_stats,
+        stack.st_retransmits,
+        stack.st_drop_counts )
     | Avid ->
-      let net = traced (Net.Network.create ~engine ~sched ~counters ~n) in
+      let stack =
+        make_stack ~encode:Rbc.Avid.encode_msg ~decode:Rbc.Avid.decode_msg
+      in
       ( (fun ~me ~deliver ->
-          let a = Rbc.Avid.create ~net ~me ~f ~deliver in
+          let a = Rbc.Avid.create_port ~port:stack.st_port ~me ~f ~deliver in
           (match options.trace with
           | None -> ()
           | Some tr -> Rbc.Avid.set_trace a tr);
           { Dagrider.Node.rbc_bcast =
               (fun ~payload ~round -> Rbc.Avid.bcast a ~payload ~round) }),
-        silencer net )
+        silencer stack,
+        stack.st_link_stats,
+        stack.st_retransmits,
+        stack.st_drop_counts )
     | Gossip ->
-      let net = traced (Net.Network.create ~engine ~sched ~counters ~n) in
+      let stack =
+        make_stack ~encode:Rbc.Gossip.encode_msg ~decode:Rbc.Gossip.decode_msg
+      in
       ( (fun ~me ~deliver ->
           let rng = Stdx.Rng.split gossip_rng in
-          let g = Rbc.Gossip.create ~net ~rng ~me ~f ~deliver () in
+          let g =
+            Rbc.Gossip.create_port ~port:stack.st_port ~rng ~me ~f ~deliver ()
+          in
           (match options.trace with
           | None -> ()
           | Some tr -> Rbc.Gossip.set_trace g tr);
           { Dagrider.Node.rbc_bcast =
               (fun ~payload ~round -> Rbc.Gossip.bcast g ~payload ~round) }),
-        silencer net )
+        silencer stack,
+        stack.st_link_stats,
+        stack.st_retransmits,
+        stack.st_drop_counts )
   in
   let config =
     { Dagrider.Node.n;
@@ -218,8 +331,9 @@ let build options =
           Metrics.Latency.proposed latency block ~now:(Sim.Engine.now engine);
           block
         in
-        Dagrider.Node.create ~config ~me ~coin ~coin_net ~make_rbc ~sync_net
-          ?trace:options.trace ~block_source ~a_deliver ~on_commit ())
+        Dagrider.Node.create ~config ~me ~coin ~coin_net:coin_stack.st_port
+          ~make_rbc ~sync_net:sync_stack.st_port ?trace:options.trace
+          ~block_source ~a_deliver ~on_commit ())
   in
   let faulty = Array.make n false in
   let crashed = Array.make n false in
@@ -234,7 +348,7 @@ let build options =
         (* a silent process neither proposes nor relays: silence its RBC
            participation and its coin handler entirely *)
         silence_rbc ~drop_in_flight:false i;
-        Net.Network.unregister coin_net i
+        coin_stack.st_detach i
       | Byzantine_live _ -> ()
       | Byzantine_attacker _ ->
         crashed.(i) <- true (* the honest node never starts... *);
@@ -293,18 +407,21 @@ let build options =
           Sim.Engine.schedule engine ~delay:1.0 (fun () -> attack (step + 1))
         in
         Sim.Engine.schedule engine ~delay:0.5 (fun () -> attack 0));
-      Net.Network.corrupt coin_net ~drop_in_flight:false i)
+      coin_stack.st_corrupt ~drop_in_flight:false i)
     options.faults;
   { options;
     engine;
     counters;
     coin;
-    coin_net;
-    sync_net;
+    coin_stack;
+    sync_stack;
     make_rbc;
     node_config = config;
     nodes;
     silence_rbc;
+    rbc_link_stats;
+    rbc_retransmits;
+    rbc_drop_counts;
     faulty;
     crashed;
     latency;
@@ -347,10 +464,10 @@ let silence_node t ?(drop_in_flight = true) i =
   if i < 0 || i >= t.options.n then invalid_arg "Runner.silence_node: bad index";
   t.faulty.(i) <- true;
   t.silence_rbc ~drop_in_flight i;
-  Net.Network.corrupt t.coin_net ~drop_in_flight i;
-  Net.Network.unregister t.coin_net i;
-  Net.Network.corrupt t.sync_net ~drop_in_flight i;
-  Net.Network.unregister t.sync_net i
+  t.coin_stack.st_corrupt ~drop_in_flight i;
+  t.coin_stack.st_detach i;
+  t.sync_stack.st_corrupt ~drop_in_flight i;
+  t.sync_stack.st_detach i
 
 let run_until_delivered t ~count ~max_time =
   start t;
@@ -438,6 +555,41 @@ let honest_bits t =
 
 let latency t = t.latency
 
+(* ---- loss diagnostics: aggregate across the three stacks ---- *)
+
+let link_stats t =
+  Net.Link.add_stats
+    (t.coin_stack.st_link_stats ())
+    (Net.Link.add_stats (t.sync_stack.st_link_stats ()) (t.rbc_link_stats ()))
+
+let merge_counts pairs =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun (key, count) ->
+      let cell =
+        match Hashtbl.find_opt tbl key with
+        | Some cell -> cell
+        | None ->
+          let cell = ref 0 in
+          Hashtbl.add tbl key cell;
+          cell
+      in
+      cell := !cell + count)
+    pairs;
+  List.sort compare (Hashtbl.fold (fun k cell acc -> (k, !cell) :: acc) tbl [])
+
+let drop_counts t =
+  merge_counts
+    (t.coin_stack.st_drop_counts ()
+    @ t.sync_stack.st_drop_counts ()
+    @ t.rbc_drop_counts ())
+
+let retransmits_by_link t =
+  merge_counts
+    (t.coin_stack.st_retransmits ()
+    @ t.sync_stack.st_retransmits ()
+    @ t.rbc_retransmits ())
+
 let metrics_snapshot t =
   let reg = Metrics.Registry.create () in
   Metrics.Registry.incr reg "net.bits.total"
@@ -466,6 +618,25 @@ let metrics_snapshot t =
         ~by:(Dagrider.Ordering.delivered_count (Dagrider.Node.ordering node))
         ())
     t.nodes;
+  List.iter
+    (fun (reason, count) ->
+      Metrics.Registry.incr reg ("net.drops." ^ reason) ~by:count ())
+    (drop_counts t);
+  (if t.options.link_faults <> None then
+     let { Net.Link.data_sent;
+           retransmits;
+           gave_up;
+           dup_suppressed;
+           corrupt_rejected;
+           decode_failures } =
+       link_stats t
+     in
+     Metrics.Registry.incr reg "link.data_sent" ~by:data_sent ();
+     Metrics.Registry.incr reg "link.retransmits" ~by:retransmits ();
+     Metrics.Registry.incr reg "link.gave_up" ~by:gave_up ();
+     Metrics.Registry.incr reg "link.dup_suppressed" ~by:dup_suppressed ();
+     Metrics.Registry.incr reg "link.corrupt_rejected" ~by:corrupt_rejected ();
+     Metrics.Registry.incr reg "link.decode_failures" ~by:decode_failures ());
   Metrics.Registry.snapshot reg
 
 let analysis_config t =
@@ -543,8 +714,9 @@ let restart_node t i =
   in
   let restored =
     Dagrider.Node.restore ~config:t.node_config ~me:i ~coin:t.coin
-      ~coin_net:t.coin_net ~make_rbc:t.make_rbc ~sync_net:t.sync_net
-      ?trace:t.options.trace ~block_source ~a_deliver ~on_commit ck
+      ~coin_net:t.coin_stack.st_port ~make_rbc:t.make_rbc
+      ~sync_net:t.sync_stack.st_port ?trace:t.options.trace ~block_source
+      ~a_deliver ~on_commit ck
   in
   t.nodes.(i) <- restored;
   (* broadcasts that straddled the restart surface a little later *)

@@ -34,6 +34,19 @@ type fault =
           can push through the broadcast channel. Correct processes must
           drop all of it and keep both safety and liveness. *)
 
+type link_faults = {
+  lf_drop : float;  (** per-message loss probability *)
+  lf_duplicate : float;  (** per-message duplication probability *)
+  lf_corrupt : float;  (** per-message bit-corruption probability *)
+  lf_reorder : float;  (** per-message extra-delay (reordering) probability *)
+}
+(** Per-link fault rates applied to every frame of every protocol stack
+    (see {!Net.Faults.lossy}). *)
+
+val default_link_faults : link_faults
+(** All rates 0.0 — a convenient base for [{ default_link_faults with
+    lf_drop = ... }]. *)
+
 type options = {
   n : int;
   f : int;
@@ -60,6 +73,14 @@ type options = {
       (** observe every committed wave leader at every node (the swarm
           checker's leader-support oracle); [None] costs nothing *)
   faults : fault list;
+  link_faults : link_faults option;
+      (** [Some lf] breaks the §2 reliable-link assumption: every
+          protocol stack (RBC, coin, sync) runs over {!Net.Link}
+          ack/retransmit endpoints on a fault-injected frame network
+          with [lf]'s per-message rates. [None] (the default) keeps the
+          historical direct wiring — no extra RNG streams, no frame
+          overhead, delivered logs byte-identical to builds predating
+          the lossy transport. *)
   trace : Trace.t option;
       (** record structured events from every layer — network
           sends/recvs, RBC phases, DAG/round progress, coin flips,
@@ -138,11 +159,27 @@ val latency : t -> Metrics.Latency.t
     carrying it and again at each process's [a_deliver] — always on, no
     RNG or engine events involved, so it never perturbs the schedule. *)
 
+val link_stats : t -> Net.Link.stats
+(** Reliable-transport counters summed over every endpoint of every
+    stack (all zero when [link_faults] is [None]). *)
+
+val drop_counts : t -> (string * int) list
+(** Deliveries lost on any stack, merged by reason tag ("fault",
+    "corrupt", "give-up", "duplicate", "decode", "no-handler",
+    "corrupted-src"), sorted by reason. *)
+
+val retransmits_by_link : t -> ((int * int) * int) list
+(** [((src, dst), count)] for every directed link with at least one
+    retransmission, merged across stacks, sorted — the loss-aware
+    diagnostics the analyzer and swarm checker read. *)
+
 val metrics_snapshot : t -> Metrics.Registry.snapshot
 (** One snapshot of the run's health: communication counters (total,
     honest, per message kind), engine gauges (virtual time, events
     executed, events pending), latency histograms (first delivery and
-    per-process delivery), and per-node delivered counts. *)
+    per-process delivery), per-node delivered counts, drop counters by
+    reason ([net.drops.*]), and — on lossy builds — the aggregated
+    reliable-transport counters ([link.*]). *)
 
 val analysis : t -> Analyze.report option
 (** The protocol analyzer's view of this run: [Some] iff the run was

@@ -1,0 +1,303 @@
+(* Reliable link endpoints over a lossy frame network: sequence-numbered
+   data frames, acks, timeout-driven retransmission with exponential
+   backoff + jitter, receiver-side dedup, and a checksum gate. One
+   endpoint per process per protocol stack; together they rebuild the
+   paper's §2 reliable-link abstraction on top of a Faults-afflicted
+   Network. *)
+
+type frame =
+  | Data of { seq : int; kind : string; bytes : string; sum : int }
+  | Ack of { seq : int; sum : int }
+
+(* ---- checksum (FNV-1a/32 over a canonical rendering) ---- *)
+
+let fnv_prime = 0x01000193
+let fnv_basis = 0x811c9dc5
+let mix h byte = (h lxor (byte land 0xFF)) * fnv_prime land 0xFFFFFFFF
+
+let mix_int h v =
+  let h = mix h (v lsr 24) in
+  let h = mix h (v lsr 16) in
+  let h = mix h (v lsr 8) in
+  mix h v
+
+let mix_string h s = String.fold_left (fun h c -> mix h (Char.code c)) h s
+
+let data_sum ~seq ~kind ~bytes =
+  let h = mix fnv_basis (Char.code 'D') in
+  let h = mix_int h seq in
+  let h = mix_string h kind in
+  let h = mix h 0 in
+  mix_string h bytes
+
+let ack_sum ~seq = mix_int (mix fnv_basis (Char.code 'A')) seq
+
+let frame_sum = function
+  | Data { seq; kind; bytes; _ } -> data_sum ~seq ~kind ~bytes
+  | Ack { seq; _ } -> ack_sum ~seq
+
+let frame_intact = function
+  | Data { seq; kind; bytes; sum } -> sum = data_sum ~seq ~kind ~bytes
+  | Ack { seq; sum } -> sum = ack_sum ~seq
+
+let make_data ~seq ~kind ~bytes =
+  Data { seq; kind; bytes; sum = data_sum ~seq ~kind ~bytes }
+
+let make_ack ~seq = Ack { seq; sum = ack_sum ~seq }
+
+(* Flip one uniformly chosen bit of the frame's payload-or-seq without
+   touching the stored checksum — what the Faults corrupt verdict does
+   to frame networks (Network.set_corrupter). *)
+let corrupt_frame ~rng frame =
+  let flip_seq seq = seq lxor (1 lsl Stdx.Rng.int rng 32) in
+  match frame with
+  | Data { seq; kind; bytes; sum } ->
+    let payload_bits = 8 * String.length bytes in
+    let target = Stdx.Rng.int rng (32 + payload_bits) in
+    if target < 32 then Data { seq = seq lxor (1 lsl target); kind; bytes; sum }
+    else
+      let bit = target - 32 in
+      let bytes =
+        String.mapi
+          (fun i c ->
+            if i = bit / 8 then Char.chr (Char.code c lxor (1 lsl (bit mod 8)))
+            else c)
+          bytes
+      in
+      Data { seq; kind; bytes; sum }
+  | Ack { seq; sum } -> Ack { seq = flip_seq seq; sum }
+
+(* ---- wire-size accounting ---- *)
+
+(* u32 seq + u32 checksum + u32 kind length + the kind tag itself ride
+   every data frame; acks are u8 tag + u32 seq + u32 checksum *)
+let data_overhead_bits ~kind = 8 * (12 + String.length kind)
+let ack_bits = 8 * 9
+
+(* ---- endpoint ---- *)
+
+type config = {
+  rto : float;
+  backoff : float;
+  max_rto : float;
+  jitter : float;
+  max_attempts : int;
+}
+
+let default_config =
+  { rto = 3.0; backoff = 1.6; max_rto = 20.0; jitter = 0.3; max_attempts = 25 }
+
+type stats = {
+  data_sent : int;
+  retransmits : int;
+  gave_up : int;
+  dup_suppressed : int;
+  corrupt_rejected : int;
+  decode_failures : int;
+}
+
+let zero_stats =
+  { data_sent = 0;
+    retransmits = 0;
+    gave_up = 0;
+    dup_suppressed = 0;
+    corrupt_rejected = 0;
+    decode_failures = 0 }
+
+let add_stats a b =
+  { data_sent = a.data_sent + b.data_sent;
+    retransmits = a.retransmits + b.retransmits;
+    gave_up = a.gave_up + b.gave_up;
+    dup_suppressed = a.dup_suppressed + b.dup_suppressed;
+    corrupt_rejected = a.corrupt_rejected + b.corrupt_rejected;
+    decode_failures = a.decode_failures + b.decode_failures }
+
+type outstanding = {
+  o_kind : string;
+  o_frame : frame;
+  o_bits : int;
+  mutable o_attempt : int;
+}
+
+type 'msg t = {
+  net : frame Network.t;
+  engine : Sim.Engine.t;
+  rng : Stdx.Rng.t;
+  config : config;
+  me : int;
+  encode : 'msg -> string;
+  decode : string -> 'msg option;
+  trace : Trace.t option;
+  mutable handler : (src:int -> 'msg -> unit) option;
+  mutable detached : bool;
+  next_seq : int array; (* per destination *)
+  unacked : (int * int, outstanding) Hashtbl.t; (* (dst, seq) *)
+  (* receiver dedup, per source: every seq < floor was delivered;
+     [seen] holds the delivered seqs >= floor (out-of-order arrivals)
+     until the floor catches up — a sliding window, not unbounded *)
+  floor : int array;
+  seen : (int, unit) Hashtbl.t array;
+  per_dst_retransmits : int array;
+  mutable s : stats;
+}
+
+let tr_emit t kind =
+  match t.trace with None -> () | Some tr -> Trace.emit tr kind
+
+let stats t = t.s
+
+let retransmits_by_dst t =
+  Array.to_list t.per_dst_retransmits
+  |> List.mapi (fun dst count -> (dst, count))
+  |> List.filter (fun (_, count) -> count > 0)
+
+let set_handler t handler = t.handler <- Some handler
+
+let clear_handler t = t.handler <- None
+
+let rec schedule_retry t ~dst ~seq ~timeout =
+  Sim.Engine.schedule t.engine ~delay:timeout (fun () ->
+      if not t.detached then
+        match Hashtbl.find_opt t.unacked (dst, seq) with
+        | None -> () (* acked in the meantime *)
+        | Some o ->
+          if o.o_attempt >= t.config.max_attempts then begin
+            Hashtbl.remove t.unacked (dst, seq);
+            t.s <- { t.s with gave_up = t.s.gave_up + 1 };
+            tr_emit t
+              (Trace.Drop
+                 { src = t.me; dst; msg_kind = o.o_kind; reason = "give-up" })
+          end
+          else begin
+            o.o_attempt <- o.o_attempt + 1;
+            t.s <- { t.s with retransmits = t.s.retransmits + 1 };
+            t.per_dst_retransmits.(dst) <- t.per_dst_retransmits.(dst) + 1;
+            tr_emit t
+              (Trace.Retransmit
+                 { src = t.me; dst; msg_kind = o.o_kind; seq;
+                   attempt = o.o_attempt });
+            Network.send t.net ~src:t.me ~dst ~kind:o.o_kind ~bits:o.o_bits
+              o.o_frame;
+            let next = Float.min (timeout *. t.config.backoff) t.config.max_rto in
+            let jittered =
+              next *. (1.0 +. (t.config.jitter *. Stdx.Rng.float t.rng 1.0))
+            in
+            schedule_retry t ~dst ~seq ~timeout:jittered
+          end)
+
+let send t ~dst ~kind ~bits msg =
+  if not t.detached then begin
+    let seq = t.next_seq.(dst) in
+    t.next_seq.(dst) <- seq + 1;
+    let bytes = t.encode msg in
+    let frame = make_data ~seq ~kind ~bytes in
+    Hashtbl.replace t.unacked (dst, seq)
+      { o_kind = kind;
+        o_frame = frame;
+        o_bits = bits + data_overhead_bits ~kind;
+        o_attempt = 0 };
+    t.s <- { t.s with data_sent = t.s.data_sent + 1 };
+    Network.send t.net ~src:t.me ~dst ~kind
+      ~bits:(bits + data_overhead_bits ~kind)
+      frame;
+    schedule_retry t ~dst ~seq ~timeout:t.config.rto
+  end
+
+let broadcast t ~kind ~bits msg =
+  for dst = 0 to Network.n t.net - 1 do
+    send t ~dst ~kind ~bits msg
+  done
+
+let mark_seen t ~src ~seq =
+  if seq < t.floor.(src) || Hashtbl.mem t.seen.(src) seq then false
+  else begin
+    Hashtbl.add t.seen.(src) seq ();
+    while Hashtbl.mem t.seen.(src) t.floor.(src) do
+      Hashtbl.remove t.seen.(src) t.floor.(src);
+      t.floor.(src) <- t.floor.(src) + 1
+    done;
+    true
+  end
+
+let on_frame t ~src frame =
+  if not t.detached then
+    match frame with
+    | Data { seq; kind; bytes; _ } ->
+      if not (frame_intact frame) then begin
+        t.s <- { t.s with corrupt_rejected = t.s.corrupt_rejected + 1 };
+        tr_emit t (Trace.Corrupt_reject { src; dst = t.me; msg_kind = kind })
+        (* no ack: the sender's retransmission recovers the frame *)
+      end
+      else begin
+        (* ack every intact data frame, duplicates included — the
+           original ack may have been the copy the link lost *)
+        Network.send t.net ~src:t.me ~dst:src ~kind:"link-ack" ~bits:ack_bits
+          (make_ack ~seq);
+        if not (mark_seen t ~src ~seq) then begin
+          t.s <- { t.s with dup_suppressed = t.s.dup_suppressed + 1 };
+          tr_emit t
+            (Trace.Drop
+               { src; dst = t.me; msg_kind = kind; reason = "duplicate" })
+        end
+        else
+          match t.decode bytes with
+          | None ->
+            (* transport did its job; the payload itself is garbage
+               (Byzantine sender) — count it and move on *)
+            t.s <- { t.s with decode_failures = t.s.decode_failures + 1 };
+            tr_emit t
+              (Trace.Drop
+                 { src; dst = t.me; msg_kind = kind; reason = "decode" })
+          | Some msg -> (
+            match t.handler with
+            | Some handler -> handler ~src msg
+            | None ->
+              tr_emit t
+                (Trace.Drop
+                   { src; dst = t.me; msg_kind = kind; reason = "no-handler" }))
+      end
+    | Ack { seq; _ } ->
+      if not (frame_intact frame) then begin
+        (* a corrupted ack must not acknowledge anything: drop it and
+           let the (re-acked) retransmission settle the frame *)
+        t.s <- { t.s with corrupt_rejected = t.s.corrupt_rejected + 1 };
+        tr_emit t
+          (Trace.Corrupt_reject { src; dst = t.me; msg_kind = "link-ack" })
+      end
+      else Hashtbl.remove t.unacked (src, seq)
+
+let attach ~net ~engine ~rng ?(config = default_config) ?trace ~me ~encode
+    ~decode () =
+  if config.rto <= 0.0 || config.backoff < 1.0 || config.max_rto < config.rto
+  then invalid_arg "Link.attach: bad timer config";
+  if config.jitter < 0.0 then invalid_arg "Link.attach: negative jitter";
+  if config.max_attempts < 1 then invalid_arg "Link.attach: max_attempts < 1";
+  let n = Network.n net in
+  let t =
+    { net;
+      engine;
+      rng;
+      config;
+      me;
+      encode;
+      decode;
+      trace;
+      handler = None;
+      detached = false;
+      next_seq = Array.make n 0;
+      unacked = Hashtbl.create 64;
+      floor = Array.make n 0;
+      seen = Array.init n (fun _ -> Hashtbl.create 8);
+      per_dst_retransmits = Array.make n 0;
+      s = zero_stats }
+  in
+  Network.register net me (fun ~src frame -> on_frame t ~src frame);
+  t
+
+let detach t =
+  if not t.detached then begin
+    t.detached <- true;
+    t.handler <- None;
+    Hashtbl.reset t.unacked;
+    Network.unregister t.net t.me
+  end

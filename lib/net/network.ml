@@ -10,6 +10,11 @@ type 'msg t = {
   corrupted_at_op : int option array;
   mutable delivered : int;
   mutable trace : Trace.t option;
+  (* link faults: [None] keeps the send path exactly as it was — no
+     extra RNG draws, no extra engine events *)
+  mutable faults : Faults.t option;
+  mutable corrupter : ('msg -> 'msg) option;
+  drops : (string, int ref) Hashtbl.t; (* reason -> count *)
 }
 
 let create ~engine ~sched ~counters ~n =
@@ -22,9 +27,16 @@ let create ~engine ~sched ~counters ~n =
     op_seq = 0;
     corrupted_at_op = Array.make n None;
     delivered = 0;
-    trace = None }
+    trace = None;
+    faults = None;
+    corrupter = None;
+    drops = Hashtbl.create 8 }
 
 let set_trace t tr = t.trace <- Some tr
+
+let set_faults t faults = t.faults <- Some faults
+
+let set_corrupter t corrupter = t.corrupter <- Some corrupter
 
 let n t = t.n
 
@@ -39,6 +51,39 @@ let unregister t i =
   check_index t i "unregister";
   t.handlers.(i) <- None
 
+let note_drop t ~src ~dst ~kind ~reason =
+  (match Hashtbl.find_opt t.drops reason with
+  | Some r -> incr r
+  | None -> Hashtbl.add t.drops reason (ref 1));
+  match t.trace with
+  | None -> ()
+  | Some tr ->
+    Trace.emit tr (Trace.Drop { src; dst; msg_kind = kind; reason })
+
+let drop_counts t =
+  Hashtbl.fold (fun reason r acc -> (reason, !r) :: acc) t.drops []
+  |> List.sort compare
+
+let deliver_later t ~src ~dst ~kind ~delay ~sent_op msg =
+  Sim.Engine.schedule t.engine ~delay (fun () ->
+      (* adaptive adversary: drop messages a process sent before it was
+         corrupted if they had not yet been delivered *)
+      let dropped =
+        match t.corrupted_at_op.(src) with
+        | Some since_op -> sent_op < since_op
+        | None -> false
+      in
+      if dropped then note_drop t ~src ~dst ~kind ~reason:"corrupted-src"
+      else
+        match t.handlers.(dst) with
+        | Some handler ->
+          t.delivered <- t.delivered + 1;
+          (match t.trace with
+          | None -> ()
+          | Some tr -> Trace.emit tr (Trace.Recv { src; dst; msg_kind = kind }));
+          handler ~src msg
+        | None -> note_drop t ~src ~dst ~kind ~reason:"no-handler")
+
 let send t ~src ~dst ~kind ~bits msg =
   check_index t src "send";
   check_index t dst "send";
@@ -48,26 +93,39 @@ let send t ~src ~dst ~kind ~bits msg =
   | None -> ()
   | Some tr -> Trace.emit tr (Trace.Send { src; dst; msg_kind = kind; bits }));
   let now = Sim.Engine.now t.engine in
-  let { Sched.delay } = t.sched.Sched.decide ~now ~src ~dst ~kind in
   let sent_op = t.op_seq in
   t.op_seq <- sent_op + 1;
-  Sim.Engine.schedule t.engine ~delay (fun () ->
-      (* adaptive adversary: drop messages a process sent before it was
-         corrupted if they had not yet been delivered *)
-      let dropped =
-        match t.corrupted_at_op.(src) with
-        | Some since_op -> sent_op < since_op
-        | None -> false
+  match t.faults with
+  | None ->
+    let { Sched.delay } = t.sched.Sched.decide ~now ~src ~dst ~kind in
+    deliver_later t ~src ~dst ~kind ~delay ~sent_op msg
+  | Some faults ->
+    let verdict = faults.Faults.decide ~now ~src ~dst ~kind in
+    if verdict.Faults.drop then note_drop t ~src ~dst ~kind ~reason:"fault"
+    else begin
+      (* corruption needs a representation-aware mutator; a network
+         whose messages cannot be corrupted loses the message instead *)
+      let msg, lost =
+        if not verdict.Faults.corrupt then (msg, false)
+        else
+          match t.corrupter with
+          | Some corrupter -> (corrupter msg, false)
+          | None -> (msg, true)
       in
-      if not dropped then
-        match t.handlers.(dst) with
-        | Some handler ->
-          t.delivered <- t.delivered + 1;
-          (match t.trace with
-          | None -> ()
-          | Some tr -> Trace.emit tr (Trace.Recv { src; dst; msg_kind = kind }));
-          handler ~src msg
-        | None -> ())
+      if lost then note_drop t ~src ~dst ~kind ~reason:"corrupt"
+      else begin
+        let { Sched.delay } = t.sched.Sched.decide ~now ~src ~dst ~kind in
+        deliver_later t ~src ~dst ~kind
+          ~delay:(delay +. verdict.Faults.extra_delay)
+          ~sent_op msg;
+        (* each duplicate re-queries the schedule, so copies race each
+           other — duplication doubles as reordering *)
+        for _ = 1 to verdict.Faults.duplicates do
+          let { Sched.delay } = t.sched.Sched.decide ~now ~src ~dst ~kind in
+          deliver_later t ~src ~dst ~kind ~delay ~sent_op msg
+        done
+      end
+    end
 
 let broadcast t ~src ~kind ~bits msg =
   for dst = 0 to t.n - 1 do

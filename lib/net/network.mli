@@ -23,10 +23,29 @@ val create :
 
 val set_trace : 'msg t -> Trace.t -> unit
 (** Attach a tracer: from now on every send emits {!Trace.Send}
-    (stamped before the scheduler decides the delay) and every delivery
-    that reaches a registered handler emits {!Trace.Recv}; dropped or
-    handler-less deliveries emit nothing. Without a tracer the hot path
-    is unchanged. *)
+    (stamped before the scheduler decides the delay), every delivery
+    that reaches a registered handler emits {!Trace.Recv}, and every
+    delivery that does not emits {!Trace.Drop} with a reason tag
+    ("fault", "corrupt", "corrupted-src", or "no-handler"). Without a
+    tracer the hot path is unchanged. *)
+
+val set_faults : 'msg t -> Faults.t -> unit
+(** Install a link-fault policy: every subsequent send asks it for a
+    {!Faults.verdict} and may be dropped, duplicated, delayed further,
+    or corrupted (see {!set_corrupter}). Without a policy installed the
+    send path is exactly the reliable original — no extra RNG draws or
+    engine events, so fault-free runs are byte-identical. *)
+
+val set_corrupter : 'msg t -> ('msg -> 'msg) -> unit
+(** How to bit-corrupt a message when the fault policy asks for it
+    (e.g. {!Link.corrupt_frame} for frame networks). Corruption
+    verdicts on a network with no corrupter degrade to drops (reason
+    "corrupt") — a typed message that cannot be mutated in a
+    representable way is simply lost. *)
+
+val drop_counts : 'msg t -> (string * int) list
+(** Deliveries that never reached a handler, counted by reason tag,
+    sorted by reason. Empty until something is dropped. *)
 
 val n : 'msg t -> int
 

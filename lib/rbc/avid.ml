@@ -112,7 +112,7 @@ type instance = {
 }
 
 type t = {
-  net : msg Net.Network.t;
+  net : msg Net.Port.t;
   me : int;
   n : int;
   f : int;
@@ -187,7 +187,7 @@ let send_ready t inst ~origin ~round ~commit =
     let msg =
       Ready { origin; round; root = commit.root; data_len = commit.data_len }
     in
-    Net.Network.broadcast t.net ~src:t.me ~kind:"avid-ready"
+    Net.Port.broadcast t.net ~src:t.me ~kind:"avid-ready"
       ~bits:(msg_bits msg) msg
   end
 
@@ -242,7 +242,7 @@ let handle t ~src msg =
       store_fragment inst ~commit ~frag_index ~frag;
       phase t ~origin ~round "echo";
       let msg = Echo { origin; round; root; data_len; frag_index; frag; proof } in
-      Net.Network.broadcast t.net ~src:t.me ~kind:"avid-echo"
+      Net.Port.broadcast t.net ~src:t.me ~kind:"avid-echo"
         ~bits:(msg_bits msg) msg
     end
   | Echo { origin; round; root; data_len; frag_index; frag; proof } ->
@@ -261,11 +261,11 @@ let handle t ~src msg =
     if count >= amplify t then send_ready t inst ~origin ~round ~commit;
     try_deliver t inst ~origin ~round ~commit
 
-let create ~net ~me ~f ~deliver =
-  let n = Net.Network.n net in
+let create_port ~port ~me ~f ~deliver =
+  let n = Net.Port.n port in
   let k = f + 1 in
   let t =
-    { net;
+    { net = port;
       me;
       n;
       f;
@@ -276,8 +276,11 @@ let create ~net ~me ~f ~deliver =
       delivered_count = 0;
       trace = None }
   in
-  Net.Network.register net me (fun ~src msg -> handle t ~src msg);
+  Net.Port.register port me (fun ~src msg -> handle t ~src msg);
   t
+
+let create ~net ~me ~f ~deliver =
+  create_port ~port:(Net.Port.of_network net) ~me ~f ~deliver
 
 let disperse t ~round ~frags ~data_len =
   phase t ~origin:t.me ~round "disperse";
@@ -287,7 +290,7 @@ let disperse t ~round ~frags ~data_len =
     (fun i frag ->
       let proof = Crypto.Merkle.prove tree i in
       let msg = Disperse { round; root; data_len; frag_index = i; frag; proof } in
-      Net.Network.send t.net ~src:t.me ~dst:i ~kind:"avid-disperse"
+      Net.Port.send t.net ~src:t.me ~dst:i ~kind:"avid-disperse"
         ~bits:(msg_bits msg) msg)
     frags
 

@@ -55,7 +55,7 @@ type instance = {
 }
 
 type t = {
-  net : msg Net.Network.t;
+  net : msg Net.Port.t;
   me : int;
   f : int;
   deliver : deliver;
@@ -105,7 +105,7 @@ let add_voter table digest voter =
 let send_echo t ~origin ~round ~payload =
   phase t ~origin ~round "echo";
   let msg = Echo { origin; round; payload } in
-  Net.Network.broadcast t.net ~src:t.me ~kind:"bracha-echo"
+  Net.Port.broadcast t.net ~src:t.me ~kind:"bracha-echo"
     ~bits:(msg_bits msg) msg
 
 let send_ready t inst ~origin ~round ~payload =
@@ -113,7 +113,7 @@ let send_ready t inst ~origin ~round ~payload =
     inst.ready_sent <- true;
     phase t ~origin ~round "ready";
     let msg = Ready { origin; round; payload } in
-    Net.Network.broadcast t.net ~src:t.me ~kind:"bracha-ready"
+    Net.Port.broadcast t.net ~src:t.me ~kind:"bracha-ready"
       ~bits:(msg_bits msg) msg
   end
 
@@ -157,9 +157,9 @@ let handle t ~src msg =
       send_ready t inst ~origin ~round ~payload;
     try_deliver t inst ~origin ~round ~digest
 
-let create ~net ~me ~f ~deliver =
+let create_port ~port ~me ~f ~deliver =
   let t =
-    { net;
+    { net = port;
       me;
       f;
       deliver;
@@ -167,13 +167,16 @@ let create ~net ~me ~f ~deliver =
       delivered_count = 0;
       trace = None }
   in
-  Net.Network.register net me (fun ~src msg -> handle t ~src msg);
+  Net.Port.register port me (fun ~src msg -> handle t ~src msg);
   t
+
+let create ~net ~me ~f ~deliver =
+  create_port ~port:(Net.Port.of_network net) ~me ~f ~deliver
 
 let bcast t ~payload ~round =
   phase t ~origin:t.me ~round "init";
   let msg = Init { round; payload } in
-  Net.Network.broadcast t.net ~src:t.me ~kind:"bracha-init"
+  Net.Port.broadcast t.net ~src:t.me ~kind:"bracha-init"
     ~bits:(msg_bits msg) msg
 
 let delivered_instances t = t.delivered_count

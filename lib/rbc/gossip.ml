@@ -76,7 +76,7 @@ type instance = {
 }
 
 type t = {
-  net : msg Net.Network.t;
+  net : msg Net.Port.t;
   rng : Stdx.Rng.t;
   me : int;
   n : int;
@@ -141,7 +141,7 @@ let count_for table digest =
 let send_sample t ~size ~kind ~bits msg =
   let peers = Stdx.Rng.sample_without_replacement t.rng ~k:size ~n:t.n in
   List.iter
-    (fun dst -> Net.Network.send t.net ~src:t.me ~dst ~kind ~bits msg)
+    (fun dst -> Net.Port.send t.net ~src:t.me ~dst ~kind ~bits msg)
     peers
 
 (* Re-examine the instance after any state change: become ready when the
@@ -205,8 +205,8 @@ let handle t ~src msg =
     ignore (add_voter inst.readies digest src);
     progress t inst ~origin ~round
 
-let create ~net ~rng ?(params = default_params) ~me ~f:_ ~deliver () =
-  let n = Net.Network.n net in
+let create_port ~port ~rng ?(params = default_params) ~me ~f:_ ~deliver () =
+  let n = Net.Port.n port in
   let gossip_size = sample_size n params.gossip_factor in
   let echo_size = sample_size n params.echo_sample in
   let ready_size = sample_size n params.ready_sample in
@@ -217,7 +217,7 @@ let create ~net ~rng ?(params = default_params) ~me ~f:_ ~deliver () =
     max 1 (int_of_float (ceil (params.ready_threshold *. float_of_int ready_size)))
   in
   let t =
-    { net;
+    { net = port;
       rng;
       me;
       n;
@@ -232,8 +232,11 @@ let create ~net ~rng ?(params = default_params) ~me ~f:_ ~deliver () =
       delivered_count = 0;
       trace = None }
   in
-  Net.Network.register net me (fun ~src msg -> handle t ~src msg);
+  Net.Port.register port me (fun ~src msg -> handle t ~src msg);
   t
+
+let create ~net ~rng ?params ~me ~f ~deliver () =
+  create_port ~port:(Net.Port.of_network net) ~rng ?params ~me ~f ~deliver ()
 
 let bcast t ~payload ~round =
   phase t ~origin:t.me ~round "init";
@@ -241,7 +244,7 @@ let bcast t ~payload ~round =
      processes the message locally (send-to-self through the queue) *)
   let msg = Gossip { origin = t.me; round; payload } in
   send_sample t ~size:t.gossip_size ~kind:"gossip-init" ~bits:(msg_bits msg) msg;
-  Net.Network.send t.net ~src:t.me ~dst:t.me ~kind:"gossip-init"
+  Net.Port.send t.net ~src:t.me ~dst:t.me ~kind:"gossip-init"
     ~bits:(msg_bits msg) msg
 
 let delivered_instances t = t.delivered_count

@@ -44,6 +44,17 @@ val default_params : params
 
 type t
 
+val create_port :
+  port:msg Net.Port.t ->
+  rng:Stdx.Rng.t ->
+  ?params:params ->
+  me:int ->
+  f:int ->
+  deliver:Rbc_intf.deliver ->
+  unit ->
+  t
+(** Transport-agnostic constructor (see {!Net.Port}). *)
+
 val create :
   net:msg Net.Network.t ->
   rng:Stdx.Rng.t ->
@@ -53,6 +64,7 @@ val create :
   deliver:Rbc_intf.deliver ->
   unit ->
   t
+(** [create_port] over [Net.Port.of_network net]. *)
 
 val set_trace : t -> Trace.t -> unit
 (** Emit {!Trace.Rbc_phase} events ("init", "gossip", "echo", "ready",

@@ -1,6 +1,15 @@
 type kind =
   | Send of { src : int; dst : int; msg_kind : string; bits : int }
   | Recv of { src : int; dst : int; msg_kind : string }
+  | Drop of { src : int; dst : int; msg_kind : string; reason : string }
+  | Retransmit of {
+      src : int;
+      dst : int;
+      msg_kind : string;
+      seq : int;
+      attempt : int;
+    }
+  | Corrupt_reject of { src : int; dst : int; msg_kind : string }
   | Rbc_phase of { node : int; origin : int; round : int; phase : string }
   | Vertex_created of { node : int; round : int }
   | Vertex_added of { node : int; round : int; source : int }
@@ -71,6 +80,9 @@ let events t =
 let node_of = function
   | Send { src; _ } -> Some src
   | Recv { dst; _ } -> Some dst
+  | Drop { dst; _ } -> Some dst
+  | Retransmit { src; _ } -> Some src
+  | Corrupt_reject { dst; _ } -> Some dst
   | Rbc_phase { node; _ }
   | Vertex_created { node; _ }
   | Vertex_added { node; _ }
@@ -85,6 +97,9 @@ let node_of = function
 let kind_label = function
   | Send _ -> "send"
   | Recv _ -> "recv"
+  | Drop _ -> "drop"
+  | Retransmit _ -> "retransmit"
+  | Corrupt_reject _ -> "corrupt-reject"
   | Rbc_phase _ -> "rbc-phase"
   | Vertex_created _ -> "vertex-created"
   | Vertex_added _ -> "vertex-added"
@@ -101,6 +116,13 @@ let describe_kind = function
     Printf.sprintf "send p%d->p%d %s (%d bits)" src dst msg_kind bits
   | Recv { src; dst; msg_kind } ->
     Printf.sprintf "recv p%d->p%d %s" src dst msg_kind
+  | Drop { src; dst; msg_kind; reason } ->
+    Printf.sprintf "drop p%d->p%d %s (%s)" src dst msg_kind reason
+  | Retransmit { src; dst; msg_kind; seq; attempt } ->
+    Printf.sprintf "retransmit p%d->p%d %s seq=%d attempt=%d" src dst msg_kind
+      seq attempt
+  | Corrupt_reject { src; dst; msg_kind } ->
+    Printf.sprintf "corrupt frame rejected p%d->p%d %s" src dst msg_kind
   | Rbc_phase { node; origin; round; phase } ->
     Printf.sprintf "rbc p%d: instance (p%d,r%d) -> %s" node origin round phase
   | Vertex_created { node; round } ->
@@ -140,6 +162,15 @@ let event_to_json { seq; time; kind } =
     ev "send" [ i "src" src; i "dst" dst; s "kind" msg_kind; i "bits" bits ]
   | Recv { src; dst; msg_kind } ->
     ev "recv" [ i "src" src; i "dst" dst; s "kind" msg_kind ]
+  | Drop { src; dst; msg_kind; reason } ->
+    ev "drop"
+      [ i "src" src; i "dst" dst; s "kind" msg_kind; s "reason" reason ]
+  | Retransmit { src; dst; msg_kind; seq; attempt } ->
+    ev "retransmit"
+      [ i "src" src; i "dst" dst; s "kind" msg_kind; i "mseq" seq;
+        i "attempt" attempt ]
+  | Corrupt_reject { src; dst; msg_kind } ->
+    ev "corrupt-reject" [ i "src" src; i "dst" dst; s "kind" msg_kind ]
   | Rbc_phase { node; origin; round; phase } ->
     ev "rbc-phase"
       [ i "node" node; i "origin" origin; i "round" round; s "phase" phase ]
@@ -190,6 +221,24 @@ let event_of_json json =
       let* dst = int_field "dst" in
       let* msg_kind = str_field "kind" in
       Ok (Recv { src; dst; msg_kind })
+    | "drop" ->
+      let* src = int_field "src" in
+      let* dst = int_field "dst" in
+      let* msg_kind = str_field "kind" in
+      let* reason = str_field "reason" in
+      Ok (Drop { src; dst; msg_kind; reason })
+    | "retransmit" ->
+      let* src = int_field "src" in
+      let* dst = int_field "dst" in
+      let* msg_kind = str_field "kind" in
+      let* seq = int_field "mseq" in
+      let* attempt = int_field "attempt" in
+      Ok (Retransmit { src; dst; msg_kind; seq; attempt })
+    | "corrupt-reject" ->
+      let* src = int_field "src" in
+      let* dst = int_field "dst" in
+      let* msg_kind = str_field "kind" in
+      Ok (Corrupt_reject { src; dst; msg_kind })
     | "rbc-phase" ->
       let* node = int_field "node" in
       let* origin = int_field "origin" in

@@ -21,6 +21,27 @@ type kind =
       (** a message left [src] (kind tags as in {!Metrics.Counters}) *)
   | Recv of { src : int; dst : int; msg_kind : string }
       (** delivery at [dst]'s handler *)
+  | Drop of { src : int; dst : int; msg_kind : string; reason : string }
+      (** a delivery that never reached a handler. Reasons used by the
+          stack: "fault" (link-fault policy loss), "corrupt" (fault
+          policy corruption with no corrupter installed), "corrupted-src"
+          (adaptive adversary discarded an in-flight message of a newly
+          corrupted sender), "no-handler" (endpoint unregistered),
+          "give-up" (reliable link exhausted its retransmit budget),
+          "duplicate" (reliable link suppressed a redelivery),
+          "decode" (frame payload failed the protocol decoder) *)
+  | Retransmit of {
+      src : int;
+      dst : int;
+      msg_kind : string;
+      seq : int;
+      attempt : int;
+    }
+      (** the reliable link timed out waiting for an ack and resent
+          frame [seq]; [attempt] counts from 1 *)
+  | Corrupt_reject of { src : int; dst : int; msg_kind : string }
+      (** a frame failed its checksum at [dst] and was discarded (the
+          sender will retransmit) *)
   | Rbc_phase of { node : int; origin : int; round : int; phase : string }
       (** reliable-broadcast instance [(origin, round)] changed phase at
           [node]: "init"/"disperse"/"gossip", "echo", "ready",

@@ -40,7 +40,8 @@ let make_script ?(config_patch = fun c -> c) () =
     config_patch (Dagrider.Node.default_config ~n ~f)
   in
   let node =
-    Dagrider.Node.create ~config ~me:0 ~coin ~coin_net ~make_rbc
+    Dagrider.Node.create ~config ~me:0 ~coin
+      ~coin_net:(Net.Port.of_network coin_net) ~make_rbc
       ~a_deliver:(fun ~block ~round ~source ->
         delivered := (block, round, source) :: !delivered)
       ()
@@ -290,7 +291,7 @@ let test_checkpoint_restore_roundtrip () =
       ~config:(Dagrider.Node.default_config ~n:4 ~f:1)
       ~me:0
       ~coin:(Harness.Runner.coin h)
-      ~coin_net ~make_rbc
+      ~coin_net:(Net.Port.of_network coin_net) ~make_rbc
       ~a_deliver:(fun ~block:_ ~round:_ ~source:_ -> incr redelivered)
       ck'
   in
