@@ -6,11 +6,23 @@
      dune exec bench/main.exe -- table1-comm   -- one experiment
      dune exec bench/main.exe -- micro         -- Bechamel microbenches
      dune exec bench/main.exe -- list          -- list experiment names
+     dune exec bench/main.exe -- baseline      -- write perf baseline
+                                                  (BENCH.json, committed)
+     dune exec bench/main.exe -- diff          -- compare a fresh run
+                                                  against the baseline;
+                                                  exit 1 on regression
+     dune exec bench/main.exe -- diff --self-test
+                                               -- hermetic gate check: an
+                                                  unmodified rerun passes
+                                                  and an injected 2x
+                                                  slowdown fails
 
    Add "--json [FILE]" to any experiment invocation to also serialize
    the table(s) — rows, notes, and the runs' metrics snapshots
    (per-kind bit counters, latency percentiles, engine gauges) — as a
-   JSON array. FILE defaults to BENCH.json.
+   JSON array. FILE defaults to BENCH_TABLES.json (BENCH.json is the
+   committed perf baseline owned by `baseline`; EXPERIMENTS.md documents
+   its schema).
 
    Each table regenerates one artifact of the paper (DESIGN.md §4 maps
    table/figure -> experiment id); EXPERIMENTS.md records paper-claimed
@@ -204,6 +216,491 @@ let run_micro () =
         results)
     (micro_tests ())
 
+(* ---- performance baseline & regression diff (E10) ----
+
+   `baseline` measures a fixed set of scaled-down, fixed-seed scenarios
+   and writes schema-versioned medians + MADs to BENCH.json (committed).
+   `diff` reruns the same scenarios and gates each metric against the
+   baseline: wall-time thresholds are rescaled by a CPU calibration spin
+   measured on both machines, allocation and logical counts are held to
+   much tighter bounds because fixed seeds make them near-deterministic. *)
+
+module Regress = struct
+  type kind = Time | Alloc | Count
+
+  let kind_name = function Time -> "time" | Alloc -> "alloc" | Count -> "count"
+
+  let kind_of_name = function
+    | "time" -> Some Time
+    | "alloc" -> Some Alloc
+    | "count" -> Some Count
+    | _ -> None
+
+  let schema = "dagrider-bench/1"
+
+  let default_time_threshold = 0.5
+
+  (* relative headroom per kind: wall time is noisy, allocation nearly
+     deterministic, logical counts exactly reproducible with the seed *)
+  let threshold ~time_threshold = function
+    | Time -> time_threshold
+    | Alloc -> 0.10
+    | Count -> 0.02
+
+  (* absolute slack floors so microscopic metrics don't gate on noise *)
+  let slack = function Time -> 0.005 | Alloc -> 65536.0 | Count -> 1.0
+
+  (* -- scenarios: each run returns (metric, kind, value) rows -- *)
+
+  (* OCaml 5's [Gc.allocated_bytes] is quantized to whole minor-heap
+     arenas; flushing the young generation first makes the counter
+     byte-exact, which is what lets Alloc metrics gate at 10% *)
+  let alloc_now () =
+    Gc.minor ();
+    Gc.allocated_bytes ()
+
+  let fleet ?(trace = false) ?link_faults ~backend ~n ~until () =
+    let tracer =
+      if trace then Some (Trace.create ~capacity:4096 ()) else None
+    in
+    let fleet =
+      Harness.Runner.build
+        { (Harness.Runner.default_options ~n) with
+          backend;
+          block_bytes = 32;
+          link_faults;
+          trace = tracer }
+    in
+    let a0 = alloc_now () in
+    let t0 = Unix.gettimeofday () in
+    Harness.Runner.run fleet ~until;
+    let dt = Unix.gettimeofday () -. t0 in
+    let da = alloc_now () -. a0 in
+    [ ("time_s", Time, dt);
+      ("alloc_bytes", Alloc, da);
+      ( "delivered",
+        Count,
+        float_of_int
+          (Dagrider.Ordering.delivered_count
+             (Dagrider.Node.ordering (Harness.Runner.node fleet 0))) );
+      ("honest_bits", Count, float_of_int (Harness.Runner.honest_bits fleet))
+    ]
+
+  let dag_paths () =
+    let dag = Dagrider.Dag.create ~n:4 in
+    for round = 1 to 40 do
+      let prev =
+        List.map Dagrider.Vertex.vref_of
+          (Dagrider.Dag.round_vertices dag (round - 1))
+      in
+      for source = 0 to 3 do
+        Dagrider.Dag.add dag
+          { Dagrider.Vertex.round;
+            source;
+            block = "b";
+            strong_edges = prev;
+            weak_edges = [] }
+      done
+    done;
+    let a0 = alloc_now () in
+    let t0 = Unix.gettimeofday () in
+    let reached = ref 0 in
+    for i = 0 to 499 do
+      if
+        Dagrider.Dag.strong_path dag
+          { Dagrider.Vertex.round = 40; source = i mod 4 }
+          { Dagrider.Vertex.round = 1; source = (i + 1) mod 4 }
+      then incr reached
+    done;
+    let history = ref 0 in
+    for _ = 1 to 5 do
+      for source = 0 to 3 do
+        history :=
+          !history
+          + List.length
+              (Dagrider.Dag.causal_history dag
+                 { Dagrider.Vertex.round = 40; source })
+      done
+    done;
+    let dt = Unix.gettimeofday () -. t0 in
+    let da = alloc_now () -. a0 in
+    [ ("time_s", Time, dt);
+      ("alloc_bytes", Alloc, da);
+      ("reached", Count, float_of_int !reached);
+      ("history_len", Count, float_of_int !history) ]
+
+  let scenarios =
+    [ ( "bracha.n4",
+        fun () -> fleet ~backend:Harness.Runner.Bracha ~n:4 ~until:60.0 () );
+      ( "avid.n4",
+        fun () -> fleet ~backend:Harness.Runner.Avid ~n:4 ~until:40.0 () );
+      ( "gossip.n4",
+        fun () -> fleet ~backend:Harness.Runner.Gossip ~n:4 ~until:60.0 () );
+      ( "bracha.n7.lossy",
+        fun () ->
+          fleet ~backend:Harness.Runner.Bracha ~n:7 ~until:25.0
+            ~link_faults:
+              { Harness.Runner.default_link_faults with
+                lf_drop = 0.05;
+                lf_duplicate = 0.02 }
+            () );
+      ( "bracha.n4.traced",
+        fun () ->
+          fleet ~trace:true ~backend:Harness.Runner.Bracha ~n:4 ~until:60.0 ()
+      );
+      ("dag.paths", dag_paths) ]
+
+  (* -- statistics -- *)
+
+  let median xs =
+    let a = Array.of_list xs in
+    Array.sort compare a;
+    let k = Array.length a in
+    if k = 0 then 0.0
+    else if k mod 2 = 1 then a.(k / 2)
+    else (a.((k / 2) - 1) +. a.(k / 2)) /. 2.0
+
+  let mad xs =
+    let m = median xs in
+    median (List.map (fun x -> Float.abs (x -. m)) xs)
+
+  (* fixed CPU-bound spin, measured when the baseline is written and
+     again at diff time: the ratio rescales wall-time bounds so a
+     committed baseline transfers across machines *)
+  let calibrate () =
+    let spin () =
+      let t0 = Unix.gettimeofday () in
+      let acc = ref 0 in
+      for i = 1 to 20_000_000 do
+        acc := (!acc + i) land 0xFFFFFF
+      done;
+      ignore (Sys.opaque_identity !acc);
+      Unix.gettimeofday () -. t0
+    in
+    ignore (spin ());
+    Float.min (spin ()) (spin ())
+
+  type metric = { m_kind : kind; m_median : float; m_mad : float }
+
+  type record = {
+    r_calibration : float;
+    r_repeats : int;
+    r_scenarios : (string * (string * metric) list) list;
+  }
+
+  let measure ?(progress = false) ~repeats () =
+    let cal = calibrate () in
+    let scen =
+      List.map
+        (fun (name, run) ->
+          if progress then Printf.printf "  %s x%d...\n%!" name repeats;
+          let samples = Hashtbl.create 8 in
+          let order = ref [] in
+          for _ = 1 to repeats do
+            List.iter
+              (fun (m, kind, v) ->
+                match Hashtbl.find_opt samples m with
+                | Some (k, vs) -> Hashtbl.replace samples m (k, v :: vs)
+                | None ->
+                  order := m :: !order;
+                  Hashtbl.add samples m (kind, [ v ]))
+              (run ())
+          done;
+          let metrics =
+            List.rev_map
+              (fun m ->
+                let kind, vs = Hashtbl.find samples m in
+                (m, { m_kind = kind; m_median = median vs; m_mad = mad vs }))
+              !order
+          in
+          (name, metrics))
+        scenarios
+    in
+    { r_calibration = cal; r_repeats = repeats; r_scenarios = scen }
+
+  (* -- (de)serialization -- *)
+
+  let to_json r =
+    let open Stdx.Json in
+    let metric_json (name, m) =
+      ( name,
+        Obj
+          [ ("kind", String (kind_name m.m_kind));
+            ("median", Float m.m_median);
+            ("mad", Float m.m_mad) ] )
+    in
+    Obj
+      [ ("schema", String schema);
+        ("calibration_s", Float r.r_calibration);
+        ("repeats", Int r.r_repeats);
+        ( "scenarios",
+          Obj
+            (List.map
+               (fun (n, ms) -> (n, Obj (List.map metric_json ms)))
+               r.r_scenarios) ) ]
+
+  let of_json j =
+    let getf name obj =
+      match Option.bind (Stdx.Json.member name obj) Stdx.Json.to_float_opt with
+      | Some f -> f
+      | None -> failwith name
+    in
+    match Stdx.Json.member "schema" j with
+    | Some (Stdx.Json.String s) when s = schema -> (
+      try
+        let repeats =
+          match
+            Option.bind (Stdx.Json.member "repeats" j) Stdx.Json.to_int_opt
+          with
+          | Some k -> k
+          | None -> failwith "repeats"
+        in
+        let scen =
+          match Stdx.Json.member "scenarios" j with
+          | Some (Stdx.Json.Obj scen) ->
+            List.map
+              (fun (sname, sobj) ->
+                match sobj with
+                | Stdx.Json.Obj ms ->
+                  ( sname,
+                    List.map
+                      (fun (mname, mobj) ->
+                        let kind =
+                          match Stdx.Json.member "kind" mobj with
+                          | Some (Stdx.Json.String k) -> (
+                            match kind_of_name k with
+                            | Some k -> k
+                            | None -> failwith "kind")
+                          | _ -> failwith "kind"
+                        in
+                        ( mname,
+                          { m_kind = kind;
+                            m_median = getf "median" mobj;
+                            m_mad = getf "mad" mobj } ))
+                      ms )
+                | _ -> failwith "scenario")
+              scen
+          | _ -> failwith "scenarios"
+        in
+        Ok
+          { r_calibration = getf "calibration_s" j;
+            r_repeats = repeats;
+            r_scenarios = scen }
+      with Failure m -> Error ("bad baseline field: " ^ m))
+    | Some (Stdx.Json.String s) ->
+      Error (Printf.sprintf "unsupported schema %S (want %S)" s schema)
+    | _ -> Error "missing schema"
+
+  (* -- the gate -- *)
+
+  type verdict = {
+    v_scenario : string;
+    v_metric : string;
+    v_kind : kind;
+    v_base : float;
+    v_fresh : float;
+    v_allowed : float;
+    v_regressed : bool;
+  }
+
+  (* [inject] multiplies fresh Time medians before the comparison — the
+     self-test's artificial slowdown, applied after measurement so the
+     check is deterministic and costs nothing *)
+  let diff ?(inject = 1.0) ~time_threshold ~base ~fresh () =
+    let scale_time =
+      if base.r_calibration > 0.0 then
+        fresh.r_calibration /. base.r_calibration
+      else 1.0
+    in
+    List.concat_map
+      (fun (sname, metrics) ->
+        let fresh_metrics =
+          Option.value ~default:[] (List.assoc_opt sname fresh.r_scenarios)
+        in
+        List.map
+          (fun (mname, bm) ->
+            match List.assoc_opt mname fresh_metrics with
+            | None ->
+              (* a vanished metric is itself a regression of coverage *)
+              { v_scenario = sname;
+                v_metric = mname;
+                v_kind = bm.m_kind;
+                v_base = bm.m_median;
+                v_fresh = nan;
+                v_allowed = nan;
+                v_regressed = true }
+            | Some fm ->
+              let scale =
+                match bm.m_kind with Time -> scale_time | _ -> 1.0
+              in
+              let measured =
+                match bm.m_kind with
+                | Time -> fm.m_median *. inject
+                | _ -> fm.m_median
+              in
+              let thr = threshold ~time_threshold bm.m_kind in
+              let allowed =
+                (scale *. ((bm.m_median *. (1.0 +. thr)) +. (3.0 *. bm.m_mad)))
+                +. slack bm.m_kind
+              in
+              { v_scenario = sname;
+                v_metric = mname;
+                v_kind = bm.m_kind;
+                v_base = bm.m_median;
+                v_fresh = measured;
+                v_allowed = allowed;
+                v_regressed = measured > allowed })
+          metrics)
+      base.r_scenarios
+
+  let regressions vs = List.filter (fun v -> v.v_regressed) vs
+
+  let render_verdicts vs =
+    Printf.printf "%-18s %-12s %-6s %12s %12s %12s  %s\n" "scenario" "metric"
+      "kind" "baseline" "fresh" "allowed" "verdict";
+    List.iter
+      (fun v ->
+        Printf.printf "%-18s %-12s %-6s %12.4g %12.4g %12.4g  %s\n"
+          v.v_scenario v.v_metric (kind_name v.v_kind) v.v_base v.v_fresh
+          v.v_allowed
+          (if v.v_regressed then "REGRESSED" else "ok"))
+      vs
+end
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let run_baseline args =
+  let out = ref "BENCH.json" in
+  let repeats = ref 5 in
+  let rec parse = function
+    | [] -> ()
+    | "--out" :: v :: rest ->
+      out := v;
+      parse rest
+    | "--repeats" :: v :: rest ->
+      repeats := int_of_string v;
+      parse rest
+    | a :: _ ->
+      Printf.eprintf "baseline: unknown argument %S\n" a;
+      exit 2
+  in
+  parse args;
+  Printf.printf "measuring %d scenarios x %d repeats...\n%!"
+    (List.length Regress.scenarios) !repeats;
+  let record = Regress.measure ~progress:true ~repeats:!repeats () in
+  let oc = open_out !out in
+  output_string oc (Stdx.Json.to_string (Regress.to_json record));
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "wrote %s (schema %s, calibration %.3fs)\n" !out Regress.schema
+    record.Regress.r_calibration
+
+let run_diff args =
+  let file = ref "BENCH.json" in
+  let repeats = ref 5 in
+  let time_threshold = ref Regress.default_time_threshold in
+  let inject = ref 1.0 in
+  let self_test = ref false in
+  let rec parse = function
+    | [] -> ()
+    | "--baseline" :: v :: rest ->
+      file := v;
+      parse rest
+    | "--repeats" :: v :: rest ->
+      repeats := int_of_string v;
+      parse rest
+    | "--threshold" :: v :: rest ->
+      time_threshold := float_of_string v;
+      parse rest
+    | "--inject-slowdown" :: v :: rest ->
+      inject := float_of_string v;
+      parse rest
+    | "--self-test" :: rest ->
+      self_test := true;
+      parse rest
+    | a :: _ ->
+      Printf.eprintf "diff: unknown argument %S\n" a;
+      exit 2
+  in
+  parse args;
+  if !self_test then begin
+    (* hermetic: both records come from this machine and binary, so the
+       check does not depend on the committed baseline's hardware *)
+    Printf.printf "self-test: deriving a fresh baseline...\n%!";
+    let base = Regress.measure ~repeats:!repeats () in
+    Printf.printf "self-test: rerunning unmodified...\n%!";
+    let fresh = Regress.measure ~repeats:!repeats () in
+    let clean =
+      Regress.diff ~time_threshold:!time_threshold ~base ~fresh ()
+    in
+    let slowed =
+      Regress.diff ~inject:2.0 ~time_threshold:!time_threshold ~base ~fresh ()
+    in
+    let clean_bad = Regress.regressions clean in
+    let slow_hit =
+      List.exists
+        (fun v -> v.Regress.v_regressed && v.Regress.v_kind = Regress.Time)
+        slowed
+    in
+    if clean_bad <> [] then begin
+      print_endline "self-test FAILED: unmodified rerun was flagged:";
+      Regress.render_verdicts clean_bad;
+      exit 1
+    end;
+    if not slow_hit then begin
+      print_endline
+        "self-test FAILED: an injected 2x slowdown was not detected:";
+      Regress.render_verdicts slowed;
+      exit 1
+    end;
+    Printf.printf
+      "self-test OK: unmodified rerun passes (%d metrics), injected 2x \
+       slowdown detected (%d time regressions)\n"
+      (List.length clean)
+      (List.length
+         (List.filter (fun v -> v.Regress.v_regressed) slowed))
+  end
+  else begin
+    let base =
+      match Stdx.Json.of_string (read_file !file) with
+      | Ok json -> (
+        match Regress.of_json json with
+        | Ok base -> base
+        | Error e ->
+          Printf.eprintf "diff: %s: %s\n" !file e;
+          exit 2)
+      | Error e ->
+        Printf.eprintf "diff: %s: %s\n" !file e;
+        exit 2
+      | exception Sys_error e ->
+        Printf.eprintf "diff: %s (run `baseline` first)\n" e;
+        exit 2
+    in
+    Printf.printf "measuring %d scenarios x %d repeats against %s...\n%!"
+      (List.length Regress.scenarios) !repeats !file;
+    let fresh = Regress.measure ~progress:true ~repeats:!repeats () in
+    let verdicts =
+      Regress.diff ~inject:!inject ~time_threshold:!time_threshold ~base
+        ~fresh ()
+    in
+    Regress.render_verdicts verdicts;
+    Printf.printf
+      "calibration: baseline %.3fs, here %.3fs (time bounds scaled %.2fx)\n"
+      base.Regress.r_calibration fresh.Regress.r_calibration
+      (if base.Regress.r_calibration > 0.0 then
+         fresh.Regress.r_calibration /. base.Regress.r_calibration
+       else 1.0);
+    match Regress.regressions verdicts with
+    | [] -> print_endline "no regressions"
+    | bad ->
+      Printf.printf "%d metric(s) regressed\n" (List.length bad);
+      exit 1
+  end
+
 let run_experiment (name, _desc, f) =
   let t0 = Sys.time () in
   let table = f () in
@@ -228,7 +725,9 @@ let write_json path named_tables =
     (List.length named_tables)
     (if List.length named_tables = 1 then "" else "s")
 
-let default_json_file = "BENCH.json"
+(* experiment tables go to a separate default file: BENCH.json is the
+   committed perf baseline written by the `baseline` subcommand *)
+let default_json_file = "BENCH_TABLES.json"
 
 (* pull "--json [FILE]" out of the argument list; the remaining
    arguments parse as before *)
@@ -252,8 +751,14 @@ let () =
     List.iter
       (fun (name, desc, _) -> Printf.printf "%-22s %s\n" name desc)
       experiments;
-    print_endline "micro                  Bechamel microbenchmarks (E9)"
+    print_endline "micro                  Bechamel microbenchmarks (E9)";
+    print_endline
+      "baseline               write the perf baseline BENCH.json (E10)";
+    print_endline
+      "diff                   gate a fresh run against BENCH.json (E10)"
   | [ "micro" ] -> run_micro ()
+  | "baseline" :: rest -> run_baseline rest
+  | "diff" :: rest -> run_diff rest
   | [ name ] -> (
     match List.find_opt (fun (n, _, _) -> n = name) experiments with
     | Some exp -> maybe_write [ run_experiment exp ]
@@ -267,5 +772,7 @@ let () =
     run_micro ();
     maybe_write tables
   | _ ->
-    prerr_endline "usage: main.exe [list | micro | <experiment>] [--json [FILE]]";
+    prerr_endline
+      "usage: main.exe [list | micro | baseline | diff | <experiment>] \
+       [--json [FILE]]";
     exit 1

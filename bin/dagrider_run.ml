@@ -5,6 +5,7 @@
      run           simulate a fleet and print a summary
      trace         simulate with structured tracing, render the timeline
      analyze       run the protocol analyzer (live run or replayed JSONL)
+     profile       simulate under the span profiler, print the hot-span table
      dot           render the DAG as Graphviz with leader/commit classes
      render-dag    regenerate Figure 1: a live DAG rendered as ASCII/DOT
      render-commit regenerate Figure 2: the cross-wave commit narrative
@@ -17,131 +18,167 @@
      dune exec bin/dagrider_run.exe -- trace -n 4 --jsonl run.trace.jsonl
      dune exec bin/dagrider_run.exe -- analyze -n 4 --until 200
      dune exec bin/dagrider_run.exe -- analyze --jsonl run.trace.jsonl
+     dune exec bin/dagrider_run.exe -- profile -n 7 --until 100 --top 12
+     dune exec bin/dagrider_run.exe -- profile --folded out.folded
      dune exec bin/dagrider_run.exe -- dot -n 4 --rounds 12 > dag.dot
      dune exec bin/dagrider_run.exe -- render-dag --dot
      dune exec bin/dagrider_run.exe -- render-commit *)
 
 open Cmdliner
 
-(* ---- shared options ---- *)
+(* ---- shared options ----
 
-let n_arg =
-  Arg.(value & opt int 4 & info [ "n" ] ~docv:"N" ~doc:"Number of processes.")
+   Every simulating subcommand takes the same fleet-shaping flags; they
+   are parsed once here into a [Common.t] so a new subcommand (like
+   [profile]) gets the full set — backends, schedulers, faults, lossy
+   links — without duplicating a single [Arg] definition. *)
 
-let seed_arg =
-  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"RNG seed.")
+module Common = struct
+  type t = {
+    n : int;
+    seed : int;
+    backend : Harness.Runner.backend;
+    schedule : Harness.Runner.schedule;
+    crashes : int list;
+    byzantines : int list;
+    block_bytes : int;
+    until : float;
+    link_faults : Harness.Runner.link_faults option;
+  }
 
-let until_arg =
-  Arg.(
-    value & opt float 50.0
-    & info [ "until" ] ~docv:"TIME" ~doc:"Virtual time horizon.")
+  let n_arg =
+    Arg.(value & opt int 4 & info [ "n" ] ~docv:"N" ~doc:"Number of processes.")
 
-let backend_arg =
-  let backend_conv =
-    Arg.enum
-      [ ("bracha", Harness.Runner.Bracha);
-        ("avid", Harness.Runner.Avid);
-        ("gossip", Harness.Runner.Gossip) ]
-  in
-  Arg.(
-    value & opt backend_conv Harness.Runner.Bracha
-    & info [ "backend" ] ~docv:"RBC" ~doc:"Reliable broadcast: bracha|avid|gossip.")
+  let seed_arg =
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"RNG seed.")
 
-let sched_arg =
-  let sched_conv =
-    Arg.enum
-      [ ("sync", Harness.Runner.Synchronous);
-        ("uniform", Harness.Runner.Uniform_random);
-        ("skewed", Harness.Runner.Skewed_random) ]
-  in
-  Arg.(
-    value & opt sched_conv Harness.Runner.Uniform_random
-    & info [ "sched" ] ~docv:"SCHED" ~doc:"Message schedule: sync|uniform|skewed.")
-
-let crash_arg =
-  Arg.(
-    value & opt_all int []
-    & info [ "crash" ] ~docv:"PID" ~doc:"Crash this process (repeatable).")
-
-let byz_arg =
-  Arg.(
-    value & opt_all int []
-    & info [ "byzantine" ] ~docv:"PID"
-        ~doc:"Byzantine-but-live process (repeatable).")
-
-let block_bytes_arg =
-  Arg.(
-    value & opt int 64
-    & info [ "block-bytes" ] ~docv:"BYTES" ~doc:"Synthetic block size.")
-
-(* lossy-link rates; any nonzero rate switches every protocol stack onto
-   the ack/retransmit transport (Harness.Runner.options.link_faults) *)
-let lossy_term =
-  let loss =
+  let until_arg =
     Arg.(
-      value & opt float 0.0
-      & info [ "loss" ] ~docv:"P"
-          ~doc:"Drop each message with probability $(docv) (0 <= P < 1).")
-  in
-  let dup =
-    Arg.(
-      value & opt float 0.0
-      & info [ "dup" ] ~docv:"P"
-          ~doc:"Duplicate each message with probability $(docv).")
-  in
-  let corrupt =
-    Arg.(
-      value & opt float 0.0
-      & info [ "corrupt" ] ~docv:"P"
-          ~doc:"Bit-corrupt each message with probability $(docv).")
-  in
-  let reorder =
-    Arg.(
-      value & opt float 0.0
-      & info [ "reorder" ] ~docv:"P"
-          ~doc:"Add reordering delay to each message with probability $(docv).")
-  in
-  let mk lf_drop lf_duplicate lf_corrupt lf_reorder =
-    if lf_drop = 0.0 && lf_duplicate = 0.0 && lf_corrupt = 0.0
-       && lf_reorder = 0.0
-    then None
-    else Some { Harness.Runner.lf_drop; lf_duplicate; lf_corrupt; lf_reorder }
-  in
-  Term.(const mk $ loss $ dup $ corrupt $ reorder)
+      value & opt float 50.0
+      & info [ "until" ] ~docv:"TIME" ~doc:"Virtual time horizon.")
 
-let build_fleet n seed backend schedule crashes byzantines block_bytes =
-  let faults =
-    List.map (fun i -> Harness.Runner.Crash i) crashes
-    @ List.map (fun i -> Harness.Runner.Byzantine_live i) byzantines
-  in
-  Harness.Runner.build
-    { (Harness.Runner.default_options ~n) with
-      seed;
-      backend;
-      schedule;
+  let backend_arg =
+    let backend_conv =
+      Arg.enum
+        [ ("bracha", Harness.Runner.Bracha);
+          ("avid", Harness.Runner.Avid);
+          ("gossip", Harness.Runner.Gossip) ]
+    in
+    Arg.(
+      value & opt backend_conv Harness.Runner.Bracha
+      & info [ "backend" ] ~docv:"RBC"
+          ~doc:"Reliable broadcast: bracha|avid|gossip.")
+
+  let sched_arg =
+    let sched_conv =
+      Arg.enum
+        [ ("sync", Harness.Runner.Synchronous);
+          ("uniform", Harness.Runner.Uniform_random);
+          ("skewed", Harness.Runner.Skewed_random) ]
+    in
+    Arg.(
+      value & opt sched_conv Harness.Runner.Uniform_random
+      & info [ "sched" ] ~docv:"SCHED"
+          ~doc:"Message schedule: sync|uniform|skewed.")
+
+  let crash_arg =
+    Arg.(
+      value & opt_all int []
+      & info [ "crash" ] ~docv:"PID" ~doc:"Crash this process (repeatable).")
+
+  let byz_arg =
+    Arg.(
+      value & opt_all int []
+      & info [ "byzantine" ] ~docv:"PID"
+          ~doc:"Byzantine-but-live process (repeatable).")
+
+  let block_bytes_arg =
+    Arg.(
+      value & opt int 64
+      & info [ "block-bytes" ] ~docv:"BYTES" ~doc:"Synthetic block size.")
+
+  (* lossy-link rates; any nonzero rate switches every protocol stack onto
+     the ack/retransmit transport (Harness.Runner.options.link_faults) *)
+  let lossy_term =
+    let loss =
+      Arg.(
+        value & opt float 0.0
+        & info [ "loss" ] ~docv:"P"
+            ~doc:"Drop each message with probability $(docv) (0 <= P < 1).")
+    in
+    let dup =
+      Arg.(
+        value & opt float 0.0
+        & info [ "dup" ] ~docv:"P"
+            ~doc:"Duplicate each message with probability $(docv).")
+    in
+    let corrupt =
+      Arg.(
+        value & opt float 0.0
+        & info [ "corrupt" ] ~docv:"P"
+            ~doc:"Bit-corrupt each message with probability $(docv).")
+    in
+    let reorder =
+      Arg.(
+        value & opt float 0.0
+        & info [ "reorder" ] ~docv:"P"
+            ~doc:
+              "Add reordering delay to each message with probability $(docv).")
+    in
+    let mk lf_drop lf_duplicate lf_corrupt lf_reorder =
+      if
+        lf_drop = 0.0 && lf_duplicate = 0.0 && lf_corrupt = 0.0
+        && lf_reorder = 0.0
+      then None
+      else Some { Harness.Runner.lf_drop; lf_duplicate; lf_corrupt; lf_reorder }
+    in
+    Term.(const mk $ loss $ dup $ corrupt $ reorder)
+
+  let term =
+    let mk n seed backend schedule crashes byzantines block_bytes until
+        link_faults =
+      { n;
+        seed;
+        backend;
+        schedule;
+        crashes;
+        byzantines;
+        block_bytes;
+        until;
+        link_faults }
+    in
+    Term.(
+      const mk $ n_arg $ seed_arg $ backend_arg $ sched_arg $ crash_arg
+      $ byz_arg $ block_bytes_arg $ until_arg $ lossy_term)
+
+  let options ?trace c =
+    let faults =
+      List.map (fun i -> Harness.Runner.Crash i) c.crashes
+      @ List.map (fun i -> Harness.Runner.Byzantine_live i) c.byzantines
+    in
+    { (Harness.Runner.default_options ~n:c.n) with
+      seed = c.seed;
+      backend = c.backend;
+      schedule = c.schedule;
       faults;
-      block_bytes }
+      block_bytes = c.block_bytes;
+      link_faults = c.link_faults;
+      trace }
+
+  let build ?trace c = Harness.Runner.build (options ?trace c)
+end
+
+let write_file path contents =
+  let oc = open_out path in
+  output_string oc contents;
+  close_out oc
 
 (* ---- run ---- *)
 
 let run_cmd =
-  let run n seed backend schedule crashes byzantines block_bytes until
-      link_faults =
-    let faults =
-      List.map (fun i -> Harness.Runner.Crash i) crashes
-      @ List.map (fun i -> Harness.Runner.Byzantine_live i) byzantines
-    in
-    let fleet =
-      Harness.Runner.build
-        { (Harness.Runner.default_options ~n) with
-          seed;
-          backend;
-          schedule;
-          faults;
-          block_bytes;
-          link_faults }
-    in
-    Harness.Runner.run fleet ~until;
+  let run (c : Common.t) =
+    let fleet = Common.build c in
+    Harness.Runner.run fleet ~until:c.until;
     Printf.printf "%-8s %-10s %-7s %-7s %-7s\n" "process" "delivered" "round"
       "waves" "status";
     Array.iteri
@@ -162,7 +199,7 @@ let run_cmd =
       (fun i (kind, bits) ->
         if i < 6 then Printf.printf "  %-16s %d bits\n" kind bits)
       (Metrics.Counters.bits_by_kind (Harness.Runner.counters fleet));
-    if link_faults <> None then begin
+    if c.link_faults <> None then begin
       let ls = Harness.Runner.link_stats fleet in
       Printf.printf
         "lossy links: %d data frames, %d retransmits, %d gave up, %d dups \
@@ -181,27 +218,15 @@ let run_cmd =
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Simulate a DAG-Rider fleet and print a summary.")
-    Term.(
-      const run $ n_arg $ seed_arg $ backend_arg $ sched_arg $ crash_arg
-      $ byz_arg $ block_bytes_arg $ until_arg $ lossy_term)
+    Term.(const run $ Common.term)
 
 (* ---- trace ---- *)
 
 let trace_cmd =
-  let run n seed backend schedule block_bytes until limit jsonl_out link_faults
-      =
+  let run (c : Common.t) limit jsonl_out =
     let tracer = Trace.create () in
-    let fleet =
-      Harness.Runner.build
-        { (Harness.Runner.default_options ~n) with
-          seed;
-          backend;
-          schedule;
-          block_bytes;
-          link_faults;
-          trace = Some tracer }
-    in
-    Harness.Runner.run fleet ~until;
+    let fleet = Common.build ~trace:tracer c in
+    Harness.Runner.run fleet ~until:c.until;
     (match jsonl_out with
     | Some path ->
       let oc = open_out path in
@@ -213,7 +238,7 @@ let trace_cmd =
     | None -> print_string (Trace.render_timeline ?limit tracer));
     Printf.printf
       "\nrun summary: n=%d seed=%d until=%.0f; delivered at p0: %d vertices\n"
-      n seed until
+      c.n c.seed c.until
       (Dagrider.Ordering.delivered_count
          (Dagrider.Node.ordering (Harness.Runner.node fleet 0)))
   in
@@ -236,22 +261,13 @@ let trace_cmd =
          "Simulate with structured tracing and render the event timeline \
           (sends/recvs, RBC phases, rounds, coin flips, leaders, commits).")
     Term.(
-      const (fun n seed backend sched bytes until limit jsonl lossy ->
-          run n seed backend sched bytes until (normalize_limit limit) jsonl
-            lossy)
-      $ n_arg $ seed_arg $ backend_arg $ sched_arg $ block_bytes_arg
-      $ until_arg $ limit_arg $ jsonl_arg $ lossy_term)
+      const (fun c limit jsonl -> run c (normalize_limit limit) jsonl)
+      $ Common.term $ limit_arg $ jsonl_arg)
 
 (* ---- analyze ---- *)
 
-let write_file path contents =
-  let oc = open_out path in
-  output_string oc contents;
-  close_out oc
-
 let analyze_cmd =
-  let run n seed backend schedule crashes byzantines block_bytes until jsonl
-      json_out link_faults =
+  let run (c : Common.t) jsonl json_out =
     let report =
       match jsonl with
       | Some path ->
@@ -262,22 +278,8 @@ let analyze_cmd =
           exit 1)
       | None ->
         let tracer = Trace.create ~capacity:4096 () in
-        let faults =
-          List.map (fun i -> Harness.Runner.Crash i) crashes
-          @ List.map (fun i -> Harness.Runner.Byzantine_live i) byzantines
-        in
-        let fleet =
-          Harness.Runner.build
-            { (Harness.Runner.default_options ~n) with
-              seed;
-              backend;
-              schedule;
-              faults;
-              block_bytes;
-              link_faults;
-              trace = Some tracer }
-        in
-        Harness.Runner.run fleet ~until;
+        let fleet = Common.build ~trace:tracer c in
+        Harness.Runner.run fleet ~until:c.until;
         Option.get (Harness.Runner.analysis fleet)
     in
     (match json_out with
@@ -308,16 +310,76 @@ let analyze_cmd =
           per-wave commit/skip records vs the paper's 3/2 bound, round \
           skew, RBC phase durations, chain quality, and anomaly detection \
           — over a live traced run or a replayed JSONL trace.")
-    Term.(
-      const run $ n_arg $ seed_arg $ backend_arg $ sched_arg $ crash_arg
-      $ byz_arg $ block_bytes_arg $ until_arg $ jsonl_arg $ json_arg
-      $ lossy_term)
+    Term.(const run $ Common.term $ jsonl_arg $ json_arg)
+
+(* ---- profile ---- *)
+
+let profile_cmd =
+  let run (c : Common.t) no_trace top folded_out =
+    let prof = Prof.create () in
+    Prof.install prof;
+    let tracer =
+      if no_trace then None else Some (Trace.create ~capacity:4096 ())
+    in
+    let fleet = Common.build ?trace:tracer c in
+    (* the root span makes coverage meaningful: every instrumented span
+       below it explains a slice of the whole run's wall time *)
+    Prof.time "run" (fun () -> Harness.Runner.run fleet ~until:c.until);
+    Prof.uninstall ();
+    Printf.printf
+      "profile: n=%d seed=%d backend=%s until=%.0f trace=%s; delivered at \
+       p0: %d vertices\n\n"
+      c.n c.seed
+      (match c.backend with
+      | Harness.Runner.Bracha -> "bracha"
+      | Harness.Runner.Avid -> "avid"
+      | Harness.Runner.Gossip -> "gossip")
+      c.until
+      (if no_trace then "off" else "on")
+      (Dagrider.Ordering.delivered_count
+         (Dagrider.Node.ordering (Harness.Runner.node fleet 0)));
+    print_string (Prof.render_table ~top prof);
+    print_newline ();
+    print_string (Prof.render_gc (Prof.gc_summary prof));
+    match folded_out with
+    | Some path ->
+      write_file path (Prof.folded prof);
+      Printf.printf "\nwrote folded stacks to %s (flamegraph.pl-ready)\n" path
+    | None -> ()
+  in
+  let no_trace_arg =
+    Arg.(
+      value & flag
+      & info [ "no-trace" ]
+          ~doc:
+            "Profile an untraced run (default attaches a tracer and the \
+             analyzer sink so their overhead shows up in the table).")
+  in
+  let top_arg =
+    Arg.(
+      value & opt int 16
+      & info [ "top" ] ~docv:"K" ~doc:"Rows in the hot-span table.")
+  in
+  let folded_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "folded" ] ~docv:"FILE"
+          ~doc:
+            "Also write folded call stacks to $(docv) for flamegraph.pl / \
+             inferno-flamegraph.")
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Simulate under the span profiler and print the hot-span table: \
+          wall time (self and inclusive), allocation, and call counts per \
+          span, plus GC pressure and a coverage footer.")
+    Term.(const run $ Common.term $ no_trace_arg $ top_arg $ folded_arg)
 
 (* ---- dot (Figures 1-2 style DAG rendering, analyzer-classified) ---- *)
 
 let dot_cmd =
-  let run n seed backend schedule block_bytes until rounds shade_wave snapshot
-      save_snapshot =
+  let run (c : Common.t) rounds shade_wave snapshot save_snapshot =
     match snapshot with
     | Some path ->
       (* offline: a saved snapshot has no trace, so no leader classes *)
@@ -335,16 +397,8 @@ let dot_cmd =
         exit 1)
     | None ->
       let tracer = Trace.create ~capacity:4096 () in
-      let fleet =
-        Harness.Runner.build
-          { (Harness.Runner.default_options ~n) with
-            seed;
-            backend;
-            schedule;
-            block_bytes;
-            trace = Some tracer }
-      in
-      Harness.Runner.run fleet ~until;
+      let fleet = Common.build ~trace:tracer c in
+      Harness.Runner.run fleet ~until:c.until;
       let report = Option.get (Harness.Runner.analysis fleet) in
       let dag = Dagrider.Node.dag (Harness.Runner.node fleet 0) in
       (match save_snapshot with
@@ -386,15 +440,29 @@ let dot_cmd =
           colored by outcome (committed/skipped/elected), and the causal \
           history of a chosen commit shaded.")
     Term.(
-      const run $ n_arg $ seed_arg $ backend_arg $ sched_arg $ block_bytes_arg
-      $ until_arg $ rounds_arg $ shade_arg $ snapshot_arg $ save_snapshot_arg)
+      const run $ Common.term $ rounds_arg $ shade_arg $ snapshot_arg
+      $ save_snapshot_arg)
 
 (* ---- render-dag (Figure 1) ---- *)
 
+let build_fleet n seed backend schedule crashes byzantines block_bytes =
+  Common.build
+    { Common.n;
+      seed;
+      backend;
+      schedule;
+      crashes;
+      byzantines;
+      block_bytes;
+      until = 0.0;
+      link_faults = None }
+
 let render_dag_cmd =
   let render n seed until dot rounds =
-    let fleet = build_fleet n seed Harness.Runner.Bracha
-        Harness.Runner.Uniform_random [] [] 16 in
+    let fleet =
+      build_fleet n seed Harness.Runner.Bracha Harness.Runner.Uniform_random []
+        [] 16
+    in
     Harness.Runner.run fleet ~until;
     let dag = Dagrider.Node.dag (Harness.Runner.node fleet 0) in
     let max_round = min rounds (Dagrider.Dag.highest_round dag) in
@@ -425,7 +493,8 @@ let render_dag_cmd =
     end
   in
   let dot_arg =
-    Arg.(value & flag & info [ "dot" ] ~doc:"Emit Graphviz DOT instead of ASCII.")
+    Arg.(
+      value & flag & info [ "dot" ] ~doc:"Emit Graphviz DOT instead of ASCII.")
   in
   let rounds_arg =
     Arg.(value & opt int 10 & info [ "rounds" ] ~docv:"R" ~doc:"Rounds to show.")
@@ -433,14 +502,18 @@ let render_dag_cmd =
   Cmd.v
     (Cmd.info "render-dag"
        ~doc:"Regenerate Figure 1: render a live DAG (ASCII or DOT).")
-    Term.(const render $ n_arg $ seed_arg $ until_arg $ dot_arg $ rounds_arg)
+    Term.(
+      const render $ Common.n_arg $ Common.seed_arg $ Common.until_arg
+      $ dot_arg $ rounds_arg)
 
 (* ---- render-commit (Figure 2) ---- *)
 
 let render_commit_cmd =
   let render n seed until =
-    let fleet = build_fleet n seed Harness.Runner.Bracha
-        Harness.Runner.Skewed_random [] [] 16 in
+    let fleet =
+      build_fleet n seed Harness.Runner.Bracha Harness.Runner.Skewed_random []
+        [] 16
+    in
     (* collect commits as they happen via each wave's summary afterwards *)
     Harness.Runner.run fleet ~until;
     let node = Harness.Runner.node fleet 0 in
@@ -464,7 +537,7 @@ let render_commit_cmd =
   Cmd.v
     (Cmd.info "render-commit"
        ~doc:"Regenerate Figure 2: wave leaders, support counts, commits.")
-    Term.(const render $ n_arg $ seed_arg $ until_arg)
+    Term.(const render $ Common.n_arg $ Common.seed_arg $ Common.until_arg)
 
 (* ---- experiments ---- *)
 
@@ -476,7 +549,7 @@ let experiments_cmd =
   in
   Cmd.v
     (Cmd.info "experiments" ~doc:"Print every experiment table (slow).")
-    Term.(const run $ seed_arg)
+    Term.(const run $ Common.seed_arg)
 
 let () =
   let default = Term.(ret (const (`Help (`Pager, None)))) in
@@ -485,5 +558,5 @@ let () =
        (Cmd.group ~default
           (Cmd.info "dagrider_run" ~version:"1.0.0"
              ~doc:"DAG-Rider simulation driver (PODC 2021 reproduction).")
-          [ run_cmd; trace_cmd; analyze_cmd; dot_cmd; render_dag_cmd;
-            render_commit_cmd; experiments_cmd ]))
+          [ run_cmd; trace_cmd; analyze_cmd; profile_cmd; dot_cmd;
+            render_dag_cmd; render_commit_cmd; experiments_cmd ]))

@@ -222,6 +222,7 @@ let push tbl key v =
   | None -> Hashtbl.add tbl key (ref [ v ])
 
 let feed t (e : Trace.event) =
+  let sp = Prof.enter "analyze.feed" in
   if t.first_seq < 0 then t.first_seq <- e.Trace.seq;
   t.count <- t.count + 1;
   let time = e.Trace.time in
@@ -235,7 +236,7 @@ let feed t (e : Trace.event) =
     if time > t.t_max then t.t_max <- time
   end;
   let bump i = if i > t.max_node then t.max_node <- i in
-  match e.Trace.kind with
+  (match e.Trace.kind with
   | Trace.Send { src; dst; bits; _ } ->
     bump src;
     bump dst;
@@ -311,7 +312,8 @@ let feed t (e : Trace.event) =
     bump src;
     bump dst;
     t.corrupt_rejects <- t.corrupt_rejects + 1
-  | Trace.Engine_sample _ -> ()
+  | Trace.Engine_sample _ -> ());
+  Prof.leave sp
 
 (* ---- finalize ---- *)
 

@@ -57,7 +57,7 @@ let can_add t v =
   List.for_all (edge_present t)
     (v.Vertex.strong_edges @ v.Vertex.weak_edges)
 
-let add t v =
+let add_impl t v =
   let vref = Vertex.vref_of v in
   match find t vref with
   | Some existing ->
@@ -70,6 +70,14 @@ let add t v =
     | Some r -> incr r
     | None -> Hashtbl.add t.by_round v.round (ref 1));
     if v.round > t.highest then t.highest <- v.round
+
+let add t v =
+  let sp = Prof.enter "dag.add" in
+  (try add_impl t v
+   with e ->
+     Prof.leave sp;
+     raise e);
+  Prof.leave sp
 
 (* BFS over edges; rounds strictly decrease along edges, so termination
    is immediate and the frontier stays small. *)
@@ -107,6 +115,7 @@ let reaches t start target ~via_strong_only =
   else if start = target then true
   else if target.Vertex.round >= start.Vertex.round then false
   else begin
+    let sp = Prof.enter "dag.path" in
     let visited = Hashtbl.create 64 in
     let queue = Queue.create () in
     Hashtbl.add visited start ();
@@ -136,6 +145,7 @@ let reaches t start target ~via_strong_only =
               end)
             targets
     done;
+    Prof.leave sp;
     !found
   end
 
@@ -144,6 +154,7 @@ let strong_path t v u = reaches t v u ~via_strong_only:true
 let path t v u = reaches t v u ~via_strong_only:false
 
 let causal_history t vref =
+  let sp = Prof.enter "dag.causal_history" in
   let refs = reachable_from t vref ~via_strong_only:false in
   let vs =
     List.filter_map
@@ -152,7 +163,13 @@ let causal_history t vref =
         else find t r)
       refs
   in
-  List.sort (fun a b -> Vertex.compare_vref (Vertex.vref_of a) (Vertex.vref_of b)) vs
+  let out =
+    List.sort
+      (fun a b -> Vertex.compare_vref (Vertex.vref_of a) (Vertex.vref_of b))
+      vs
+  in
+  Prof.leave sp;
+  out
 
 let vertices t =
   let vs =

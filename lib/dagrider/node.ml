@@ -349,11 +349,13 @@ let try_resolve_coin t ~wave =
   end
 
 let on_coin_msg t ~src:_ (Coin_share share) =
+  let sp = Prof.enter "node.coin" in
   if Crypto.Threshold_coin.verify_share t.coin share then begin
     let bucket = shares_for t share.instance in
     bucket := share :: !bucket;
     try_resolve_coin t ~wave:share.instance
-  end
+  end;
+  Prof.leave sp
 
 (* ---- round advancement (Algorithm 2, lines 5-15) ---- *)
 
@@ -430,12 +432,12 @@ let accept_embedded_share t ~round ~source share =
     end
 
 let on_r_deliver t ~payload ~round ~source =
-  let parsed =
-    match t.config.coin_mode with
-    | Separate_network -> Some (payload, None)
-    | In_dag -> unwrap_payload payload
-  in
-  match parsed with
+  let sp = Prof.enter "node.r_deliver" in
+  (match
+     match t.config.coin_mode with
+     | Separate_network -> Some (payload, None)
+     | In_dag -> unwrap_payload payload
+   with
   | None -> () (* malformed Byzantine payload *)
   | Some (vertex_bytes, share) -> (
     match Vertex.decode ~round ~source vertex_bytes with
@@ -448,7 +450,8 @@ let on_r_deliver t ~payload ~round ~source =
         if not (Dag.contains t.dag (Vertex.vref_of v)) then begin
           t.buffer <- v :: t.buffer;
           try_advance t
-        end))
+        end)));
+  Prof.leave sp
 
 (* ---- catch-up sync (for restarted processes) ---- *)
 
@@ -472,7 +475,8 @@ let request_sync t =
       (Sync_request { from_round = first_incomplete_round t })
 
 let on_sync_msg t ~src msg =
-  match msg with
+  let sp = Prof.enter "node.sync" in
+  (match msg with
   | Sync_request { from_round } -> (
     match t.sync_net with
     | None -> ()
@@ -511,7 +515,8 @@ let on_sync_msg t ~src msg =
     List.iter
       (fun (payload, round, source) ->
         on_r_deliver t ~payload ~round ~source)
-      vertices
+      vertices);
+  Prof.leave sp
 
 (* ---- construction ---- *)
 

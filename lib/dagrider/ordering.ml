@@ -69,7 +69,7 @@ let deliver_leader t ~dag ~wave ~leader ~direct =
     fresh;
   { wave; leader; delivered = fresh; direct }
 
-let process_wave t ~dag ~wave ~choose_leader =
+let process_wave_impl t ~dag ~wave ~choose_leader =
   if wave <= t.decided_wave then []
   else
     let wave_length = t.wave_length in
@@ -110,6 +110,12 @@ let process_wave t ~dag ~wave ~choose_leader =
             deliver_leader t ~dag ~wave:w ~leader:v ~direct:(w = wave))
           !stack
       end
+
+let process_wave t ~dag ~wave ~choose_leader =
+  let sp = Prof.enter "order.wave" in
+  let out = process_wave_impl t ~dag ~wave ~choose_leader in
+  Prof.leave sp;
+  out
 
 let restore t ~delivered ~decided_wave =
   if t.delivered_count > 0 || t.decided_wave > 0 then

@@ -637,6 +637,27 @@ let metrics_snapshot t =
      Metrics.Registry.incr reg "link.dup_suppressed" ~by:dup_suppressed ();
      Metrics.Registry.incr reg "link.corrupt_rejected" ~by:corrupt_rejected ();
      Metrics.Registry.incr reg "link.decode_failures" ~by:decode_failures ());
+  let gcs = Gc.quick_stat () in
+  Metrics.Registry.set_gauge reg "gc.minor_collections"
+    (float_of_int gcs.Gc.minor_collections);
+  Metrics.Registry.set_gauge reg "gc.major_collections"
+    (float_of_int gcs.Gc.major_collections);
+  Metrics.Registry.set_gauge reg "gc.promoted_words" gcs.Gc.promoted_words;
+  Metrics.Registry.set_gauge reg "gc.top_heap_words"
+    (float_of_int gcs.Gc.top_heap_words);
+  (match Prof.installed () with
+  | None -> ()
+  | Some prof ->
+    List.iter
+      (fun (r : Prof.row) ->
+        let base = "prof." ^ r.Prof.r_name in
+        Metrics.Registry.incr reg (base ^ ".calls") ~by:r.Prof.r_count ();
+        Metrics.Registry.set_gauge reg (base ^ ".self_s") r.Prof.r_self_s;
+        Metrics.Registry.set_gauge reg (base ^ ".total_s") r.Prof.r_total_s;
+        Metrics.Registry.set_gauge reg (base ^ ".alloc_bytes")
+          r.Prof.r_alloc_bytes;
+        List.iter (Metrics.Registry.observe reg base) r.Prof.r_samples)
+      (Prof.rows prof));
   Metrics.Registry.snapshot reg
 
 let analysis_config t =

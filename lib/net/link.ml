@@ -169,6 +169,7 @@ let rec schedule_retry t ~dst ~seq ~timeout =
                  { src = t.me; dst; msg_kind = o.o_kind; reason = "give-up" })
           end
           else begin
+            let sp = Prof.enter "link.retransmit" in
             o.o_attempt <- o.o_attempt + 1;
             t.s <- { t.s with retransmits = t.s.retransmits + 1 };
             t.per_dst_retransmits.(dst) <- t.per_dst_retransmits.(dst) + 1;
@@ -182,7 +183,8 @@ let rec schedule_retry t ~dst ~seq ~timeout =
             let jittered =
               next *. (1.0 +. (t.config.jitter *. Stdx.Rng.float t.rng 1.0))
             in
-            schedule_retry t ~dst ~seq ~timeout:jittered
+            schedule_retry t ~dst ~seq ~timeout:jittered;
+            Prof.leave sp
           end)
 
 let send t ~dst ~kind ~bits msg =
@@ -220,7 +222,8 @@ let mark_seen t ~src ~seq =
   end
 
 let on_frame t ~src frame =
-  if not t.detached then
+  let sp = Prof.enter "link.on_frame" in
+  (if not t.detached then
     match frame with
     | Data { seq; kind; bytes; _ } ->
       if not (frame_intact frame) then begin
@@ -264,7 +267,8 @@ let on_frame t ~src frame =
         tr_emit t
           (Trace.Corrupt_reject { src; dst = t.me; msg_kind = "link-ack" })
       end
-      else Hashtbl.remove t.unacked (src, seq)
+      else Hashtbl.remove t.unacked (src, seq));
+  Prof.leave sp
 
 let attach ~net ~engine ~rng ?(config = default_config) ?trace ~me ~encode
     ~decode () =

@@ -1,0 +1,283 @@
+(* Call-path trie. Each node aggregates every visit to one span name
+   reached through one particular stack of enclosing spans; the flat
+   per-name view ([rows]) merges nodes by name, the folded-stacks view
+   walks paths. *)
+type node = {
+  nd_name : string;
+  nd_children : (string, node) Hashtbl.t;
+  mutable nd_count : int;
+  mutable nd_total : float;
+  mutable nd_self : float;
+  mutable nd_alloc : float;
+  mutable nd_self_alloc : float;
+}
+
+let make_node name =
+  { nd_name = name;
+    nd_children = Hashtbl.create 4;
+    nd_count = 0;
+    nd_total = 0.0;
+    nd_self = 0.0;
+    nd_alloc = 0.0;
+    nd_self_alloc = 0.0 }
+
+(* One open span. Child time/alloc accumulate here so the parent's
+   self numbers can subtract them at [leave]. *)
+type frame = {
+  fr_node : node;
+  fr_t0 : float;
+  fr_a0 : float;
+  mutable fr_child_time : float;
+  mutable fr_child_alloc : float;
+}
+
+(* bounded per-call duration sample per span name, for percentile
+   summaries without retaining one float per call *)
+let sample_cap = 2048
+
+type sample = { mutable sm_filled : int; sm_buf : float array }
+
+type t = {
+  clock : unit -> float;
+  alloc_bytes : unit -> float;
+  root : node; (* virtual; its children are the top-level spans *)
+  samples : (string, sample) Hashtbl.t;
+  gc0 : Gc.stat;
+  alloc0 : float;
+  mutable stack : frame list;
+  mutable unbalanced : int;
+}
+
+let create ?(clock = Unix.gettimeofday) ?(alloc_bytes = Gc.allocated_bytes) ()
+    =
+  { clock;
+    alloc_bytes;
+    root = make_node "";
+    samples = Hashtbl.create 32;
+    gc0 = Gc.quick_stat ();
+    alloc0 = alloc_bytes ();
+    stack = [];
+    unbalanced = 0 }
+
+(* ---- the ambient slot ---- *)
+
+let current : t option ref = ref None
+
+let install t = current := Some t
+
+let uninstall () = current := None
+
+let installed () = !current
+
+(* ---- instrumentation ---- *)
+
+type span = Off | On of t * frame
+
+let enter name =
+  match !current with
+  | None -> Off
+  | Some t ->
+    let parent = match t.stack with [] -> t.root | f :: _ -> f.fr_node in
+    let node =
+      match Hashtbl.find_opt parent.nd_children name with
+      | Some n -> n
+      | None ->
+        let n = make_node name in
+        Hashtbl.add parent.nd_children name n;
+        n
+    in
+    let fr =
+      { fr_node = node;
+        fr_t0 = t.clock ();
+        fr_a0 = t.alloc_bytes ();
+        fr_child_time = 0.0;
+        fr_child_alloc = 0.0 }
+    in
+    t.stack <- fr :: t.stack;
+    On (t, fr)
+
+let record_sample t name dt =
+  let s =
+    match Hashtbl.find_opt t.samples name with
+    | Some s -> s
+    | None ->
+      let s = { sm_filled = 0; sm_buf = Array.make sample_cap 0.0 } in
+      Hashtbl.add t.samples name s;
+      s
+  in
+  if s.sm_filled < sample_cap then begin
+    s.sm_buf.(s.sm_filled) <- dt;
+    s.sm_filled <- s.sm_filled + 1
+  end
+
+let leave = function
+  | Off -> ()
+  | On (t, fr) -> (
+    match t.stack with
+    | top :: rest when top == fr ->
+      t.stack <- rest;
+      let dt = t.clock () -. fr.fr_t0 in
+      let da = t.alloc_bytes () -. fr.fr_a0 in
+      let n = fr.fr_node in
+      n.nd_count <- n.nd_count + 1;
+      n.nd_total <- n.nd_total +. dt;
+      n.nd_self <- n.nd_self +. (dt -. fr.fr_child_time);
+      n.nd_alloc <- n.nd_alloc +. da;
+      n.nd_self_alloc <- n.nd_self_alloc +. (da -. fr.fr_child_alloc);
+      (match rest with
+      | parent :: _ ->
+        parent.fr_child_time <- parent.fr_child_time +. dt;
+        parent.fr_child_alloc <- parent.fr_child_alloc +. da
+      | [] -> ());
+      record_sample t n.nd_name dt
+    | _ -> t.unbalanced <- t.unbalanced + 1)
+
+let time name f =
+  let sp = enter name in
+  Fun.protect ~finally:(fun () -> leave sp) f
+
+let depth t = List.length t.stack
+
+let unbalanced t = t.unbalanced
+
+(* ---- results ---- *)
+
+type row = {
+  r_name : string;
+  r_count : int;
+  r_total_s : float;
+  r_self_s : float;
+  r_alloc_bytes : float;
+  r_self_alloc_bytes : float;
+  r_samples : float list;
+}
+
+let sorted_children node =
+  Hashtbl.fold (fun _ n acc -> n :: acc) node.nd_children []
+  |> List.sort (fun a b -> compare a.nd_name b.nd_name)
+
+let rec iter_nodes f path node =
+  let path = if node.nd_name = "" then path else node.nd_name :: path in
+  if node.nd_name <> "" then f (List.rev path) node;
+  List.iter (iter_nodes f path) (sorted_children node)
+
+let rows t =
+  let by_name : (string, row) Hashtbl.t = Hashtbl.create 32 in
+  iter_nodes
+    (fun _path n ->
+      let prev =
+        match Hashtbl.find_opt by_name n.nd_name with
+        | Some r -> r
+        | None ->
+          { r_name = n.nd_name;
+            r_count = 0;
+            r_total_s = 0.0;
+            r_self_s = 0.0;
+            r_alloc_bytes = 0.0;
+            r_self_alloc_bytes = 0.0;
+            r_samples = [] }
+      in
+      Hashtbl.replace by_name n.nd_name
+        { prev with
+          r_count = prev.r_count + n.nd_count;
+          r_total_s = prev.r_total_s +. n.nd_total;
+          r_self_s = prev.r_self_s +. n.nd_self;
+          r_alloc_bytes = prev.r_alloc_bytes +. n.nd_alloc;
+          r_self_alloc_bytes = prev.r_self_alloc_bytes +. n.nd_self_alloc })
+    [] t.root;
+  let rows = Hashtbl.fold (fun _ r acc -> r :: acc) by_name [] in
+  let rows =
+    List.map
+      (fun r ->
+        match Hashtbl.find_opt t.samples r.r_name with
+        | None -> r
+        | Some s ->
+          { r with
+            r_samples =
+              Array.to_list (Array.sub s.sm_buf 0 s.sm_filled) })
+      rows
+  in
+  List.sort
+    (fun a b ->
+      match compare b.r_self_s a.r_self_s with
+      | 0 -> compare a.r_name b.r_name
+      | c -> c)
+    rows
+
+let top_level_totals t =
+  List.fold_left
+    (fun (total, self) n -> (total +. n.nd_total, self +. n.nd_self))
+    (0.0, 0.0) (sorted_children t.root)
+
+let observed_s t = fst (top_level_totals t)
+
+let coverage t =
+  let total, self = top_level_totals t in
+  if total <= 0.0 then 0.0 else 1.0 -. (self /. total)
+
+let render_table ?(top = 16) t =
+  let buf = Buffer.create 1024 in
+  let observed = observed_s t in
+  let pct x = if observed <= 0.0 then 0.0 else 100.0 *. x /. observed in
+  Buffer.add_string buf
+    (Printf.sprintf "%-24s %10s %10s %6s %10s %10s\n" "span" "calls" "self(s)"
+       "self%" "total(s)" "alloc(MB)");
+  let shown = ref 0 in
+  List.iter
+    (fun r ->
+      if !shown < top then begin
+        incr shown;
+        Buffer.add_string buf
+          (Printf.sprintf "%-24s %10d %10.4f %5.1f%% %10.4f %10.2f\n" r.r_name
+             r.r_count r.r_self_s (pct r.r_self_s) r.r_total_s
+             (r.r_alloc_bytes /. 1e6))
+      end)
+    (rows t);
+  Buffer.add_string buf
+    (Printf.sprintf
+       "observed %.4fs under top-level spans; %.1f%% attributed below them\n"
+       observed (100.0 *. coverage t));
+  if t.unbalanced > 0 then
+    Buffer.add_string buf
+      (Printf.sprintf "WARNING: %d unbalanced leave(s)\n" t.unbalanced);
+  Buffer.contents buf
+
+let folded t =
+  let buf = Buffer.create 1024 in
+  iter_nodes
+    (fun path n ->
+      let us = int_of_float (Float.round (n.nd_self *. 1e6)) in
+      if n.nd_count > 0 && us > 0 then
+        Buffer.add_string buf
+          (Printf.sprintf "%s %d\n" (String.concat ";" path) us))
+    [] t.root;
+  Buffer.contents buf
+
+(* ---- GC ---- *)
+
+type gc_summary = {
+  gc_minor_collections : int;
+  gc_major_collections : int;
+  gc_promoted_words : float;
+  gc_top_heap_words : int;
+  gc_allocated_bytes : float;
+}
+
+let gc_summary t =
+  let g = Gc.quick_stat () in
+  { gc_minor_collections = g.minor_collections - t.gc0.minor_collections;
+    gc_major_collections = g.major_collections - t.gc0.major_collections;
+    gc_promoted_words = g.promoted_words -. t.gc0.promoted_words;
+    gc_top_heap_words = g.top_heap_words;
+    gc_allocated_bytes = t.alloc_bytes () -. t.alloc0 }
+
+let render_gc g =
+  Printf.sprintf
+    "gc: %.2f MB allocated, %d minor / %d major collections, %.2f MB \
+     promoted, top heap %.2f MB\n"
+    (g.gc_allocated_bytes /. 1e6)
+    g.gc_minor_collections g.gc_major_collections
+    (g.gc_promoted_words *. float_of_int (Sys.word_size / 8) /. 1e6)
+    (float_of_int g.gc_top_heap_words
+    *. float_of_int (Sys.word_size / 8)
+    /. 1e6)

@@ -228,7 +228,8 @@ let try_deliver t inst ~origin ~round ~commit =
     | _ -> ()
 
 let handle t ~src msg =
-  match msg with
+  let sp = Prof.enter "rbc.avid.recv" in
+  (match msg with
   | Disperse { round; root; data_len; frag_index; frag; proof } ->
     let origin = src in
     let commit = { root; data_len } in
@@ -259,7 +260,8 @@ let handle t ~src msg =
     let inst = get_instance t (origin, round) in
     let count = add_voter inst.readies commit src in
     if count >= amplify t then send_ready t inst ~origin ~round ~commit;
-    try_deliver t inst ~origin ~round ~commit
+    try_deliver t inst ~origin ~round ~commit);
+  Prof.leave sp
 
 let create_port ~port ~me ~f ~deliver =
   let n = Net.Port.n port in
@@ -295,8 +297,10 @@ let disperse t ~round ~frags ~data_len =
     frags
 
 let bcast t ~payload ~round =
+  let sp = Prof.enter "rbc.avid.bcast" in
   let frags = Crypto.Reed_solomon.encode t.coder payload in
-  disperse t ~round ~frags ~data_len:(String.length payload)
+  disperse t ~round ~frags ~data_len:(String.length payload);
+  Prof.leave sp
 
 let bcast_inconsistent t ~payload ~round =
   let frags = Crypto.Reed_solomon.encode t.coder payload in

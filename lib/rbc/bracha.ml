@@ -131,7 +131,8 @@ let try_deliver t inst ~origin ~round ~digest =
     | _ -> ()
 
 let handle t ~src msg =
-  match msg with
+  let sp = Prof.enter "rbc.bracha.recv" in
+  (match msg with
   | Init { round; payload } ->
     let origin = src in
     let inst = get_instance t (origin, round) in
@@ -155,7 +156,8 @@ let handle t ~src msg =
     let count = add_voter inst.readies digest src in
     if count >= amplify t then
       send_ready t inst ~origin ~round ~payload;
-    try_deliver t inst ~origin ~round ~digest
+    try_deliver t inst ~origin ~round ~digest);
+  Prof.leave sp
 
 let create_port ~port ~me ~f ~deliver =
   let t =
@@ -174,9 +176,11 @@ let create ~net ~me ~f ~deliver =
   create_port ~port:(Net.Port.of_network net) ~me ~f ~deliver
 
 let bcast t ~payload ~round =
+  let sp = Prof.enter "rbc.bracha.bcast" in
   phase t ~origin:t.me ~round "init";
   let msg = Init { round; payload } in
   Net.Port.broadcast t.net ~src:t.me ~kind:"bracha-init"
-    ~bits:(msg_bits msg) msg
+    ~bits:(msg_bits msg) msg;
+  Prof.leave sp
 
 let delivered_instances t = t.delivered_count

@@ -173,7 +173,8 @@ let progress t inst ~origin ~round =
       | None -> ()
 
 let handle t ~src msg =
-  match msg with
+  let sp = Prof.enter "rbc.gossip.recv" in
+  (match msg with
   | Gossip { origin; round; payload } ->
     let inst = get_instance t (origin, round) in
     if inst.payload = None then begin
@@ -203,7 +204,8 @@ let handle t ~src msg =
   | Ready { origin; round; digest } ->
     let inst = get_instance t (origin, round) in
     ignore (add_voter inst.readies digest src);
-    progress t inst ~origin ~round
+    progress t inst ~origin ~round);
+  Prof.leave sp
 
 let create_port ~port ~rng ?(params = default_params) ~me ~f:_ ~deliver () =
   let n = Net.Port.n port in
@@ -239,12 +241,14 @@ let create ~net ~rng ?params ~me ~f ~deliver () =
   create_port ~port:(Net.Port.of_network net) ~rng ?params ~me ~f ~deliver ()
 
 let bcast t ~payload ~round =
+  let sp = Prof.enter "rbc.gossip.bcast" in
   phase t ~origin:t.me ~round "init";
   (* the sender seeds the epidemic through its own gossip sample and also
      processes the message locally (send-to-self through the queue) *)
   let msg = Gossip { origin = t.me; round; payload } in
   send_sample t ~size:t.gossip_size ~kind:"gossip-init" ~bits:(msg_bits msg) msg;
   Net.Port.send t.net ~src:t.me ~dst:t.me ~kind:"gossip-init"
-    ~bits:(msg_bits msg) msg
+    ~bits:(msg_bits msg) msg;
+  Prof.leave sp
 
 let delivered_instances t = t.delivered_count

@@ -20,13 +20,24 @@ let schedule t ~delay f =
   schedule_at t ~time:(t.clock +. delay) f
 
 let step t =
-  match Stdx.Pqueue.pop t.queue with
-  | None -> false
-  | Some (time, _, f) ->
-    t.clock <- time;
-    t.executed <- t.executed + 1;
-    f ();
-    true
+  (* the span covers the pop and clock bookkeeping too, so profiled
+     coverage charges the full per-event cost to the engine *)
+  let sp = Prof.enter "engine.dispatch" in
+  let stepped =
+    try
+      match Stdx.Pqueue.pop t.queue with
+      | None -> false
+      | Some (time, _, f) ->
+        t.clock <- time;
+        t.executed <- t.executed + 1;
+        f ();
+        true
+    with e ->
+      Prof.leave sp;
+      raise e
+  in
+  Prof.leave sp;
+  stepped
 
 let run t ?(max_events = max_int) ?(until = infinity) () =
   let rec loop count =
