@@ -11,6 +11,9 @@
      dune exec bench/main.exe -- diff          -- compare a fresh run
                                                   against the baseline;
                                                   exit 1 on regression
+                                                  (--advisory-time: report
+                                                  time misses but gate only
+                                                  alloc/count metrics)
      dune exec bench/main.exe -- diff --self-test
                                                -- hermetic gate check: an
                                                   unmodified rerun passes
@@ -573,6 +576,22 @@ let read_file path =
     ~finally:(fun () -> close_in_noerr ic)
     (fun () -> really_input_string ic (in_channel_length ic))
 
+(* numeric flag values get a clean usage error, not an uncaught
+   [Failure "int_of_string"] stack trace *)
+let int_flag ~cmd ~flag v =
+  match int_of_string_opt v with
+  | Some i -> i
+  | None ->
+    Printf.eprintf "%s: %s expects an integer, got %S\n" cmd flag v;
+    exit 2
+
+let float_flag ~cmd ~flag v =
+  match float_of_string_opt v with
+  | Some f -> f
+  | None ->
+    Printf.eprintf "%s: %s expects a number, got %S\n" cmd flag v;
+    exit 2
+
 let run_baseline args =
   let out = ref "BENCH.json" in
   let repeats = ref 5 in
@@ -582,7 +601,7 @@ let run_baseline args =
       out := v;
       parse rest
     | "--repeats" :: v :: rest ->
-      repeats := int_of_string v;
+      repeats := int_flag ~cmd:"baseline" ~flag:"--repeats" v;
       parse rest
     | a :: _ ->
       Printf.eprintf "baseline: unknown argument %S\n" a;
@@ -605,22 +624,26 @@ let run_diff args =
   let time_threshold = ref Regress.default_time_threshold in
   let inject = ref 1.0 in
   let self_test = ref false in
+  let advisory_time = ref false in
   let rec parse = function
     | [] -> ()
     | "--baseline" :: v :: rest ->
       file := v;
       parse rest
     | "--repeats" :: v :: rest ->
-      repeats := int_of_string v;
+      repeats := int_flag ~cmd:"diff" ~flag:"--repeats" v;
       parse rest
     | "--threshold" :: v :: rest ->
-      time_threshold := float_of_string v;
+      time_threshold := float_flag ~cmd:"diff" ~flag:"--threshold" v;
       parse rest
     | "--inject-slowdown" :: v :: rest ->
-      inject := float_of_string v;
+      inject := float_flag ~cmd:"diff" ~flag:"--inject-slowdown" v;
       parse rest
     | "--self-test" :: rest ->
       self_test := true;
+      parse rest
+    | "--advisory-time" :: rest ->
+      advisory_time := true;
       parse rest
     | a :: _ ->
       Printf.eprintf "diff: unknown argument %S\n" a;
@@ -694,11 +717,24 @@ let run_diff args =
       (if base.Regress.r_calibration > 0.0 then
          fresh.Regress.r_calibration /. base.Regress.r_calibration
        else 1.0);
-    match Regress.regressions verdicts with
-    | [] -> print_endline "no regressions"
-    | bad ->
-      Printf.printf "%d metric(s) regressed\n" (List.length bad);
+    let bad = Regress.regressions verdicts in
+    (* --advisory-time: wall time on a shared machine (a CI runner) is
+       subject to co-tenant jitter the calibration spin cannot see, so
+       time misses are reported but only the near-deterministic
+       alloc/count metrics decide the exit status *)
+    let gating, advisory =
+      if !advisory_time then
+        List.partition (fun v -> v.Regress.v_kind <> Regress.Time) bad
+      else (bad, [])
+    in
+    if advisory <> [] then
+      Printf.printf "%d time regression(s) — advisory only, not gating\n"
+        (List.length advisory);
+    if gating = [] then print_endline "no gating regressions"
+    else begin
+      Printf.printf "%d metric(s) regressed\n" (List.length gating);
       exit 1
+    end
   end
 
 let run_experiment (name, _desc, f) =

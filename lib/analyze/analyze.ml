@@ -223,6 +223,7 @@ let push tbl key v =
 
 let feed t (e : Trace.event) =
   let sp = Prof.enter "analyze.feed" in
+  (try
   if t.first_seq < 0 then t.first_seq <- e.Trace.seq;
   t.count <- t.count + 1;
   let time = e.Trace.time in
@@ -312,7 +313,8 @@ let feed t (e : Trace.event) =
     bump src;
     bump dst;
     t.corrupt_rejects <- t.corrupt_rejects + 1
-  | Trace.Engine_sample _ -> ());
+  | Trace.Engine_sample _ -> ())
+   with exn -> Prof.leave_reraise sp exn);
   Prof.leave sp
 
 (* ---- finalize ---- *)

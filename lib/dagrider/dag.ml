@@ -73,10 +73,7 @@ let add_impl t v =
 
 let add t v =
   let sp = Prof.enter "dag.add" in
-  (try add_impl t v
-   with e ->
-     Prof.leave sp;
-     raise e);
+  (try add_impl t v with e -> Prof.leave_reraise sp e);
   Prof.leave sp
 
 (* BFS over edges; rounds strictly decrease along edges, so termination
@@ -116,37 +113,42 @@ let reaches t start target ~via_strong_only =
   else if target.Vertex.round >= start.Vertex.round then false
   else begin
     let sp = Prof.enter "dag.path" in
-    let visited = Hashtbl.create 64 in
-    let queue = Queue.create () in
-    Hashtbl.add visited start ();
-    Queue.add start queue;
-    let found = ref false in
-    while (not !found) && not (Queue.is_empty queue) do
-      let vref = Queue.pop queue in
-      if vref = target then found := true
-      else
-        match find t vref with
-        | None -> ()
-        | Some v ->
-          let targets =
-            if via_strong_only then v.strong_edges
-            else v.strong_edges @ v.weak_edges
-          in
-          List.iter
-            (fun (e : Vertex.vref) ->
-              (* no point exploring below the target's round *)
-              if
-                e.Vertex.round >= target.Vertex.round
-                && (not (Hashtbl.mem visited e))
-                && contains t e
-              then begin
-                Hashtbl.add visited e ();
-                Queue.add e queue
-              end)
-            targets
-    done;
+    let found =
+      try
+       let visited = Hashtbl.create 64 in
+       let queue = Queue.create () in
+       Hashtbl.add visited start ();
+       Queue.add start queue;
+       let found = ref false in
+       while (not !found) && not (Queue.is_empty queue) do
+         let vref = Queue.pop queue in
+         if vref = target then found := true
+         else
+           match find t vref with
+           | None -> ()
+           | Some v ->
+             let targets =
+               if via_strong_only then v.strong_edges
+               else v.strong_edges @ v.weak_edges
+             in
+             List.iter
+               (fun (e : Vertex.vref) ->
+                 (* no point exploring below the target's round *)
+                 if
+                   e.Vertex.round >= target.Vertex.round
+                   && (not (Hashtbl.mem visited e))
+                   && contains t e
+                 then begin
+                   Hashtbl.add visited e ();
+                   Queue.add e queue
+                 end)
+               targets
+       done;
+       !found
+      with e -> Prof.leave_reraise sp e
+    in
     Prof.leave sp;
-    !found
+    found
   end
 
 let strong_path t v u = reaches t v u ~via_strong_only:true
@@ -155,18 +157,20 @@ let path t v u = reaches t v u ~via_strong_only:false
 
 let causal_history t vref =
   let sp = Prof.enter "dag.causal_history" in
-  let refs = reachable_from t vref ~via_strong_only:false in
-  let vs =
-    List.filter_map
-      (fun (r : Vertex.vref) ->
-        if r.Vertex.round = 0 then None (* genesis carries no blocks *)
-        else find t r)
-      refs
-  in
   let out =
-    List.sort
-      (fun a b -> Vertex.compare_vref (Vertex.vref_of a) (Vertex.vref_of b))
-      vs
+    try
+      let refs = reachable_from t vref ~via_strong_only:false in
+      let vs =
+        List.filter_map
+          (fun (r : Vertex.vref) ->
+            if r.Vertex.round = 0 then None (* genesis carries no blocks *)
+            else find t r)
+          refs
+      in
+      List.sort
+        (fun a b -> Vertex.compare_vref (Vertex.vref_of a) (Vertex.vref_of b))
+        vs
+    with e -> Prof.leave_reraise sp e
   in
   Prof.leave sp;
   out

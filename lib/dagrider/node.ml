@@ -350,11 +350,13 @@ let try_resolve_coin t ~wave =
 
 let on_coin_msg t ~src:_ (Coin_share share) =
   let sp = Prof.enter "node.coin" in
-  if Crypto.Threshold_coin.verify_share t.coin share then begin
-    let bucket = shares_for t share.instance in
-    bucket := share :: !bucket;
-    try_resolve_coin t ~wave:share.instance
-  end;
+  (try
+     if Crypto.Threshold_coin.verify_share t.coin share then begin
+       let bucket = shares_for t share.instance in
+       bucket := share :: !bucket;
+       try_resolve_coin t ~wave:share.instance
+     end
+   with e -> Prof.leave_reraise sp e);
   Prof.leave sp
 
 (* ---- round advancement (Algorithm 2, lines 5-15) ---- *)
@@ -433,7 +435,8 @@ let accept_embedded_share t ~round ~source share =
 
 let on_r_deliver t ~payload ~round ~source =
   let sp = Prof.enter "node.r_deliver" in
-  (match
+  (try
+     match
      match t.config.coin_mode with
      | Separate_network -> Some (payload, None)
      | In_dag -> unwrap_payload payload
@@ -450,7 +453,8 @@ let on_r_deliver t ~payload ~round ~source =
         if not (Dag.contains t.dag (Vertex.vref_of v)) then begin
           t.buffer <- v :: t.buffer;
           try_advance t
-        end)));
+        end))
+   with e -> Prof.leave_reraise sp e);
   Prof.leave sp
 
 (* ---- catch-up sync (for restarted processes) ---- *)
@@ -476,7 +480,8 @@ let request_sync t =
 
 let on_sync_msg t ~src msg =
   let sp = Prof.enter "node.sync" in
-  (match msg with
+  (try
+     match msg with
   | Sync_request { from_round } -> (
     match t.sync_net with
     | None -> ()
@@ -515,7 +520,8 @@ let on_sync_msg t ~src msg =
     List.iter
       (fun (payload, round, source) ->
         on_r_deliver t ~payload ~round ~source)
-      vertices);
+      vertices
+   with e -> Prof.leave_reraise sp e);
   Prof.leave sp
 
 (* ---- construction ---- *)

@@ -113,7 +113,10 @@ let process_wave_impl t ~dag ~wave ~choose_leader =
 
 let process_wave t ~dag ~wave ~choose_leader =
   let sp = Prof.enter "order.wave" in
-  let out = process_wave_impl t ~dag ~wave ~choose_leader in
+  let out =
+    try process_wave_impl t ~dag ~wave ~choose_leader
+    with e -> Prof.leave_reraise sp e
+  in
   Prof.leave sp;
   out
 

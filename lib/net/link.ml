@@ -170,20 +170,24 @@ let rec schedule_retry t ~dst ~seq ~timeout =
           end
           else begin
             let sp = Prof.enter "link.retransmit" in
-            o.o_attempt <- o.o_attempt + 1;
-            t.s <- { t.s with retransmits = t.s.retransmits + 1 };
-            t.per_dst_retransmits.(dst) <- t.per_dst_retransmits.(dst) + 1;
-            tr_emit t
-              (Trace.Retransmit
-                 { src = t.me; dst; msg_kind = o.o_kind; seq;
-                   attempt = o.o_attempt });
-            Network.send t.net ~src:t.me ~dst ~kind:o.o_kind ~bits:o.o_bits
-              o.o_frame;
-            let next = Float.min (timeout *. t.config.backoff) t.config.max_rto in
-            let jittered =
-              next *. (1.0 +. (t.config.jitter *. Stdx.Rng.float t.rng 1.0))
-            in
-            schedule_retry t ~dst ~seq ~timeout:jittered;
+            (try
+               o.o_attempt <- o.o_attempt + 1;
+               t.s <- { t.s with retransmits = t.s.retransmits + 1 };
+               t.per_dst_retransmits.(dst) <- t.per_dst_retransmits.(dst) + 1;
+               tr_emit t
+                 (Trace.Retransmit
+                    { src = t.me; dst; msg_kind = o.o_kind; seq;
+                      attempt = o.o_attempt });
+               Network.send t.net ~src:t.me ~dst ~kind:o.o_kind ~bits:o.o_bits
+                 o.o_frame;
+               let next =
+                 Float.min (timeout *. t.config.backoff) t.config.max_rto
+               in
+               let jittered =
+                 next *. (1.0 +. (t.config.jitter *. Stdx.Rng.float t.rng 1.0))
+               in
+               schedule_retry t ~dst ~seq ~timeout:jittered
+             with e -> Prof.leave_reraise sp e);
             Prof.leave sp
           end)
 
@@ -223,7 +227,8 @@ let mark_seen t ~src ~seq =
 
 let on_frame t ~src frame =
   let sp = Prof.enter "link.on_frame" in
-  (if not t.detached then
+  (try
+     if not t.detached then
     match frame with
     | Data { seq; kind; bytes; _ } ->
       if not (frame_intact frame) then begin
@@ -267,7 +272,8 @@ let on_frame t ~src frame =
         tr_emit t
           (Trace.Corrupt_reject { src; dst = t.me; msg_kind = "link-ack" })
       end
-      else Hashtbl.remove t.unacked (src, seq));
+      else Hashtbl.remove t.unacked (src, seq)
+   with e -> Prof.leave_reraise sp e);
   Prof.leave sp
 
 let attach ~net ~engine ~rng ?(config = default_config) ?trace ~me ~encode

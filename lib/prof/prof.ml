@@ -32,10 +32,20 @@ type frame = {
 }
 
 (* bounded per-call duration sample per span name, for percentile
-   summaries without retaining one float per call *)
+   summaries without retaining one float per call. Algorithm R
+   reservoir: every call has probability cap/seen of being retained,
+   so the sample stays uniform over the whole run instead of freezing
+   on the first [sample_cap] (warmup-biased) calls. The replacement
+   index comes from a per-sample deterministic xorshift — same run,
+   same sample. *)
 let sample_cap = 2048
 
-type sample = { mutable sm_filled : int; sm_buf : float array }
+type sample = {
+  mutable sm_seen : int;
+  mutable sm_filled : int;
+  mutable sm_state : int;
+  sm_buf : float array;
+}
 
 type t = {
   clock : unit -> float;
@@ -101,13 +111,29 @@ let record_sample t name dt =
     match Hashtbl.find_opt t.samples name with
     | Some s -> s
     | None ->
-      let s = { sm_filled = 0; sm_buf = Array.make sample_cap 0.0 } in
+      let s =
+        { sm_seen = 0;
+          sm_filled = 0;
+          sm_state = Hashtbl.hash name lor 1;
+          sm_buf = Array.make sample_cap 0.0 }
+      in
       Hashtbl.add t.samples name s;
       s
   in
+  s.sm_seen <- s.sm_seen + 1;
   if s.sm_filled < sample_cap then begin
     s.sm_buf.(s.sm_filled) <- dt;
     s.sm_filled <- s.sm_filled + 1
+  end
+  else begin
+    (* xorshift step on OCaml's 63-bit int; state is seeded nonzero *)
+    let x = s.sm_state in
+    let x = x lxor (x lsl 13) in
+    let x = x lxor (x lsr 7) in
+    let x = x lxor (x lsl 17) in
+    s.sm_state <- x;
+    let j = (x land max_int) mod s.sm_seen in
+    if j < sample_cap then s.sm_buf.(j) <- dt
   end
 
 let leave = function
@@ -131,6 +157,11 @@ let leave = function
       | [] -> ());
       record_sample t n.nd_name dt
     | _ -> t.unbalanced <- t.unbalanced + 1)
+
+let leave_reraise sp e =
+  let bt = Printexc.get_raw_backtrace () in
+  leave sp;
+  Printexc.raise_with_backtrace e bt
 
 let time name f =
   let sp = enter name in

@@ -50,6 +50,17 @@ val leave : span -> unit
 (** Close a span. Closing out of order (not the innermost open span)
     is counted in {!unbalanced} and otherwise ignored. *)
 
+val leave_reraise : span -> exn -> 'a
+(** [leave_reraise sp e] closes [sp] and re-raises [e] with its
+    original backtrace. Exception path for open-coded spans — without
+    it, an exception between {!enter} and {!leave} strands a frame on
+    the ambient stack and every later span mis-nests under it:
+    {[
+      let sp = Prof.enter "x" in
+      (try body with e -> Prof.leave_reraise sp e);
+      Prof.leave sp
+    ]} *)
+
 val time : string -> (unit -> 'a) -> 'a
 (** [time name f] wraps [f] in a span, exception-safely. Convenience
     for non-hot call sites; hot paths use {!enter}/{!leave} directly. *)
@@ -69,7 +80,11 @@ type row = {
   r_self_s : float;  (** exclusive wall seconds (children subtracted) *)
   r_alloc_bytes : float;  (** inclusive allocated bytes *)
   r_self_alloc_bytes : float;
-  r_samples : float list;  (** bounded per-call duration sample, seconds *)
+  r_samples : float list;
+      (** bounded per-call duration sample, seconds: a deterministic
+          uniform reservoir (Algorithm R, capacity 2048) over every
+          call, not the first N — percentiles computed from it reflect
+          the whole run, warmup and steady state alike *)
 }
 
 val rows : t -> row list

@@ -229,7 +229,8 @@ let try_deliver t inst ~origin ~round ~commit =
 
 let handle t ~src msg =
   let sp = Prof.enter "rbc.avid.recv" in
-  (match msg with
+  (try
+     match msg with
   | Disperse { round; root; data_len; frag_index; frag; proof } ->
     let origin = src in
     let commit = { root; data_len } in
@@ -260,7 +261,8 @@ let handle t ~src msg =
     let inst = get_instance t (origin, round) in
     let count = add_voter inst.readies commit src in
     if count >= amplify t then send_ready t inst ~origin ~round ~commit;
-    try_deliver t inst ~origin ~round ~commit);
+    try_deliver t inst ~origin ~round ~commit
+   with e -> Prof.leave_reraise sp e);
   Prof.leave sp
 
 let create_port ~port ~me ~f ~deliver =
@@ -298,8 +300,10 @@ let disperse t ~round ~frags ~data_len =
 
 let bcast t ~payload ~round =
   let sp = Prof.enter "rbc.avid.bcast" in
-  let frags = Crypto.Reed_solomon.encode t.coder payload in
-  disperse t ~round ~frags ~data_len:(String.length payload);
+  (try
+     let frags = Crypto.Reed_solomon.encode t.coder payload in
+     disperse t ~round ~frags ~data_len:(String.length payload)
+   with e -> Prof.leave_reraise sp e);
   Prof.leave sp
 
 let bcast_inconsistent t ~payload ~round =

@@ -132,7 +132,8 @@ let try_deliver t inst ~origin ~round ~digest =
 
 let handle t ~src msg =
   let sp = Prof.enter "rbc.bracha.recv" in
-  (match msg with
+  (try
+     match msg with
   | Init { round; payload } ->
     let origin = src in
     let inst = get_instance t (origin, round) in
@@ -156,7 +157,8 @@ let handle t ~src msg =
     let count = add_voter inst.readies digest src in
     if count >= amplify t then
       send_ready t inst ~origin ~round ~payload;
-    try_deliver t inst ~origin ~round ~digest);
+    try_deliver t inst ~origin ~round ~digest
+   with e -> Prof.leave_reraise sp e);
   Prof.leave sp
 
 let create_port ~port ~me ~f ~deliver =
@@ -177,10 +179,12 @@ let create ~net ~me ~f ~deliver =
 
 let bcast t ~payload ~round =
   let sp = Prof.enter "rbc.bracha.bcast" in
-  phase t ~origin:t.me ~round "init";
-  let msg = Init { round; payload } in
-  Net.Port.broadcast t.net ~src:t.me ~kind:"bracha-init"
-    ~bits:(msg_bits msg) msg;
+  (try
+     phase t ~origin:t.me ~round "init";
+     let msg = Init { round; payload } in
+     Net.Port.broadcast t.net ~src:t.me ~kind:"bracha-init"
+       ~bits:(msg_bits msg) msg
+   with e -> Prof.leave_reraise sp e);
   Prof.leave sp
 
 let delivered_instances t = t.delivered_count

@@ -174,7 +174,8 @@ let progress t inst ~origin ~round =
 
 let handle t ~src msg =
   let sp = Prof.enter "rbc.gossip.recv" in
-  (match msg with
+  (try
+     match msg with
   | Gossip { origin; round; payload } ->
     let inst = get_instance t (origin, round) in
     if inst.payload = None then begin
@@ -204,7 +205,8 @@ let handle t ~src msg =
   | Ready { origin; round; digest } ->
     let inst = get_instance t (origin, round) in
     ignore (add_voter inst.readies digest src);
-    progress t inst ~origin ~round);
+    progress t inst ~origin ~round
+   with e -> Prof.leave_reraise sp e);
   Prof.leave sp
 
 let create_port ~port ~rng ?(params = default_params) ~me ~f:_ ~deliver () =
@@ -242,13 +244,16 @@ let create ~net ~rng ?params ~me ~f ~deliver () =
 
 let bcast t ~payload ~round =
   let sp = Prof.enter "rbc.gossip.bcast" in
-  phase t ~origin:t.me ~round "init";
-  (* the sender seeds the epidemic through its own gossip sample and also
-     processes the message locally (send-to-self through the queue) *)
-  let msg = Gossip { origin = t.me; round; payload } in
-  send_sample t ~size:t.gossip_size ~kind:"gossip-init" ~bits:(msg_bits msg) msg;
-  Net.Port.send t.net ~src:t.me ~dst:t.me ~kind:"gossip-init"
-    ~bits:(msg_bits msg) msg;
+  (try
+     phase t ~origin:t.me ~round "init";
+     (* the sender seeds the epidemic through its own gossip sample and also
+        processes the message locally (send-to-self through the queue) *)
+     let msg = Gossip { origin = t.me; round; payload } in
+     send_sample t ~size:t.gossip_size ~kind:"gossip-init"
+       ~bits:(msg_bits msg) msg;
+     Net.Port.send t.net ~src:t.me ~dst:t.me ~kind:"gossip-init"
+       ~bits:(msg_bits msg) msg
+   with e -> Prof.leave_reraise sp e);
   Prof.leave sp
 
 let delivered_instances t = t.delivered_count

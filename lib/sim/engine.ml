@@ -32,9 +32,7 @@ let step t =
         t.executed <- t.executed + 1;
         f ();
         true
-    with e ->
-      Prof.leave sp;
-      raise e
+    with e -> Prof.leave_reraise sp e
   in
   Prof.leave sp;
   stepped

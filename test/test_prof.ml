@@ -122,6 +122,40 @@ let test_time_exception_safety () =
       checki "still balanced" 0 (Prof.unbalanced t);
       checki "boom recorded" 1 (row "boom" t).Prof.r_count)
 
+let test_leave_reraise () =
+  (* the exception path of an open-coded span site: the span must close
+     (so later spans don't mis-nest under a stale frame) and the
+     original exception must propagate *)
+  with_fake_prof (fun t now _alloc ->
+      (try
+         let sp = Prof.enter "boom" in
+         try
+           now := 2.0;
+           raise Exit
+         with e -> Prof.leave_reraise sp e
+       with Exit -> ());
+      checki "span closed on raise" 0 (Prof.depth t);
+      checki "still balanced" 0 (Prof.unbalanced t);
+      let r = row "boom" t in
+      checki "recorded once" 1 r.Prof.r_count;
+      checkf "duration up to the raise" 2.0 r.Prof.r_total_s)
+
+let test_sample_reservoir_covers_tail () =
+  with_fake_prof (fun t now _alloc ->
+      (* call i has duration i, so the sample's contents say which
+         calls were retained *)
+      for i = 1 to 5000 do
+        let sp = Prof.enter "s" in
+        now := !now +. float_of_int i;
+        Prof.leave sp
+      done;
+      let r = row "s" t in
+      checki "capped at 2048" 2048 (List.length r.Prof.r_samples);
+      (* a keep-first-N sample could only hold durations <= 2048; the
+         reservoir must retain part of the post-warmup tail *)
+      checkb "tail represented" true
+        (List.exists (fun d -> d > 2048.0) r.Prof.r_samples))
+
 let test_disabled_spans_are_inert () =
   (* nothing installed: enter/leave/time must be no-ops *)
   Alcotest.(check (option unit))
@@ -347,6 +381,10 @@ let () =
             test_unbalanced_leave_counted;
           Alcotest.test_case "time is exception-safe" `Quick
             test_time_exception_safety;
+          Alcotest.test_case "leave_reraise closes the span" `Quick
+            test_leave_reraise;
+          Alcotest.test_case "duration reservoir covers the tail" `Quick
+            test_sample_reservoir_covers_tail;
           Alcotest.test_case "disabled spans are inert" `Quick
             test_disabled_spans_are_inert ] );
       ( "fleet",
