@@ -77,7 +77,10 @@ let experiments :
       fun () -> Harness.Experiments.throughput () );
     ( "related-work",
       "Section 7: Aleph-style baseline vs DAG-Rider",
-      fun () -> Harness.Experiments.related_work () ) ]
+      fun () -> Harness.Experiments.related_work () );
+    ( "rules-latency",
+      "Commit rules on one substrate: Bullshark vs DAG-Rider latency",
+      fun () -> Harness.Experiments.rules_latency () ) ]
 
 (* ---- Bechamel microbenches (E9) plus one Test.make per paper table:
    each table's test runs a scaled-down instance of the simulation that
@@ -262,16 +265,20 @@ module Regress = struct
     Gc.minor ();
     Gc.allocated_bytes ()
 
-  let fleet ?(trace = false) ?link_faults ~backend ~n ~until () =
+  let fleet ?(trace = false) ?link_faults ?rule ?schedule ~backend ~n ~until ()
+      =
     let tracer =
       if trace then Some (Trace.create ~capacity:4096 ()) else None
     in
+    let base = Harness.Runner.default_options ~n in
     let fleet =
       Harness.Runner.build
-        { (Harness.Runner.default_options ~n) with
+        { base with
           backend;
           block_bytes = 32;
           link_faults;
+          rule = Option.value rule ~default:base.Harness.Runner.rule;
+          schedule = Option.value schedule ~default:base.Harness.Runner.schedule;
           trace = tracer }
     in
     let a0 = alloc_now () in
@@ -351,6 +358,33 @@ module Regress = struct
         fun () ->
           fleet ~trace:true ~backend:Harness.Runner.Bracha ~n:4 ~until:60.0 ()
       );
+      (* the Bullshark rule at fleet scale, on the same substrate the
+         dagrider scenarios measure. "sync" is its best case — a
+         synchronous period where every round-robin leader commits
+         directly; "fallback" slows process 0 heavily, so every wave it
+         leads misses its votes and is skipped (the timeout path),
+         exercising the chain-back recovery the rule leans on *)
+      ( "bullshark.n10.sync",
+        fun () ->
+          fleet
+            ~rule:Dagrider.Ordering.bullshark
+            ~schedule:Harness.Runner.Synchronous ~backend:Harness.Runner.Bracha
+            ~n:10 ~until:30.0 () );
+      ( "bullshark.n10.fallback",
+        fun () ->
+          fleet
+            ~rule:Dagrider.Ordering.bullshark
+            ~schedule:
+              (Harness.Runner.Custom
+                 (fun rng ->
+                   Net.Sched.delay_process
+                     ~inner:(Net.Sched.uniform_random ~rng)
+                     ~victim:0 ~factor:12.0))
+            ~backend:Harness.Runner.Bracha ~n:10 ~until:30.0 () );
+      ( "dagrider.n10.sync",
+        fun () ->
+          fleet ~schedule:Harness.Runner.Synchronous
+            ~backend:Harness.Runner.Bracha ~n:10 ~until:30.0 () );
       ("dag.paths", dag_paths) ]
 
   (* -- statistics -- *)

@@ -38,6 +38,7 @@ module Common = struct
     n : int;
     seed : int;
     backend : Harness.Runner.backend;
+    rule : Dagrider.Ordering.rule;
     schedule : Harness.Runner.schedule;
     crashes : int list;
     byzantines : int list;
@@ -68,6 +69,20 @@ module Common = struct
       value & opt backend_conv Harness.Runner.Bracha
       & info [ "backend" ] ~docv:"RBC"
           ~doc:"Reliable broadcast: bracha|avid|gossip.")
+
+  let rule_arg =
+    let rule_conv =
+      Arg.enum
+        (List.map
+           (fun r -> (r.Dagrider.Ordering.rule_name, r))
+           Dagrider.Ordering.rules)
+    in
+    Arg.(
+      value & opt rule_conv Dagrider.Ordering.dag_rider
+      & info [ "rule" ] ~docv:"RULE"
+          ~doc:
+            "Commit rule: dagrider (4-round waves, coin leaders, 2f+1) or \
+             bullshark (2-round waves, round-robin leaders, f+1).")
 
   let sched_arg =
     let sched_conv =
@@ -135,11 +150,12 @@ module Common = struct
     Term.(const mk $ loss $ dup $ corrupt $ reorder)
 
   let term =
-    let mk n seed backend schedule crashes byzantines block_bytes until
+    let mk n seed backend rule schedule crashes byzantines block_bytes until
         link_faults =
       { n;
         seed;
         backend;
+        rule;
         schedule;
         crashes;
         byzantines;
@@ -148,8 +164,8 @@ module Common = struct
         link_faults }
     in
     Term.(
-      const mk $ n_arg $ seed_arg $ backend_arg $ sched_arg $ crash_arg
-      $ byz_arg $ block_bytes_arg $ until_arg $ lossy_term)
+      const mk $ n_arg $ seed_arg $ backend_arg $ rule_arg $ sched_arg
+      $ crash_arg $ byz_arg $ block_bytes_arg $ until_arg $ lossy_term)
 
   let options ?trace c =
     let faults =
@@ -159,6 +175,7 @@ module Common = struct
     { (Harness.Runner.default_options ~n:c.n) with
       seed = c.seed;
       backend = c.backend;
+      rule = c.rule;
       schedule = c.schedule;
       faults;
       block_bytes = c.block_bytes;
@@ -445,11 +462,13 @@ let dot_cmd =
 
 (* ---- render-dag (Figure 1) ---- *)
 
-let build_fleet n seed backend schedule crashes byzantines block_bytes =
+let build_fleet ?(rule = Dagrider.Ordering.dag_rider) n seed backend schedule
+    crashes byzantines block_bytes =
   Common.build
     { Common.n;
       seed;
       backend;
+      rule;
       schedule;
       crashes;
       byzantines;
@@ -509,24 +528,27 @@ let render_dag_cmd =
 (* ---- render-commit (Figure 2) ---- *)
 
 let render_commit_cmd =
-  let render n seed until =
+  let render n seed until rule =
     let fleet =
-      build_fleet n seed Harness.Runner.Bracha Harness.Runner.Skewed_random []
-        [] 16
+      build_fleet ~rule n seed Harness.Runner.Bracha
+        Harness.Runner.Skewed_random [] [] 16
     in
     (* collect commits as they happen via each wave's summary afterwards *)
     Harness.Runner.run fleet ~until;
     let node = Harness.Runner.node fleet 0 in
     let dag = Dagrider.Node.dag node in
     let f = (n - 1) / 3 in
+    let rule = Harness.Runner.effective_rule (Harness.Runner.options fleet) in
+    let wave_length = rule.Dagrider.Ordering.rule_wave_length in
+    let commit_quorum = Dagrider.Ordering.quorum_of rule ~f in
     Printf.printf
-      "Figure 2 regeneration: wave-by-wave commit decisions at p0\n\
-       (a wave's leader commits directly when >= 2f+1 = %d last-round\n\
-       vertices have a strong path to it; skipped leaders are committed\n\
+      "Figure 2 regeneration: wave-by-wave commit decisions at p0 (rule %s)\n\
+       (a wave's leader commits directly when >= %d last-round vertices\n\
+       have a strong path to it; skipped leaders are committed\n\
        retroactively by the next committing wave's backward chain)\n\n"
-      ((2 * f) + 1);
+      rule.Dagrider.Ordering.rule_name commit_quorum;
     print_string
-      (Dagrider.Render.wave_summary dag ~wave_length:4 ~f
+      (Dagrider.Render.wave_summary dag ~wave_length ~commit_quorum
          ~leader_of:(fun w -> Dagrider.Node.leader_of node ~wave:w));
     Printf.printf
       "\ndecided up to wave %d; leaders of waves without COMMIT above were\n\
@@ -537,7 +559,9 @@ let render_commit_cmd =
   Cmd.v
     (Cmd.info "render-commit"
        ~doc:"Regenerate Figure 2: wave leaders, support counts, commits.")
-    Term.(const render $ Common.n_arg $ Common.seed_arg $ Common.until_arg)
+    Term.(
+      const render $ Common.n_arg $ Common.seed_arg $ Common.until_arg
+      $ Common.rule_arg)
 
 (* ---- experiments ---- *)
 

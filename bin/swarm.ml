@@ -54,6 +54,22 @@ let sabotage_arg =
 let verbose_arg =
   Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Per-seed output.")
 
+let rule_arg =
+  let rule_conv =
+    Arg.enum
+      (List.map
+         (fun r -> (r.Dagrider.Ordering.rule_name, r))
+         Dagrider.Ordering.rules)
+  in
+  Arg.(
+    value & opt rule_conv Dagrider.Ordering.dag_rider
+    & info [ "rule" ] ~docv:"RULE"
+        ~doc:
+          "Commit rule every scenario runs under: dagrider or bullshark. \
+           The scenario sampled for a seed is the same either way — only \
+           the ordering layer differs. In sabotage mode the hidden victim \
+           is the rule's own predicted leader.")
+
 let loss_arg =
   Arg.(
     value & opt (some float) None
@@ -114,8 +130,18 @@ let dump_trace (sc : Check.Scenario.t) =
     (Trace.dropped tracer);
   (* the analyzer sees only the ring's retained window; truncation is
      reported inside the summary rather than hidden *)
+  let rule =
+    Harness.Runner.effective_rule (Check.Scenario.to_options sc)
+  in
   let config =
     { Analyze.default_config with
+      wave_length = rule.Dagrider.Ordering.rule_wave_length;
+      rule_name = rule.Dagrider.Ordering.rule_name;
+      round_robin_n =
+        (match rule.Dagrider.Ordering.rule_schedule with
+        | Dagrider.Ordering.Coin -> None
+        | Dagrider.Ordering.Round_robin -> Some sc.Check.Scenario.n);
+      waves_bound = rule.Dagrider.Ordering.rule_bound;
       f = Some sc.Check.Scenario.f;
       byzantine = Check.Scenario.faulty_nodes sc }
   in
@@ -161,7 +187,7 @@ let summarize ~sabotage (report : Check.Swarm.report) =
   end
   else 1
 
-let main seeds seed base quick sabotage verbose loss dup corrupt reorder =
+let main seeds seed base quick sabotage verbose rule loss dup corrupt reorder =
   if seeds < 1 && seed = None then begin
     (* a zero-seed sweep would vacuously report "all invariants held"
        and green-light a typo'd CI invocation *)
@@ -185,7 +211,8 @@ let main seeds seed base quick sabotage verbose loss dup corrupt reorder =
   in
   let lossy = lossy_of_flags ~loss ~dup ~corrupt ~reorder in
   let report =
-    Check.Swarm.run_seeds ~sabotage ~quick ?lossy ~progress ~seeds:seed_list ()
+    Check.Swarm.run_seeds ~sabotage ~quick ?lossy ~rule ~progress
+      ~seeds:seed_list ()
   in
   summarize ~sabotage report
 
@@ -197,6 +224,7 @@ let cmd =
           reproduction.")
     Term.(
       const main $ seeds_arg $ seed_arg $ base_arg $ quick_arg $ sabotage_arg
-      $ verbose_arg $ loss_arg $ dup_arg $ corrupt_arg $ reorder_arg)
+      $ verbose_arg $ rule_arg $ loss_arg $ dup_arg $ corrupt_arg
+      $ reorder_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -1,5 +1,8 @@
 type config = {
   wave_length : int;
+  rule_name : string;
+  round_robin_n : int option;
+  waves_bound : float;
   f : int option;
   byzantine : int list;
   observer : int option;
@@ -12,6 +15,9 @@ type config = {
 
 let default_config =
   { wave_length = 4;
+    rule_name = "dagrider";
+    round_robin_n = None;
+    waves_bound = 1.5;
     f = None;
     byzantine = [];
     observer = None;
@@ -115,6 +121,8 @@ type report = {
   r_processes : int;
   r_f : int;
   r_wave_length : int;
+  r_rule : string;
+  r_waves_bound : float;
   r_observer : int;
   r_events : int;
   r_truncated : bool;
@@ -380,7 +388,11 @@ let finalize ?(config = default_config) t =
     (fun ev ->
       match ev with
       | Oelect { wave; leader; at } ->
-        if not (Hashtbl.mem elected wave) then
+        (* under a round-robin rule the election events in the stream
+           are coin-instance resolutions on the coin cadence — their
+           numbering is unrelated to ordering waves, so they must not
+           be folded into the wave records *)
+        if config.round_robin_n = None && not (Hashtbl.mem elected wave) then
           Hashtbl.add elected wave (leader, at)
       | Oskip { wave; leader; at } ->
         if not (Hashtbl.mem skipped wave) then Hashtbl.add skipped wave (leader, at)
@@ -407,7 +419,10 @@ let finalize ?(config = default_config) t =
     Hashtbl.iter (fun w _ -> note w) elected;
     Hashtbl.iter (fun w _ -> note w) skipped;
     Hashtbl.iter (fun w _ -> note w) committed;
-    Hashtbl.iter (fun w _ -> note w) t.coin_first;
+    (* coin instances number ordering waves only on coin-scheduled
+       rules; under round-robin they run on a separate cadence *)
+    if config.round_robin_n = None then
+      Hashtbl.iter (fun w _ -> note w) t.coin_first;
     List.sort compare (Hashtbl.fold (fun w () acc -> w :: acc) seen [])
   in
   let processed = ref 0 and direct_commits = ref 0 in
@@ -442,10 +457,13 @@ let finalize ?(config = default_config) t =
             | None -> (Unresolved, None, 0))
         in
         let leader =
-          match (leader_elect, skip) with
-          | Some (l, _), _ -> Some l
-          | None, Some (l, _) -> Some l
-          | None, None -> (
+          match (leader_elect, skip, config.round_robin_n) with
+          | Some (l, _), _, _ -> Some l
+          | None, Some (l, _), _ -> Some l
+          | None, None, Some n ->
+            (* round-robin leaders are implicit in the schedule *)
+            Some ((w - 1) mod n)
+          | None, None, None -> (
             match commit with
             | Some _ -> None (* leader_source is the vertex, same thing *)
             | None -> None)
@@ -688,6 +706,8 @@ let finalize ?(config = default_config) t =
   { r_processes = processes;
     r_f = f;
     r_wave_length = wave_length;
+    r_rule = config.rule_name;
+    r_waves_bound = config.waves_bound;
     r_observer = observer;
     r_events = t.count;
     r_truncated = t.first_seq > 0;
@@ -697,12 +717,17 @@ let finalize ?(config = default_config) t =
     r_stages = stages;
     r_incomplete_vertices = !incomplete;
     r_waves = waves;
-    r_waves_resolved = Hashtbl.length elected;
+    r_waves_resolved =
+      (* coin rules: waves whose leader the observer elected; round
+         robin: every leader is predefined, so count processed waves *)
+      (match config.round_robin_n with
+      | None -> Hashtbl.length elected
+      | Some _ -> !processed);
     r_commits_direct = !direct_commits;
     r_commits_chained = !chained_commits;
     r_waves_skipped = !skipped_final;
     r_waves_per_commit = waves_per_commit;
-    r_claim6_ok = waves_per_commit <= 1.5;
+    r_claim6_ok = waves_per_commit <= config.waves_bound;
     r_rounds = rounds;
     r_round_skew = round_skew;
     r_rbc_phases = rbc_phases;
@@ -807,6 +832,7 @@ let report_to_json r =
     [ ("processes", Stdx.Json.Int r.r_processes);
       ("f", Stdx.Json.Int r.r_f);
       ("wave_length", Stdx.Json.Int r.r_wave_length);
+      ("rule", Stdx.Json.String r.r_rule);
       ("observer", Stdx.Json.Int r.r_observer);
       ("events", Stdx.Json.Int r.r_events);
       ("truncated", Stdx.Json.Bool r.r_truncated);
@@ -822,7 +848,7 @@ let report_to_json r =
       ("commits_chained", Stdx.Json.Int r.r_commits_chained);
       ("waves_skipped", Stdx.Json.Int r.r_waves_skipped);
       ("waves_per_commit", Stdx.Json.Float r.r_waves_per_commit);
-      ("claim6_bound", Stdx.Json.Float 1.5);
+      ("claim6_bound", Stdx.Json.Float r.r_waves_bound);
       ("claim6_ok", Stdx.Json.Bool r.r_claim6_ok);
       ( "rounds",
         Stdx.Json.Obj
@@ -884,9 +910,9 @@ let render ?(max_waves = 12) r =
   let lo, hi = r.r_span in
   add "== protocol analysis ==\n";
   add
-    "processes: %d (f=%d, wave length %d); observer: p%d; events: %d%s; \
-     span: %.2f..%.2f\n"
-    r.r_processes r.r_f r.r_wave_length r.r_observer r.r_events
+    "processes: %d (f=%d, rule %s, wave length %d); observer: p%d; \
+     events: %d%s; span: %.2f..%.2f\n"
+    r.r_processes r.r_f r.r_rule r.r_wave_length r.r_observer r.r_events
     (if r.r_truncated then " (TRUNCATED: stream lost its head)" else "")
     lo hi;
   add "sends: %d (%d bits); ordered at observer: %d vertices\n\n" r.r_sends
@@ -898,7 +924,9 @@ let render ?(max_waves = 12) r =
       r.r_incomplete_vertices;
   add "\nwaves: %d resolved; %d direct commits, %d chained, %d skipped\n"
     r.r_waves_resolved r.r_commits_direct r.r_commits_chained r.r_waves_skipped;
-  add "waves per commit: %.3f (Claim 6 bound 1.5: %s)\n" r.r_waves_per_commit
+  add "waves per commit: %.3f (%s bound %.2f: %s)\n" r.r_waves_per_commit
+    (if r.r_rule = "dagrider" then "Claim 6" else r.r_rule)
+    r.r_waves_bound
     (if r.r_claim6_ok then "ok" else "ABOVE BOUND");
   let shown =
     let total = List.length r.r_waves in

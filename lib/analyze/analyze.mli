@@ -27,7 +27,23 @@
     can be finalized under several configs. *)
 
 type config = {
-  wave_length : int;  (** rounds per wave (the paper uses 4) *)
+  wave_length : int;
+      (** {e ordering} rounds per wave (4 for DAG-Rider, 2 for
+          Bullshark) — leader rounds and skip attribution derive from
+          it *)
+  rule_name : string;
+      (** commit rule the trace ran under, echoed into the report
+          ("dagrider" by default) *)
+  round_robin_n : int option;
+      (** [Some n] = round-robin leader schedule over [n] processes
+          (Bullshark): wave leaders are inferred as [(w-1) mod n], and
+          coin events in the stream — which then run on their own
+          cadence with unrelated instance numbering — are kept out of
+          the wave records. [None] (default) = coin-scheduled leaders,
+          where coin instance [w] {e is} ordering wave [w]. *)
+  waves_bound : float;
+      (** the rule's waves-per-commit bound audited by [r_claim6_ok]
+          (1.5 for DAG-Rider per Claim 6) *)
   f : int option;  (** fault bound; [None] infers [(n-1)/3] *)
   byzantine : int list;
       (** processes counted Byzantine by the chain-quality audit *)
@@ -52,8 +68,9 @@ type config = {
 }
 
 val default_config : config
-(** [wave_length = 4], everything inferred, [stall_factor = 8.0],
-    [slow_wave_factor = 4.0], [skip_streak = 3],
+(** The paper's rule: [wave_length = 4], [rule_name = "dagrider"],
+    [round_robin_n = None], [waves_bound = 1.5], everything inferred,
+    [stall_factor = 8.0], [slow_wave_factor = 4.0], [skip_streak = 3],
     [lossy_link_factor = 4.0], [lossy_link_min = 20]. *)
 
 type summary = {
@@ -132,6 +149,8 @@ type report = {
   r_processes : int;
   r_f : int;
   r_wave_length : int;
+  r_rule : string;  (** the config's [rule_name] *)
+  r_waves_bound : float;  (** the config's [waves_bound] *)
   r_observer : int;
   r_events : int;  (** events fed *)
   r_truncated : bool;
@@ -147,13 +166,16 @@ type report = {
       (** ordered vertices skipped by the stage breakdown because some
           stage event was missing (truncated stream) *)
   r_waves : wave_record list;  (** ascending wave number *)
-  r_waves_resolved : int;  (** waves the observer elected a leader for *)
+  r_waves_resolved : int;
+      (** waves the observer elected a leader for (coin rules), or
+          processed to an outcome (round-robin rules, whose leaders
+          are all predefined) *)
   r_commits_direct : int;
   r_commits_chained : int;
   r_waves_skipped : int;  (** skipped and never committed *)
   r_waves_per_commit : float;
       (** resolved / committed; [infinity] when nothing committed *)
-  r_claim6_ok : bool;  (** [r_waves_per_commit <= 1.5] *)
+  r_claim6_ok : bool;  (** [r_waves_per_commit <= waves_bound] *)
   r_rounds : (int * int) list;  (** per process: highest round entered *)
   r_round_skew : summary;
       (** per-round spread (last − first process to enter it) *)

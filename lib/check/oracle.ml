@@ -85,21 +85,32 @@ type commit_record = {
 (* evaluated synchronously from the on_commit hook, so [dag] is the
    node's state at the moment the rule fired — support only grows
    afterwards, which is exactly why a weakened quorum can hide from
-   end-of-run audits but not from this one *)
-let check_direct_commit ~wave_length ~f ~dag ~node ~wave ~leader =
+   end-of-run audits but not from this one. The quorum is re-derived
+   from the rule (2f+1 for DAG-Rider, f+1 for Bullshark), never taken
+   from the options — a sabotaged [commit_quorum] must not weaken the
+   oracle that is supposed to catch it. *)
+let quorum_label (rule : Dagrider.Ordering.rule) =
+  match rule.Dagrider.Ordering.rule_quorum with
+  | Dagrider.Ordering.Two_f_plus_one -> "2f+1"
+  | Dagrider.Ordering.F_plus_one -> "f+1"
+
+let check_direct_commit ~rule ~f ~dag ~node ~wave ~leader =
+  let wave_length = rule.Dagrider.Ordering.rule_wave_length in
+  let commit_quorum = Dagrider.Ordering.quorum_of rule ~f in
   if
-    Dagrider.Ordering.commit_rule_met ~wave_length ~commit_quorum:((2 * f) + 1)
-      ~dag ~f ~wave ~leader ()
+    Dagrider.Ordering.commit_rule_met ~wave_length ~commit_quorum ~dag ~wave
+      ~leader
   then []
   else
     [ { invariant = "leader-support";
         node;
         detail =
           Printf.sprintf
-            "wave %d leader %s committed directly with < 2f+1 strong-path \
+            "wave %d leader %s committed directly with < %s strong-path \
              support at commit time"
             wave
-            (pp_vref (Dagrider.Vertex.vref_of leader)) } ]
+            (pp_vref (Dagrider.Vertex.vref_of leader))
+            (quorum_label rule) } ]
 
 let check_dag_wf ~n ~f ~node dag =
   List.filter_map
@@ -143,12 +154,15 @@ let check_equivocation ~dags =
         (Dagrider.Dag.vertices dag))
     dags
 
-(* a directly committed leader must have the paper's 2f+1 strong-path
-   support in its wave's last round (Lemma 1's precondition); a chained
+(* a directly committed leader must have the rule's strong-path support
+   quorum in its wave's last round (Lemma 1's precondition for
+   DAG-Rider's 2f+1; the f+1 vote count for Bullshark); a chained
    leader must be strong-path-reachable from the next leader the same
    process committed (the Line 39-43 backward walk). support can only
    grow after the commit, so evaluating on the final DAG is sound. *)
-let check_leader_support ~wave_length ~f ~commits ~dag_of =
+let check_leader_support ~rule ~f ~commits ~dag_of =
+  let wave_length = rule.Dagrider.Ordering.rule_wave_length in
+  let commit_quorum = Dagrider.Ordering.quorum_of rule ~f in
   let by_node = Hashtbl.create 16 in
   List.iter
     (fun c ->
@@ -177,17 +191,16 @@ let check_leader_support ~wave_length ~f ~commits ~dag_of =
                 if c.cr_direct then
                   if
                     Dagrider.Ordering.commit_rule_met ~wave_length
-                      ~commit_quorum:((2 * f) + 1) ~dag ~f ~wave:c.cr_wave
-                      ~leader ()
+                      ~commit_quorum ~dag ~wave:c.cr_wave ~leader
                   then acc
                   else
                     { invariant = "leader-support";
                       node;
                       detail =
                         Printf.sprintf
-                          "wave %d leader %s committed directly with < 2f+1 \
+                          "wave %d leader %s committed directly with < %s \
                            strong-path support"
-                          c.cr_wave (pp_vref c.cr_leader) }
+                          c.cr_wave (pp_vref c.cr_leader) (quorum_label rule) }
                     :: acc
                 else begin
                   match rest with
@@ -217,6 +230,70 @@ let check_leader_support ~wave_length ~f ~commits ~dag_of =
             walk acc rest
         in
         walk acc cs)
+    by_node []
+
+(* Leader-skip legality, auditable end-of-run because causal history is
+   closed at vertex insertion: when a node committed wave [w2], the
+   backward chain examined every uncommitted wave below it with [w2]'s
+   leader (or a nearer chained one) as the reference vertex, and any
+   strong path from that vertex existed already — the whole path lies
+   in its causal history. So if the final DAG holds a skipped wave's
+   leader vertex AND a strong path to it from the next committed
+   leader, the chain-back was obliged to commit that wave: skipping it
+   was a bug. [leader_of node wave] supplies the leader schedule
+   (round-robin rules know every leader; coin rules only audit waves
+   whose instance the node resolved — [None] skips the wave). *)
+let check_skip_legality ~wave_length ~commits ~dag_of ~leader_of =
+  let by_node = Hashtbl.create 16 in
+  List.iter
+    (fun c ->
+      let prev = try Hashtbl.find by_node c.cr_node with Not_found -> [] in
+      Hashtbl.replace by_node c.cr_node (c :: prev))
+    commits;
+  Hashtbl.fold
+    (fun node cs acc ->
+      match dag_of node with
+      | None -> acc
+      | Some dag ->
+        let cs = List.sort (fun a b -> compare a.cr_wave b.cr_wave) cs in
+        let violations = ref acc in
+        let audit_gap ~lo ~next =
+          for w = lo to next.cr_wave - 1 do
+            match leader_of node w with
+            | None -> ()
+            | Some leader_source -> (
+              match
+                Dagrider.Ordering.leader_vertex ~wave_length ~dag ~wave:w
+                  ~leader_source
+              with
+              | None -> () (* legal: leader vertex absent from the DAG *)
+              | Some lv ->
+                if
+                  Dagrider.Dag.strong_path dag next.cr_leader
+                    (Dagrider.Vertex.vref_of lv)
+                then
+                  violations :=
+                    { invariant = "skip-legality";
+                      node;
+                      detail =
+                        Printf.sprintf
+                          "wave %d leader %s was skipped although the next \
+                           committed leader %s (wave %d) reaches it by a \
+                           strong path"
+                          w
+                          (pp_vref (Dagrider.Vertex.vref_of lv))
+                          (pp_vref next.cr_leader) next.cr_wave }
+                    :: !violations)
+          done
+        in
+        let rec walk lo = function
+          | [] -> ()
+          | c :: rest ->
+            audit_gap ~lo ~next:c;
+            walk (c.cr_wave + 1) rest
+        in
+        walk 1 cs;
+        !violations)
     by_node []
 
 let check_chain_quality ~f ~correct ~logs =
@@ -284,11 +361,18 @@ let check_fleet ~runner ~commits ~expect_validity =
     else None
   in
   let live_commits = List.filter (fun c -> is_correct c.cr_node) commits in
+  let rule = Harness.Runner.effective_rule opts in
+  let leader_of node wave =
+    if is_correct node then
+      Dagrider.Node.leader_of (Harness.Runner.node runner node) ~wave
+    else None
+  in
   check_agreement ~logs:ref_logs
   @ check_no_duplicates ~logs:ref_logs
   @ List.concat_map (fun (i, dag) -> check_dag_wf ~n ~f ~node:i dag) dags
   @ check_equivocation ~dags
-  @ check_leader_support ~wave_length:opts.Harness.Runner.wave_length ~f
-      ~commits:live_commits ~dag_of
+  @ check_leader_support ~rule ~f ~commits:live_commits ~dag_of
+  @ check_skip_legality ~wave_length:rule.Dagrider.Ordering.rule_wave_length
+      ~commits:live_commits ~dag_of ~leader_of
   @ check_chain_quality ~f ~correct:is_correct ~logs:full_logs
   @ (if expect_validity then check_validity ~n ~logs:full_logs else [])

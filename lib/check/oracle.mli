@@ -16,7 +16,8 @@ type violation = {
   invariant : string;
       (** which property broke: ["agreement"], ["extension"],
           ["integrity"], ["dag-wf"], ["equivocation"],
-          ["leader-support"], ["chain-quality"], or ["validity"] *)
+          ["leader-support"], ["skip-legality"], ["chain-quality"],
+          or ["validity"] *)
   node : int; (** the process at which the violation was observed *)
   detail : string;
 }
@@ -52,7 +53,7 @@ type commit_record = {
     {!Harness.Runner.options.on_commit}. *)
 
 val check_direct_commit :
-  wave_length:int ->
+  rule:Dagrider.Ordering.rule ->
   f:int ->
   dag:Dagrider.Dag.t ->
   node:int ->
@@ -65,7 +66,40 @@ val check_direct_commit :
     Because strong-path support only grows after the commit, this is
     strictly stronger than auditing the final DAG — it is the check that
     catches a sabotaged [commit_quorum] even when the support gap closes
-    later. *)
+    later. The quorum is re-derived from [rule] (2f+1 for DAG-Rider,
+    f+1 for Bullshark), never from the run's options, so a weakened
+    [commit_quorum] cannot weaken the oracle judging it. *)
+
+val check_leader_support :
+  rule:Dagrider.Ordering.rule ->
+  f:int ->
+  commits:commit_record list ->
+  dag_of:(int -> Dagrider.Dag.t option) ->
+  violation list
+(** End-of-run leader audit over each node's own commit sequence:
+    every {e direct} commit must satisfy [rule]'s strong-path quorum in
+    its wave's last round (support only grows after the commit, so the
+    final DAG is sound to judge by), and every {e chained} commit must
+    be strong-path-reachable from the next wave that node committed
+    (Algorithm 3's line 39–43 backward walk). *)
+
+val check_skip_legality :
+  wave_length:int ->
+  commits:commit_record list ->
+  dag_of:(int -> Dagrider.Dag.t option) ->
+  leader_of:(int -> int -> int option) ->
+  violation list
+(** The skip-side complement of [check_leader_support]: a wave a node
+    never committed is audited against the next wave it {e did} commit.
+    If the skipped wave's leader vertex is in the node's final DAG and
+    the next committed leader reaches it by a strong path, the backward
+    chain was obliged to commit it — causal history is closed at vertex
+    insertion, so any such path already existed when the chain ran, and
+    the skip is a bug. [leader_of node wave] supplies the schedule:
+    round-robin rules answer for every wave, coin rules only for
+    instances that node resolved ([None] exempts the wave). This is the
+    oracle that catches an illegally aggressive leader-skip rule, e.g.
+    a Bullshark fallback that skips a leader its successor can see. *)
 
 val check_fleet :
   runner:Harness.Runner.t ->
@@ -81,12 +115,15 @@ val check_fleet :
     - {b equivocation}: no two correct processes hold different vertices
       (by digest) for one (round, source) — reliable broadcast must have
       filtered equivocators;
-    - {b leader-support}: every {e directly} committed leader has
-      [>= 2f+1] last-round vertices with a strong path to it, recomputed
-      from the DAG with the {e paper's} quorum regardless of the
-      configured [commit_quorum] (this is what catches a sabotaged
-      quorum); every {e chained} leader is strong-path-reachable from
-      the next committed leader;
+    - {b leader-support}: every {e directly} committed leader has the
+      rule's quorum of last-round vertices with a strong path to it
+      (2f+1 for DAG-Rider, f+1 for Bullshark), recomputed from the DAG
+      with the {e rule's} quorum regardless of the configured
+      [commit_quorum] (this is what catches a sabotaged quorum); every
+      {e chained} leader is strong-path-reachable from the next
+      committed leader;
+    - {b skip-legality}: no skipped wave's leader is strong-path
+      reachable from the next committed leader (above);
     - {b chain-quality}: the [(f+1)/(2f+1)]-per-prefix bound
       ({!Metrics.Chain_quality.audit});
     - {b validity} (only when [expect_validity], i.e. fault-free

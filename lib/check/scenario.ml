@@ -29,6 +29,7 @@ type t = {
   n : int;
   f : int;
   backend : Harness.Runner.backend;
+  rule : Dagrider.Ordering.rule;
   base : base_sched;
   layers : sched_layer list;
   faults : fault_action list;
@@ -124,7 +125,8 @@ let predicted_leader ~seed ~n ~f ~wave =
   | Some leader -> leader
   | None -> wave mod n
 
-let generate ?(sabotage = false) ?(quick = false) ?lossy ~seed () =
+let generate ?(sabotage = false) ?(quick = false) ?lossy
+    ?(rule = Dagrider.Ordering.dag_rider) ~seed () =
   (* offset keeps the sampling stream distinct from the run's own seeded
      streams (Runner also derives from [seed]) *)
   let rng = Stdx.Rng.create (seed lxor 0x5ca40c0de) in
@@ -194,7 +196,14 @@ let generate ?(sabotage = false) ?(quick = false) ?lossy ~seed () =
          skipped forever): prefix divergence the oracle must report as
          an agreement violation. *)
       let target_wave = 2 + Stdx.Rng.int rng 3 in
-      let victim = predicted_leader ~seed ~n ~f ~wave:target_wave in
+      (* round-robin rules publish their whole leader schedule, so the
+         victim is a table lookup; coin rules need the rng replay above *)
+      let victim =
+        match rule.Dagrider.Ordering.rule_schedule with
+        | Dagrider.Ordering.Round_robin ->
+          Dagrider.Ordering.round_robin_leader ~n ~wave:target_wave
+        | Dagrider.Ordering.Coin -> predicted_leader ~seed ~n ~f ~wave:target_wave
+      in
       let slow =
         Slow_process { victim; factor = 5.0 +. Stdx.Rng.float rng 12.0 }
       in
@@ -292,6 +301,7 @@ let generate ?(sabotage = false) ?(quick = false) ?lossy ~seed () =
     n;
     f;
     backend;
+    rule;
     base;
     layers;
     faults;
@@ -339,6 +349,7 @@ let to_options t =
     f = t.f;
     seed = t.seed;
     backend = t.backend;
+    rule = t.rule;
     schedule = Harness.Runner.Custom (build_sched t);
     commit_quorum = t.commit_quorum;
     faults = statics;
@@ -394,9 +405,11 @@ let describe_lossy (lf : Harness.Runner.link_faults) =
 
 let describe t =
   Printf.sprintf
-    "seed %d: n=%d f=%d backend=%s sched=%s%s faults=[%s]%s%s horizon=%.0f%s"
+    "seed %d: n=%d f=%d backend=%s%s sched=%s%s faults=[%s]%s%s horizon=%.0f%s"
     t.seed t.n t.f
     (describe_backend t.backend)
+    (if t.rule.Dagrider.Ordering.rule_name = "dagrider" then ""
+     else " rule=" ^ t.rule.Dagrider.Ordering.rule_name)
     (describe_base t.base)
     (match t.layers with
     | [] -> ""

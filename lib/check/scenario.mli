@@ -48,6 +48,9 @@ type t = {
   n : int;
   f : int;
   backend : Harness.Runner.backend;
+  rule : Dagrider.Ordering.rule;
+      (** commit rule the fleet orders with; the DAG substrate and the
+          sampled schedule are rule-independent *)
   base : base_sched;
   layers : sched_layer list;
   faults : fault_action list;
@@ -66,6 +69,7 @@ val generate :
   ?sabotage:bool ->
   ?quick:bool ->
   ?lossy:Harness.Runner.link_faults ->
+  ?rule:Dagrider.Ordering.rule ->
   seed:int ->
   unit ->
   t
@@ -73,7 +77,7 @@ val generate :
     processes faulty in total (static plus mid-run), so every paper
     invariant must hold — any oracle violation is a bug. With
     [~sabotage:true] the fault script is empty but [commit_quorum] is
-    weakened (commit-on-sight, below the paper's [2f+1]) while the
+    weakened (commit-on-sight, below the rule's quorum) while the
     schedule hides the predicted leader's vertices, which breaks the
     quorum-intersection argument behind Lemma 2: the oracle must catch
     the resulting agreement / leader-support violations, proving it is
@@ -81,6 +85,13 @@ val generate :
     quorums such as [f+1] are still safe under honest reliable
     broadcast. [~quick] shrinks fleet sizes and the horizon for smoke
     runs.
+
+    [~rule] (default {!Dagrider.Ordering.dag_rider}) selects the commit
+    rule; it changes no sampled draw, so seed [s] under Bullshark runs
+    the same fleet shape, schedule, and fault script as seed [s] under
+    DAG-Rider. The sabotage attack is rule-aware: the slowed victim is
+    the target wave's round-robin leader rather than the replayed
+    coin's choice.
 
     Honest scenarios also sample lossy links (1 in 4), drawn after
     everything else so the rest of the scenario is unchanged vs the

@@ -36,8 +36,9 @@ let run_scenario ?trace (sc : Scenario.t) =
               | Some runner ->
                 violations :=
                   Oracle.check_direct_commit
-                    ~wave_length:
-                      (Harness.Runner.options runner).Harness.Runner.wave_length
+                    ~rule:
+                      (Harness.Runner.effective_rule
+                         (Harness.Runner.options runner))
                     ~f:sc.Scenario.f
                     ~dag:(Dagrider.Node.dag (Harness.Runner.node runner node))
                     ~node ~wave:c.Dagrider.Ordering.wave
@@ -104,7 +105,9 @@ let trace_scenario (sc : Scenario.t) =
   tracer
 
 let repro_command (sc : Scenario.t) =
-  Printf.sprintf "dune exec bin/swarm.exe -- --seed %d%s%s%s" sc.Scenario.seed
+  Printf.sprintf "dune exec bin/swarm.exe -- --seed %d%s%s%s%s" sc.Scenario.seed
+    (if sc.Scenario.rule.Dagrider.Ordering.rule_name = "dagrider" then ""
+     else " --rule " ^ sc.Scenario.rule.Dagrider.Ordering.rule_name)
     (if sc.Scenario.quick then " --quick" else "")
     (if sc.Scenario.sabotage then " --sabotage" else "")
     (match sc.Scenario.link_faults with
@@ -153,11 +156,12 @@ type report = {
   agreement_violations : int;
 }
 
-let run_seeds ?(sabotage = false) ?(quick = false) ?lossy ?progress ~seeds () =
+let run_seeds ?(sabotage = false) ?(quick = false) ?lossy ?rule ?progress
+    ~seeds () =
   let failures = ref [] in
   List.iter
     (fun seed ->
-      let sc = Scenario.generate ~sabotage ~quick ?lossy ~seed () in
+      let sc = Scenario.generate ~sabotage ~quick ?lossy ?rule ~seed () in
       let outcome = run_scenario sc in
       let outcome =
         if outcome.violations = [] then outcome else shrink outcome

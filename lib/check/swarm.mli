@@ -55,6 +55,7 @@ val run_seeds :
   ?sabotage:bool ->
   ?quick:bool ->
   ?lossy:Harness.Runner.link_faults ->
+  ?rule:Dagrider.Ordering.rule ->
   ?progress:(seed:int -> outcome -> unit) ->
   seeds:int list ->
   unit ->
@@ -62,4 +63,6 @@ val run_seeds :
 (** Generate-and-run each seed; failing outcomes are shrunk before they
     are reported. [progress] observes every run (the CLI uses it for
     live output). [lossy] forces every scenario onto lossy links at the
-    given rates (the CLI's --loss/--dup/--corrupt flags). *)
+    given rates (the CLI's --loss/--dup/--corrupt flags). [rule] runs
+    every scenario under the given commit rule (the CLI's --rule
+    flag). *)

@@ -13,6 +13,7 @@ type coin_mode = Separate_network | In_dag
 type config = {
   n : int;
   f : int;
+  rule : Ordering.rule;
   wave_length : int;
   commit_quorum : int option;
   enable_weak_edges : bool;
@@ -23,11 +24,26 @@ type config = {
 let default_config ~n ~f =
   { n;
     f;
+    rule = Ordering.dag_rider;
     wave_length = 4;
     commit_quorum = None;
     enable_weak_edges = true;
     gc_depth = None;
     coin_mode = Separate_network }
+
+(* The effective commit rule. Coin-scheduled rules order on the coin
+   cadence by definition (coin instance w IS ordering wave w), so
+   [config.wave_length] — the coin cadence — overrides their wave
+   length; that keeps the wave-length ablation a one-knob change.
+   Round-robin rules keep their own wave length and treat
+   [config.wave_length] purely as the coin cadence: the coin machinery
+   keeps running identically underneath so that rule choice cannot
+   perturb the message schedule (and with it the RNG chain). *)
+let effective_rule config =
+  match config.rule.Ordering.rule_schedule with
+  | Ordering.Coin ->
+    { config.rule with Ordering.rule_wave_length = config.wave_length }
+  | Ordering.Round_robin -> config.rule
 
 type t = {
   config : config;
@@ -46,8 +62,11 @@ type t = {
   mutable buffer : Vertex.t list;
   mutable round : int; (* current round r of Algorithm 2 *)
   mutable started : bool;
-  (* wave machinery *)
-  mutable waves_completed : int; (* highest w with wave_ready fired *)
+  (* wave machinery — two cadences: ordering waves follow the commit
+     rule's wave length, coin instances follow [config.wave_length]
+     (they coincide for coin-scheduled rules) *)
+  mutable waves_completed : int; (* highest ordering wave completed *)
+  mutable coin_waves_completed : int; (* highest coin instance completed *)
   shares : (int, Crypto.Threshold_coin.share list ref) Hashtbl.t;
   leaders : (int, int) Hashtbl.t; (* resolved coin: wave -> process *)
   mutable share_sent_up_to : int;
@@ -62,7 +81,13 @@ let delivered_log t = Ordering.delivered_log t.ordering
 let buffered t = List.length t.buffer
 let waves_completed t = t.waves_completed
 let coin_instances_resolved t = Hashtbl.length t.leaders
-let leader_of t ~wave = Hashtbl.find_opt t.leaders wave
+
+let leader_of t ~wave =
+  match (Ordering.rule t.ordering).Ordering.rule_schedule with
+  | Ordering.Coin -> Hashtbl.find_opt t.leaders wave
+  | Ordering.Round_robin ->
+    if wave >= 1 then Some (Ordering.round_robin_leader ~n:t.config.n ~wave)
+    else None
 
 let rbc t =
   match t.rbc with
@@ -278,7 +303,8 @@ let maybe_gc t =
     let decided = Ordering.decided_wave t.ordering in
     if decided > 0 then begin
       let decided_start =
-        Ordering.round_of ~wave_length:t.config.wave_length ~wave:decided ~k:1 ()
+        Ordering.round_of ~wave_length:(Ordering.wave_length t.ordering)
+          ~wave:decided ~k:1
       in
       let cutoff = decided_start - depth in
       (* only prune rounds whose vertices were all delivered: anything
@@ -296,20 +322,33 @@ let maybe_gc t =
       if bound > 1 then Dag.prune_below t.dag ~round:bound
     end
 
-(* Run the ordering step for every wave that is both locally complete
-   and coin-resolved, strictly in wave order (Algorithm 3 needs leaders
-   of all waves <= w when processing w). *)
+(* Run the ordering step for every wave that is locally complete and
+   whose leader is known, strictly in wave order (Algorithm 3 needs
+   leaders of all waves <= w when processing w). Coin-scheduled rules
+   wait for the wave's coin to resolve; round-robin rules know every
+   leader up front — completing the wave is their "timeout": the wave
+   is processed immediately and an absent or under-voted leader is
+   skipped for the chain-back to recover. *)
 let rec try_order_waves t =
   let w = t.next_wave_to_order in
-  if w <= t.waves_completed && Hashtbl.mem t.leaders w then begin
+  let choose_leader =
+    match (Ordering.rule t.ordering).Ordering.rule_schedule with
+    | Ordering.Coin ->
+      if Hashtbl.mem t.leaders w then
+        Some (fun w' -> Hashtbl.find t.leaders w')
+      else None
+    | Ordering.Round_robin ->
+      Some (fun w' -> Ordering.round_robin_leader ~n:t.config.n ~wave:w')
+  in
+  match choose_leader with
+  | Some choose_leader when w <= t.waves_completed ->
     let commits =
-      Ordering.process_wave t.ordering ~dag:t.dag ~wave:w
-        ~choose_leader:(fun w' -> Hashtbl.find t.leaders w')
+      Ordering.process_wave t.ordering ~dag:t.dag ~wave:w ~choose_leader
     in
     if commits = [] then
       tr_emit t
         (Trace.Leader_skipped
-           { node = t.me; wave = w; leader = Hashtbl.find t.leaders w });
+           { node = t.me; wave = w; leader = choose_leader w });
     List.iter
       (fun (c : Ordering.commit) ->
         tr_emit t
@@ -335,7 +374,7 @@ let rec try_order_waves t =
     if commits <> [] then maybe_gc t;
     t.next_wave_to_order <- w + 1;
     try_order_waves t
-  end
+  | Some _ | None -> ()
 
 let try_resolve_coin t ~wave =
   if not (Hashtbl.mem t.leaders wave) then begin
@@ -361,9 +400,9 @@ let on_coin_msg t ~src:_ (Coin_share share) =
 
 (* ---- round advancement (Algorithm 2, lines 5-15) ---- *)
 
-let wave_ready t ~wave =
-  if wave > t.waves_completed then begin
-    t.waves_completed <- wave;
+let coin_wave_ready t ~wave =
+  if wave > t.coin_waves_completed then begin
+    t.coin_waves_completed <- wave;
     (* the coin for w is flipped only now that w is complete; in In_dag
        mode the share rides the next vertex broadcast instead *)
     if t.config.coin_mode = Separate_network && wave > t.share_sent_up_to
@@ -373,9 +412,26 @@ let wave_ready t ~wave =
       done;
       t.share_sent_up_to <- wave
     end;
-    try_resolve_coin t ~wave;
-    try_order_waves t
+    try_resolve_coin t ~wave
   end
+
+(* Both cadences fire off the same round completion. The ordering wave
+   counter is bumped first so commits triggered from inside the coin
+   resolution (coin-scheduled rules resolve and order in one step) see
+   the completed wave — the exact order of the pre-split code. *)
+let wave_ready t ~round =
+  (match
+     Ordering.wave_of_completed_round
+       ~wave_length:(Ordering.wave_length t.ordering) round
+   with
+  | Some w when w > t.waves_completed -> t.waves_completed <- w
+  | Some _ | None -> ());
+  (match
+     Ordering.wave_of_completed_round ~wave_length:t.config.wave_length round
+   with
+  | Some w -> coin_wave_ready t ~wave:w
+  | None -> ());
+  try_order_waves t
 
 let rec try_advance t =
   (* move buffered vertices whose causal history is present into the DAG
@@ -402,11 +458,7 @@ let rec try_advance t =
   done;
   (* lines 10-15: complete rounds while quorums are in *)
   if Dag.round_size t.dag t.round >= (2 * t.config.f) + 1 then begin
-    (match
-       Ordering.wave_of_completed_round ~wave_length:t.config.wave_length t.round
-     with
-    | Some w -> wave_ready t ~wave:w
-    | None -> ());
+    wave_ready t ~round:t.round;
     t.round <- t.round + 1;
     tr_emit t (Trace.Round_advanced { node = t.me; round = t.round });
     create_and_broadcast_vertex t ~round:t.round;
@@ -541,7 +593,7 @@ let create ~config ~me ~coin ~coin_net ~make_rbc ?sync_net ?trace
       sync_net;
       dag = Dag.create ~n:config.n;
       ordering =
-        Ordering.create ~wave_length:config.wave_length
+        Ordering.create ~rule:(effective_rule config)
           ?commit_quorum:config.commit_quorum ~f:config.f ();
       rbc = None;
       blocks_to_propose = Queue.create ();
@@ -552,6 +604,7 @@ let create ~config ~me ~coin ~coin_net ~make_rbc ?sync_net ?trace
       round = 0;
       started = false;
       waves_completed = 0;
+      coin_waves_completed = 0;
       shares = Hashtbl.create 16;
       leaders = Hashtbl.create 16;
       share_sent_up_to = 0;
@@ -593,11 +646,14 @@ let restore ~config ~me ~coin ~coin_net ~make_rbc ?sync_net ?trace
   Ordering.restore t.ordering ~delivered:ck.ck_delivered
     ~decided_wave:ck.ck_decided_wave;
   t.round <- ck.ck_round;
-  (* wave_ready(w) fires when advancing from round L*w to L*w + 1, so a
-     node in round r has completed exactly (r - 1) / L waves; their
-     shares were sent before the checkpoint and must not be re-sent *)
-  t.waves_completed <- max 0 ((ck.ck_round - 1) / config.wave_length);
-  t.share_sent_up_to <- t.waves_completed;
+  (* wave_ready fires when advancing from round L*w to L*w + 1, so a
+     node in round r has completed exactly (r - 1) / L waves of each
+     cadence; coin shares for the completed coin instances were sent
+     before the checkpoint and must not be re-sent *)
+  t.waves_completed <-
+    max 0 ((ck.ck_round - 1) / Ordering.wave_length t.ordering);
+  t.coin_waves_completed <- max 0 ((ck.ck_round - 1) / config.wave_length);
+  t.share_sent_up_to <- t.coin_waves_completed;
   t.next_wave_to_order <- ck.ck_decided_wave + 1;
   t.started <- true;
   request_sync t;

@@ -69,8 +69,20 @@ type coin_mode =
 type config = {
   n : int;
   f : int;
-  wave_length : int;       (** rounds per wave; the paper's value is 4 *)
-  commit_quorum : int option; (** [None] = the paper's [2f+1] *)
+  rule : Ordering.rule;    (** the commit rule ({!Ordering.dag_rider} by
+                               default, {!Ordering.bullshark} for 2-round
+                               round-robin waves) *)
+  wave_length : int;       (** the {e coin} cadence in rounds; the
+                               paper's value is 4. Coin-scheduled rules
+                               order on this cadence too (it overrides
+                               their [rule_wave_length], keeping the
+                               wave-length ablation one knob); under a
+                               round-robin rule the coin keeps flipping
+                               on this cadence — unused by ordering —
+                               so rule choice cannot perturb the
+                               message schedule or the RNG chain *)
+  commit_quorum : int option; (** [None] = the rule's quorum ([2f+1]
+                                  resp. [f+1]) *)
   enable_weak_edges : bool;(** [false] only for the validity ablation *)
   gc_depth : int option;   (** prune rounds this far behind the decided
                                wave; [None] (default) keeps everything *)
@@ -155,11 +167,15 @@ val buffered : t -> int
 (** Vertices delivered by RBC but still missing predecessors. *)
 
 val waves_completed : t -> int
+(** Highest {e ordering} wave completed (the commit rule's cadence). *)
+
 val coin_instances_resolved : t -> int
 
 val leader_of : t -> wave:int -> int option
-(** The coin's choice for a wave, once this node resolved that instance
-    ([None] before f+1 shares arrived). Used by the renderers. *)
+(** The wave's leader as this node knows it: the coin's choice once
+    this node resolved that instance ([None] before f+1 shares
+    arrived), or the predefined [(wave - 1) mod n] under a round-robin
+    rule. Used by the renderers. *)
 
 val request_sync : t -> unit
 (** Ask every peer for the DAG region this node is missing (no-op

@@ -1,7 +1,51 @@
+type leader_schedule = Coin | Round_robin
+
+type quorum_rule = Two_f_plus_one | F_plus_one
+
+type rule = {
+  rule_name : string;
+  rule_wave_length : int;
+  rule_schedule : leader_schedule;
+  rule_quorum : quorum_rule;
+  rule_bound : float;
+}
+
+let dag_rider =
+  { rule_name = "dagrider";
+    rule_wave_length = 4;
+    rule_schedule = Coin;
+    rule_quorum = Two_f_plus_one;
+    rule_bound = 1.5 }
+
+let bullshark =
+  { rule_name = "bullshark";
+    rule_wave_length = 2;
+    rule_schedule = Round_robin;
+    rule_quorum = F_plus_one;
+    rule_bound = 2.0 }
+
+let rules = [ dag_rider; bullshark ]
+
+let rule_names = List.map (fun r -> r.rule_name) rules
+
+let rule_of_name name =
+  List.find_opt (fun r -> String.equal r.rule_name name) rules
+
+let quorum_of rule ~f =
+  match rule.rule_quorum with
+  | Two_f_plus_one -> (2 * f) + 1
+  | F_plus_one -> f + 1
+
+let round_robin_leader ~n ~wave =
+  if wave < 1 then invalid_arg "Ordering.round_robin_leader: wave must be >= 1";
+  (wave - 1) mod n
+
 type t = {
   f : int;
+  rule : rule;
   wave_length : int;
   commit_quorum : int;
+  span : string;
   mutable decided_wave : int;
   delivered_set : (Vertex.vref, unit) Hashtbl.t;
   mutable log_rev : Vertex.t list;
@@ -15,38 +59,41 @@ type commit = {
   direct : bool;
 }
 
-let create ?(wave_length = 4) ?commit_quorum ~f () =
+let create ?(rule = dag_rider) ?wave_length ?commit_quorum ~f () =
+  let wave_length =
+    match wave_length with Some l -> l | None -> rule.rule_wave_length
+  in
   if wave_length < 1 then invalid_arg "Ordering.create: wave_length < 1";
+  let rule = { rule with rule_wave_length = wave_length } in
   let commit_quorum =
-    match commit_quorum with Some q -> q | None -> (2 * f) + 1
+    match commit_quorum with Some q -> q | None -> quorum_of rule ~f
   in
   { f;
+    rule;
     wave_length;
     commit_quorum;
+    span = "order.wave." ^ rule.rule_name;
     decided_wave = 0;
     delivered_set = Hashtbl.create 256;
     log_rev = [];
     delivered_count = 0 }
 
-let round_of ?(wave_length = 4) ~wave ~k () =
+let round_of ~wave_length ~wave ~k =
   if k < 1 || k > wave_length then
     invalid_arg "Ordering.round_of: k out of wave";
   if wave < 1 then invalid_arg "Ordering.round_of: wave must be >= 1";
   (wave_length * (wave - 1)) + k
 
-let wave_of_completed_round ?(wave_length = 4) r =
+let wave_of_completed_round ~wave_length r =
   if r >= wave_length && r mod wave_length = 0 then Some (r / wave_length)
   else None
 
-let leader_vertex ?(wave_length = 4) ~dag ~wave ~leader_source () =
+let leader_vertex ~wave_length ~dag ~wave ~leader_source =
   Dag.find dag
-    { Vertex.round = round_of ~wave_length ~wave ~k:1 (); source = leader_source }
+    { Vertex.round = round_of ~wave_length ~wave ~k:1; source = leader_source }
 
-let commit_rule_met ?(wave_length = 4) ?commit_quorum ~dag ~f ~wave ~leader () =
-  let commit_quorum =
-    match commit_quorum with Some q -> q | None -> (2 * f) + 1
-  in
-  let last_round = round_of ~wave_length ~wave ~k:wave_length () in
+let commit_rule_met ~wave_length ~commit_quorum ~dag ~wave ~leader =
+  let last_round = round_of ~wave_length ~wave ~k:wave_length in
   let supporters =
     List.filter
       (fun v -> Dag.strong_path dag (Vertex.vref_of v) (Vertex.vref_of leader))
@@ -74,26 +121,28 @@ let process_wave_impl t ~dag ~wave ~choose_leader =
   else
     let wave_length = t.wave_length in
     match
-      leader_vertex ~wave_length ~dag ~wave ~leader_source:(choose_leader wave) ()
+      leader_vertex ~wave_length ~dag ~wave ~leader_source:(choose_leader wave)
     with
     | None -> []
     | Some leader ->
       if
         not
           (commit_rule_met ~wave_length ~commit_quorum:t.commit_quorum ~dag
-             ~f:t.f ~wave ~leader ())
+             ~wave ~leader)
       then []
       else begin
         (* Lines 38-43: push this wave's leader, then walk back through
            undecided waves, chaining any leader the current one reaches
-           by a strong path. *)
+           by a strong path. The chain-back is rule-generic: for the
+           2-round Bullshark rule it is what commits a skipped leader's
+           wave retroactively once a later leader reaches it. *)
         let stack = ref [ (wave, leader) ] in
         let current = ref leader in
         let w' = ref (wave - 1) in
         while !w' > t.decided_wave do
           (match
              leader_vertex ~wave_length ~dag ~wave:!w'
-               ~leader_source:(choose_leader !w') ()
+               ~leader_source:(choose_leader !w')
            with
           | Some v'
             when Dag.strong_path dag (Vertex.vref_of !current) (Vertex.vref_of v') ->
@@ -112,7 +161,7 @@ let process_wave_impl t ~dag ~wave ~choose_leader =
       end
 
 let process_wave t ~dag ~wave ~choose_leader =
-  let sp = Prof.enter "order.wave" in
+  let sp = Prof.enter t.span in
   let out =
     try process_wave_impl t ~dag ~wave ~choose_leader
     with e -> Prof.leave_reraise sp e
@@ -130,6 +179,12 @@ let restore t ~delivered ~decided_wave =
       t.delivered_count <- t.delivered_count + 1)
     delivered;
   t.decided_wave <- decided_wave
+
+let rule t = t.rule
+
+let wave_length t = t.wave_length
+
+let commit_quorum t = t.commit_quorum
 
 let decided_wave t = t.decided_wave
 

@@ -1,17 +1,69 @@
-(** The zero-communication ordering layer (paper §5, Algorithm 3).
+(** The zero-communication ordering layer, parameterized by a
+    {e commit rule} (paper §5, Algorithm 3; Bullshark's partially
+    synchronous rule as the second instance).
 
-    The DAG is split into waves of four rounds; [round (w, k)] is round
-    [4(w-1) + k] for [k] in [1..4]. When a process completes a wave it
-    elects that wave's leader vertex retrospectively with the global
-    coin and commits it if at least [2f+1] vertices of the wave's last
-    round have a strong path to it. Committed leaders chain backwards
-    through waves whose commit rule this process missed (Lines 39–43),
-    and each leader's not-yet-delivered causal history is output in a
-    deterministic order.
+    The DAG is split into waves of [rule_wave_length] rounds;
+    [round (w, k)] is round [L(w-1) + k] for [k] in [1..L]. When a
+    process completes a wave it identifies that wave's leader vertex —
+    retrospectively via the global coin (DAG-Rider) or by a predefined
+    round-robin schedule (Bullshark) — and commits it if at least
+    [commit_quorum] vertices of the wave's last round have a strong
+    path to it. Committed leaders chain backwards through waves whose
+    commit rule this process missed (Lines 39–43), and each leader's
+    not-yet-delivered causal history is output in a deterministic
+    order.
 
-    This module is purely local: it reads the DAG and the (resolved)
-    coin values and produces delivery events — exactly the paper's
+    This module is purely local: it reads the DAG and the resolved
+    leader schedule and produces delivery events — exactly the paper's
     "zero extra communication" claim, kept testable by construction. *)
+
+type leader_schedule =
+  | Coin        (** retrospective threshold-coin election (DAG-Rider) *)
+  | Round_robin (** predefined leader [(w-1) mod n] (Bullshark PS) *)
+
+type quorum_rule =
+  | Two_f_plus_one (** supermajority of the wave's last round *)
+  | F_plus_one     (** one correct vote suffices (Bullshark fast path) *)
+
+type rule = {
+  rule_name : string;        (** stable CLI / JSON / span identifier *)
+  rule_wave_length : int;    (** rounds per wave (4 resp. 2) *)
+  rule_schedule : leader_schedule;
+  rule_quorum : quorum_rule; (** direct-commit vote threshold *)
+  rule_bound : float;
+      (** advisory waves-per-commit bound the analyzer audits:
+          DAG-Rider's expected 1.5 (Claim 6); for Bullshark 2.0 — the
+          round-robin rotation commits every correct leader's wave in
+          synchronous periods ([n/(n-f) <= 1.5] of the waves), with
+          slack for timeout-fallback schedules where leader slots are
+          skipped and recovered by the chain-back *)
+}
+
+val dag_rider : rule
+(** The paper's Algorithm 3: 4-round waves, coin-chosen retrospective
+    leaders, [2f+1] strong-path supporters. *)
+
+val bullshark : rule
+(** The partially synchronous Bullshark rule on the same DAG substrate:
+    2-round waves, round-robin predefined leaders, [f+1] first-round
+    votes. The timeout-driven leader skip of the real protocol maps to
+    wave completion here: a process that assembles the wave's last
+    round without the leader (or without [f+1] votes for it) skips the
+    wave and relies on a later leader's chain-back. *)
+
+val rules : rule list
+
+val rule_names : string list
+
+val rule_of_name : string -> rule option
+(** Look a rule up by [rule_name] ("dagrider" / "bullshark"). *)
+
+val quorum_of : rule -> f:int -> int
+(** The rule's direct-commit quorum: [2f+1] or [f+1]. *)
+
+val round_robin_leader : n:int -> wave:int -> int
+(** The predefined Bullshark leader of a wave: [(wave - 1) mod n].
+    @raise Invalid_argument if [wave < 1]. *)
 
 type t
 
@@ -23,32 +75,36 @@ type commit = {
                                 ([false] = chained from a later wave) *)
 }
 
-val create : ?wave_length:int -> ?commit_quorum:int -> f:int -> unit -> t
-(** Defaults are the paper's: [wave_length = 4] and
-    [commit_quorum = 2f + 1]. The ablation benches override them to
-    demonstrate {e why} those are the right values (DESIGN.md §5) —
-    shorter waves break the common-core argument, a weaker quorum breaks
+val create :
+  ?rule:rule -> ?wave_length:int -> ?commit_quorum:int -> f:int -> unit -> t
+(** Defaults to {!dag_rider} ([wave_length = 4], [commit_quorum = 2f+1]).
+    [wave_length] overrides the rule's wave length and [commit_quorum]
+    its quorum — the ablation benches use the overrides to demonstrate
+    {e why} the paper's values are right (DESIGN.md §5): shorter coin
+    waves break the common-core argument, a weaker quorum breaks
     Lemma 1. *)
 
-val round_of : ?wave_length:int -> wave:int -> k:int -> unit -> int
-(** [round(w, k) = L(w-1) + k] for wave length [L] (default 4); [k] must
-    be in [1..L]. @raise Invalid_argument otherwise. *)
+val round_of : wave_length:int -> wave:int -> k:int -> int
+(** [round(w, k) = L(w-1) + k] for wave length [L]; [k] must be in
+    [1..L]. @raise Invalid_argument otherwise. *)
 
-val wave_of_completed_round : ?wave_length:int -> int -> int option
+val wave_of_completed_round : wave_length:int -> int -> int option
 (** [Some w] if completing this round completes wave [w]
     (i.e. the round is [round(w, L)]), else [None]. *)
 
 val leader_vertex :
-  ?wave_length:int ->
-  dag:Dag.t -> wave:int -> leader_source:int -> unit -> Vertex.t option
+  wave_length:int ->
+  dag:Dag.t -> wave:int -> leader_source:int -> Vertex.t option
 (** [get_wave_vertex_leader] (Line 46): the chosen process's vertex in
     the wave's first round, if the local DAG has it. *)
 
 val commit_rule_met :
-  ?wave_length:int -> ?commit_quorum:int ->
-  dag:Dag.t -> f:int -> wave:int -> leader:Vertex.t -> unit -> bool
+  wave_length:int -> commit_quorum:int ->
+  dag:Dag.t -> wave:int -> leader:Vertex.t -> bool
 (** Line 36: do [>= commit_quorum] vertices in [round(w, L)] have a
-    strong path to the leader? *)
+    strong path to the leader? With [wave_length = 2] and
+    [commit_quorum = f+1] this is exactly Bullshark's first-round vote
+    count — a strong path between consecutive rounds is a strong edge. *)
 
 val process_wave :
   t ->
@@ -56,18 +112,28 @@ val process_wave :
   wave:int ->
   choose_leader:(int -> int) ->
   commit list
-(** Handle [wave_ready w] with the coin outputs for all waves [<= w]
-    available through [choose_leader]. Returns the commits produced (in
-    delivery order: earliest wave first), each with its newly delivered
-    vertices. Empty when the commit rule is not met — the wave is then
-    left for a later wave's backward chain, exactly as in the paper.
-    Waves at or below the decided wave are ignored. *)
+(** Handle [wave_ready w] with the leaders of all waves [<= w]
+    available through [choose_leader] (coin outputs, or the round-robin
+    schedule). Returns the commits produced (in delivery order:
+    earliest wave first), each with its newly delivered vertices. Empty
+    when the commit rule is not met — the wave is then left for a later
+    wave's backward chain, exactly as in the paper. Waves at or below
+    the decided wave are ignored. Profiled under the per-rule span
+    ["order.wave.<rule_name>"]. *)
 
 val restore : t -> delivered:Vertex.t list -> decided_wave:int -> unit
 (** Reload persisted progress into a {e fresh} ordering state: the
     vertices are marked delivered (in the given order) and the decided
     wave is set, so a restarted node neither re-delivers nor re-decides
     old waves. @raise Invalid_argument if the state is not fresh. *)
+
+val rule : t -> rule
+(** The rule this state runs, with [rule_wave_length] reflecting any
+    [wave_length] override given at {!create}. *)
+
+val wave_length : t -> int
+
+val commit_quorum : t -> int
 
 val decided_wave : t -> int
 

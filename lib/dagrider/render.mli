@@ -45,7 +45,10 @@ val dot_classified :
     {!Committed_leader} and no legend. *)
 
 val wave_summary :
-  Dag.t -> wave_length:int -> f:int -> leader_of:(int -> int option) -> string
+  Dag.t ->
+  wave_length:int -> commit_quorum:int -> leader_of:(int -> int option) ->
+  string
 (** Per-wave table: leader source, whether the leader vertex is present,
-    and its round-4 strong-path support count vs the 2f+1 commit
-    threshold — the data behind Figure 2's narrative. *)
+    and its last-round strong-path support count vs the rule's commit
+    quorum (2f+1 for DAG-Rider, f+1 for Bullshark) — the data behind
+    Figure 2's narrative. *)

@@ -95,5 +95,12 @@ val throughput : ?seed:int -> unit -> table
     instance counts. *)
 val related_work : ?seed:int -> unit -> table
 
+(** Commit rules on one DAG substrate — DAG-Rider (4-round waves, coin
+    leaders) vs Bullshark (2-round waves, round-robin leaders):
+    proposal-to-delivery latency on identical seeded synchronous
+    schedules at n = 4 and n = 10. The rule changes no network draw, so
+    the latency delta is attributable to the commit rule alone. *)
+val rules_latency : ?seed:int -> unit -> table
+
 val all : ?seed:int -> unit -> table list
 (** Every table above, in DESIGN.md §4 order. *)

@@ -29,6 +29,7 @@ type options = {
   backend : backend;
   schedule : schedule;
   block_bytes : int;
+  rule : Dagrider.Ordering.rule;
   wave_length : int;
   commit_quorum : int option;
   enable_weak_edges : bool;
@@ -51,6 +52,7 @@ let default_options ~n =
     backend = Bracha;
     schedule = Uniform_random;
     block_bytes = 32;
+    rule = Dagrider.Ordering.dag_rider;
     wave_length = 4;
     commit_quorum = None;
     enable_weak_edges = true;
@@ -62,6 +64,16 @@ let default_options ~n =
     faults = [];
     link_faults = None;
     trace = None }
+
+(* The rule the nodes actually run (Node applies the same resolution):
+   coin-scheduled rules order on the coin cadence [options.wave_length];
+   round-robin rules keep their own wave length. *)
+let effective_rule options =
+  match options.rule.Dagrider.Ordering.rule_schedule with
+  | Dagrider.Ordering.Coin ->
+    { options.rule with
+      Dagrider.Ordering.rule_wave_length = options.wave_length }
+  | Dagrider.Ordering.Round_robin -> options.rule
 
 (* One protocol stack's transport: the port the protocol talks to, the
    fault-injection hooks the harness needs, and the loss-diagnostics
@@ -292,6 +304,7 @@ let build options =
   let config =
     { Dagrider.Node.n;
       f;
+      rule = options.rule;
       wave_length = options.wave_length;
       commit_quorum = options.commit_quorum;
       enable_weak_edges = options.enable_weak_edges;
@@ -667,8 +680,15 @@ let analysis_config t =
   let observer =
     match correct_indices t with i :: _ -> Some i | [] -> Some 0
   in
+  let rule = effective_rule t.options in
   { Analyze.default_config with
-    wave_length = t.options.wave_length;
+    wave_length = rule.Dagrider.Ordering.rule_wave_length;
+    rule_name = rule.Dagrider.Ordering.rule_name;
+    round_robin_n =
+      (match rule.Dagrider.Ordering.rule_schedule with
+      | Dagrider.Ordering.Coin -> None
+      | Dagrider.Ordering.Round_robin -> Some t.options.n);
+    waves_bound = rule.Dagrider.Ordering.rule_bound;
     f = Some t.options.f;
     byzantine;
     observer }

@@ -54,7 +54,14 @@ type options = {
   backend : backend;
   schedule : schedule;
   block_bytes : int; (** synthetic block payload size (0 = empty) *)
+  rule : Dagrider.Ordering.rule;
+      (** the commit rule the fleet orders with
+          ({!Dagrider.Ordering.dag_rider} by default). The DAG/RBC/coin
+          substrate is rule-independent: two builds differing only in
+          [rule] produce byte-identical DAGs and message schedules. *)
   wave_length : int;
+      (** the coin cadence; also the ordering wave length for
+          coin-scheduled rules (see {!effective_rule}) *)
   commit_quorum : int option;
   enable_weak_edges : bool;
   gc_depth : int option;
@@ -93,7 +100,14 @@ type options = {
 
 val default_options : n:int -> options
 (** [f = (n-1)/3], seed 42, Bracha backend, uniform-random schedule,
-    32-byte blocks, the paper's wave parameters, no faults. *)
+    32-byte blocks, the paper's rule and wave parameters, no faults. *)
+
+val effective_rule : options -> Dagrider.Ordering.rule
+(** The rule the nodes actually run: coin-scheduled rules order on the
+    coin cadence (so [rule_wave_length] is overridden by
+    [options.wave_length], keeping the wave-length ablation one knob);
+    round-robin rules keep their own wave length and leave
+    [options.wave_length] as the coin cadence only. *)
 
 type t
 

@@ -35,40 +35,118 @@ let full_dag ~rounds =
   done;
   dag
 
+(* most tests exercise the paper's rule: 4-round waves, 2f+1 quorum *)
+let commit_rule_met ?(wave_length = 4) ?commit_quorum ~dag ~f ~wave ~leader () =
+  let commit_quorum =
+    match commit_quorum with Some q -> q | None -> (2 * f) + 1
+  in
+  Dagrider.Ordering.commit_rule_met ~wave_length ~commit_quorum ~dag ~wave
+    ~leader
+
 (* ---- helpers of the module ---- *)
 
 let test_round_of () =
-  checki "round(1,1)" 1 (Dagrider.Ordering.round_of ~wave:1 ~k:1 ());
-  checki "round(1,4)" 4 (Dagrider.Ordering.round_of ~wave:1 ~k:4 ());
-  checki "round(2,1)" 5 (Dagrider.Ordering.round_of ~wave:2 ~k:1 ());
-  checki "round(3,4)" 12 (Dagrider.Ordering.round_of ~wave:3 ~k:4 ());
-  checki "wave_length 2" 3
-    (Dagrider.Ordering.round_of ~wave_length:2 ~wave:2 ~k:1 ());
+  checki "round(1,1)" 1 (Dagrider.Ordering.round_of ~wave_length:4 ~wave:1 ~k:1);
+  checki "round(1,4)" 4 (Dagrider.Ordering.round_of ~wave_length:4 ~wave:1 ~k:4);
+  checki "round(2,1)" 5 (Dagrider.Ordering.round_of ~wave_length:4 ~wave:2 ~k:1);
+  checki "round(3,4)" 12
+    (Dagrider.Ordering.round_of ~wave_length:4 ~wave:3 ~k:4);
+  (* wave_length 2 (Bullshark): wave w covers rounds 2w-1 and 2w *)
+  checki "L2 round(1,1)" 1
+    (Dagrider.Ordering.round_of ~wave_length:2 ~wave:1 ~k:1);
+  checki "L2 round(1,2)" 2
+    (Dagrider.Ordering.round_of ~wave_length:2 ~wave:1 ~k:2);
+  checki "L2 round(2,1)" 3
+    (Dagrider.Ordering.round_of ~wave_length:2 ~wave:2 ~k:1);
+  checki "L2 round(5,2)" 10
+    (Dagrider.Ordering.round_of ~wave_length:2 ~wave:5 ~k:2);
   Alcotest.check_raises "k out of range"
     (Invalid_argument "Ordering.round_of: k out of wave") (fun () ->
-      ignore (Dagrider.Ordering.round_of ~wave:1 ~k:5 ()))
+      ignore (Dagrider.Ordering.round_of ~wave_length:4 ~wave:1 ~k:5));
+  (* off-by-one guard: k = 3 fits a 4-round wave but not a 2-round one *)
+  Alcotest.check_raises "L2 k=3 out of wave"
+    (Invalid_argument "Ordering.round_of: k out of wave") (fun () ->
+      ignore (Dagrider.Ordering.round_of ~wave_length:2 ~wave:1 ~k:3))
 
 let test_wave_of_completed_round () =
   Alcotest.(check (option int)) "round 4 ends wave 1" (Some 1)
-    (Dagrider.Ordering.wave_of_completed_round 4);
+    (Dagrider.Ordering.wave_of_completed_round ~wave_length:4 4);
   Alcotest.(check (option int)) "round 8 ends wave 2" (Some 2)
-    (Dagrider.Ordering.wave_of_completed_round 8);
+    (Dagrider.Ordering.wave_of_completed_round ~wave_length:4 8);
   Alcotest.(check (option int)) "round 5 ends nothing" None
-    (Dagrider.Ordering.wave_of_completed_round 5);
+    (Dagrider.Ordering.wave_of_completed_round ~wave_length:4 5);
   Alcotest.(check (option int)) "round 0 ends nothing" None
-    (Dagrider.Ordering.wave_of_completed_round 0);
-  Alcotest.(check (option int)) "wave_length 2" (Some 3)
-    (Dagrider.Ordering.wave_of_completed_round ~wave_length:2 6)
+    (Dagrider.Ordering.wave_of_completed_round ~wave_length:4 0);
+  (* wave_length 2: every even round ends a wave, odd rounds end none *)
+  Alcotest.(check (option int)) "L2 round 2 ends wave 1" (Some 1)
+    (Dagrider.Ordering.wave_of_completed_round ~wave_length:2 2);
+  Alcotest.(check (option int)) "L2 round 6 ends wave 3" (Some 3)
+    (Dagrider.Ordering.wave_of_completed_round ~wave_length:2 6);
+  Alcotest.(check (option int)) "L2 round 1 ends nothing" None
+    (Dagrider.Ordering.wave_of_completed_round ~wave_length:2 1);
+  Alcotest.(check (option int)) "L2 round 7 ends nothing" None
+    (Dagrider.Ordering.wave_of_completed_round ~wave_length:2 7)
 
 let test_leader_vertex_lookup () =
   let dag = full_dag ~rounds:4 in
-  (match Dagrider.Ordering.leader_vertex ~dag ~wave:1 ~leader_source:2 () with
+  (match
+     Dagrider.Ordering.leader_vertex ~wave_length:4 ~dag ~wave:1
+       ~leader_source:2
+   with
   | Some v ->
     checki "round" 1 v.Dagrider.Vertex.round;
     checki "source" 2 v.Dagrider.Vertex.source
   | None -> Alcotest.fail "leader should exist");
   checkb "absent leader" true
-    (Dagrider.Ordering.leader_vertex ~dag ~wave:2 ~leader_source:0 () = None)
+    (Dagrider.Ordering.leader_vertex ~wave_length:4 ~dag ~wave:2
+       ~leader_source:0
+    = None);
+  (* L2: wave 2's leader sits in round 3, not round 5 *)
+  (match
+     Dagrider.Ordering.leader_vertex ~wave_length:2 ~dag ~wave:2
+       ~leader_source:1
+   with
+  | Some v -> checki "L2 wave-2 leader round" 3 v.Dagrider.Vertex.round
+  | None -> Alcotest.fail "L2 leader should exist")
+
+(* ---- the rule records ---- *)
+
+let test_rule_records () =
+  let dr = Dagrider.Ordering.dag_rider and bs = Dagrider.Ordering.bullshark in
+  checki "dagrider wave length" 4 dr.Dagrider.Ordering.rule_wave_length;
+  checki "bullshark wave length" 2 bs.Dagrider.Ordering.rule_wave_length;
+  checki "dagrider quorum" 3 (Dagrider.Ordering.quorum_of dr ~f:1);
+  checki "bullshark quorum" 2 (Dagrider.Ordering.quorum_of bs ~f:1);
+  checki "dagrider quorum f=3" 7 (Dagrider.Ordering.quorum_of dr ~f:3);
+  checki "bullshark quorum f=3" 4 (Dagrider.Ordering.quorum_of bs ~f:3);
+  checkb "lookup dagrider" true
+    (Dagrider.Ordering.rule_of_name "dagrider" = Some dr);
+  checkb "lookup bullshark" true
+    (Dagrider.Ordering.rule_of_name "bullshark" = Some bs);
+  checkb "lookup unknown" true (Dagrider.Ordering.rule_of_name "hotstuff" = None);
+  (* the round-robin schedule wraps over n and starts at process 0 *)
+  checki "rr wave 1" 0 (Dagrider.Ordering.round_robin_leader ~n:4 ~wave:1);
+  checki "rr wave 4" 3 (Dagrider.Ordering.round_robin_leader ~n:4 ~wave:4);
+  checki "rr wave 5 wraps" 0 (Dagrider.Ordering.round_robin_leader ~n:4 ~wave:5);
+  Alcotest.check_raises "rr wave 0 rejected"
+    (Invalid_argument "Ordering.round_robin_leader: wave must be >= 1")
+    (fun () -> ignore (Dagrider.Ordering.round_robin_leader ~n:4 ~wave:0))
+
+let test_create_from_rule () =
+  let ord = Dagrider.Ordering.create ~rule:Dagrider.Ordering.bullshark ~f:1 () in
+  checki "wave length from rule" 2 (Dagrider.Ordering.wave_length ord);
+  checki "quorum from rule" 2 (Dagrider.Ordering.commit_quorum ord);
+  checkb "rule retained" true
+    (Dagrider.Ordering.rule ord = Dagrider.Ordering.bullshark);
+  (* overrides apply on top of the rule *)
+  let ord2 =
+    Dagrider.Ordering.create ~rule:Dagrider.Ordering.bullshark ~wave_length:6
+      ~commit_quorum:1 ~f:1 ()
+  in
+  checki "wave length override" 6 (Dagrider.Ordering.wave_length ord2);
+  checki "quorum override" 1 (Dagrider.Ordering.commit_quorum ord2);
+  checki "rule reflects override" 6
+    (Dagrider.Ordering.rule ord2).Dagrider.Ordering.rule_wave_length
 
 (* ---- commit rule ---- *)
 
@@ -76,7 +154,7 @@ let test_commit_rule_full_dag () =
   let dag = full_dag ~rounds:4 in
   let leader = Option.get (Dagrider.Dag.find dag (vref 1 0)) in
   checkb "full support" true
-    (Dagrider.Ordering.commit_rule_met ~dag ~f:1 ~wave:1 ~leader ())
+    (commit_rule_met ~dag ~f:1 ~wave:1 ~leader ())
 
 let test_commit_rule_insufficient_support () =
   (* round 4 has only 2 vertices with a strong path to the leader *)
@@ -91,7 +169,7 @@ let test_commit_rule_insufficient_support () =
   done;
   let leader = Option.get (Dagrider.Dag.find dag (vref 1 0)) in
   checkb "2 < 2f+1" false
-    (Dagrider.Ordering.commit_rule_met ~dag ~f:1 ~wave:1 ~leader ())
+    (commit_rule_met ~dag ~f:1 ~wave:1 ~leader ())
 
 let test_commit_rule_exact_boundary () =
   let dag = Dagrider.Dag.create ~n:4 in
@@ -103,9 +181,9 @@ let test_commit_rule_exact_boundary () =
   done;
   let leader = Option.get (Dagrider.Dag.find dag (vref 1 0)) in
   checkb "exactly 2f+1" true
-    (Dagrider.Ordering.commit_rule_met ~dag ~f:1 ~wave:1 ~leader ());
+    (commit_rule_met ~dag ~f:1 ~wave:1 ~leader ());
   checkb "stricter quorum fails" false
-    (Dagrider.Ordering.commit_rule_met ~commit_quorum:4 ~dag ~f:1 ~wave:1 ~leader ())
+    (commit_rule_met ~commit_quorum:4 ~dag ~f:1 ~wave:1 ~leader ())
 
 (* ---- process_wave ---- *)
 
@@ -253,7 +331,7 @@ let test_fig2_wave2_support_is_two () =
   in
   checki "exactly 2 supporters" 2 (List.length support);
   checkb "commit rule not met" false
-    (Dagrider.Ordering.commit_rule_met ~dag ~f:1 ~wave:2 ~leader:a1 ())
+    (commit_rule_met ~dag ~f:1 ~wave:2 ~leader:a1 ())
 
 let test_fig2_wave2_does_not_commit_directly () =
   let dag = build_fig2_dag () in
@@ -412,7 +490,7 @@ let test_ordering_wave_length_6 () =
     (List.nth c 1).Dagrider.Ordering.leader.Dagrider.Vertex.round;
   (* support is counted in round round(2,6) = 12 *)
   checkb "commit rule used last round" true
-    (Dagrider.Ordering.commit_rule_met ~wave_length:6 ~dag ~f:1 ~wave:2
+    (commit_rule_met ~wave_length:6 ~dag ~f:1 ~wave:2
        ~leader:(List.nth c 1).Dagrider.Ordering.leader ())
 
 let test_ordering_mismatched_wave_length_no_commit () =
@@ -431,6 +509,9 @@ let () =
           Alcotest.test_case "wave_of_completed_round" `Quick
             test_wave_of_completed_round;
           Alcotest.test_case "leader lookup" `Quick test_leader_vertex_lookup ] );
+      ( "rules",
+        [ Alcotest.test_case "rule records" `Quick test_rule_records;
+          Alcotest.test_case "create from rule" `Quick test_create_from_rule ] );
       ( "commit-rule",
         [ Alcotest.test_case "full dag" `Quick test_commit_rule_full_dag;
           Alcotest.test_case "insufficient support" `Quick

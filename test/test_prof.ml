@@ -204,7 +204,7 @@ let test_fleet_expected_spans () =
         checkb (name ^ " nonnegative total") true (r.Prof.r_total_s >= 0.0)
       | None -> Alcotest.fail ("missing span " ^ name))
     [ "run"; "engine.dispatch"; "rbc.bracha.recv"; "rbc.bracha.bcast";
-      "dag.add"; "dag.path"; "dag.causal_history"; "order.wave";
+      "dag.add"; "dag.path"; "dag.causal_history"; "order.wave.dagrider";
       "node.r_deliver"; "node.coin" ]
 
 let test_fleet_coverage () =
