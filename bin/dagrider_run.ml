@@ -5,6 +5,8 @@
      run           simulate a fleet and print a summary
      trace         simulate with structured tracing, render the timeline
      analyze       run the protocol analyzer (live run or replayed JSONL)
+     explain       render the provenance certificate of a commit/skip
+     divergence    first divergent decision between two trace dumps
      profile       simulate under the span profiler, print the hot-span table
      dot           render the DAG as Graphviz with leader/commit classes
      render-dag    regenerate Figure 1: a live DAG rendered as ASCII/DOT
@@ -18,6 +20,9 @@
      dune exec bin/dagrider_run.exe -- trace -n 4 --jsonl run.trace.jsonl
      dune exec bin/dagrider_run.exe -- analyze -n 4 --until 200
      dune exec bin/dagrider_run.exe -- analyze --jsonl run.trace.jsonl
+     dune exec bin/dagrider_run.exe -- explain -n 4 --until 200 --wave 3
+     dune exec bin/dagrider_run.exe -- explain --jsonl run.trace.jsonl --json
+     dune exec bin/dagrider_run.exe -- divergence a.trace.jsonl b.trace.jsonl
      dune exec bin/dagrider_run.exe -- profile -n 7 --until 100 --top 12
      dune exec bin/dagrider_run.exe -- profile --folded out.folded
      dune exec bin/dagrider_run.exe -- dot -n 4 --rounds 12 > dag.dot
@@ -329,6 +334,189 @@ let analyze_cmd =
           — over a live traced run or a replayed JSONL trace.")
     Term.(const run $ Common.term $ jsonl_arg $ json_arg)
 
+(* ---- explain (commit forensics) ---- *)
+
+(* Parse "ROUND,SOURCE" (also accepts "ROUND:SOURCE"). *)
+let vref_conv =
+  let parse s =
+    let s = String.map (function ':' -> ',' | c -> c) s in
+    match String.split_on_char ',' s with
+    | [ r; p ] -> (
+      match (int_of_string_opt (String.trim r), int_of_string_opt (String.trim p)) with
+      | Some r, Some p -> Ok (r, p)
+      | _ -> Error (`Msg (Printf.sprintf "bad vertex %S (want ROUND,SOURCE)" s)))
+    | _ -> Error (`Msg (Printf.sprintf "bad vertex %S (want ROUND,SOURCE)" s))
+  in
+  let print ppf (r, p) = Format.fprintf ppf "%d,%d" r p in
+  Arg.conv (parse, print)
+
+(* Build a forensics collector either from a replayed JSONL dump or by
+   running a fresh traced fleet with the shared flags — the same two
+   sources [analyze] reads from. *)
+let forensics_of (c : Common.t) jsonl =
+  match jsonl with
+  | Some path ->
+    (match Forensics.of_jsonl_file path with
+    | Ok fx -> fx
+    | Error e ->
+      Printf.eprintf "explain: %s\n" e;
+      exit 1)
+  | None ->
+    let tracer = Trace.create ~capacity:4096 () in
+    let fleet = Common.build ~trace:tracer c in
+    Harness.Runner.run fleet ~until:c.until;
+    (match Harness.Runner.forensics fleet with
+    | Some fx -> fx
+    | None ->
+      prerr_endline "explain: traced run produced no forensics collector";
+      exit 1)
+
+let explain_cmd =
+  let run (c : Common.t) jsonl node wave vertex json =
+    let fx = forensics_of c jsonl in
+    let node =
+      match node with
+      | Some n -> n
+      | None -> (
+        match Forensics.observer fx with
+        | Some n -> n
+        | None ->
+          prerr_endline
+            "explain: no provenance certificates in this run (pre-certificate \
+             trace?)";
+          exit 1)
+    in
+    match (wave, vertex) with
+    | Some _, Some _ ->
+      prerr_endline "explain: --wave and --vertex are mutually exclusive";
+      exit 1
+    | Some w, None ->
+      if json then
+        print_endline (Stdx.Json.to_string (Forensics.explain_wave_json fx ~node ~wave:w))
+      else print_string (Forensics.explain_wave fx ~node ~wave:w)
+    | None, Some (round, source) ->
+      if json then
+        print_endline
+          (Stdx.Json.to_string (Forensics.explain_vertex_json fx ~node ~round ~source))
+      else print_string (Forensics.explain_vertex fx ~node ~round ~source)
+    | None, None ->
+      if json then
+        let stories = Forensics.stories fx ~node in
+        print_endline
+          (Stdx.Json.to_string
+             (Stdx.Json.List
+                (List.map
+                   (fun st -> Forensics.explain_wave_json fx ~node ~wave:st.Forensics.st_wave)
+                   stories)))
+      else print_string (Forensics.summary fx ~node)
+  in
+  let jsonl_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "jsonl" ] ~docv:"FILE"
+          ~doc:
+            "Replay a trace dumped by `trace --jsonl` (or a swarm failure \
+             repro) instead of running a fresh simulation.")
+  in
+  let node_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "node" ] ~docv:"P"
+          ~doc:
+            "Explain from process $(docv)'s certificates (default: the node \
+             with the most).")
+  in
+  let wave_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "wave" ] ~docv:"W" ~doc:"Explain wave $(docv)'s decision.")
+  in
+  let vertex_arg =
+    Arg.(
+      value & opt (some vref_conv) None
+      & info [ "vertex" ] ~docv:"R,P"
+          ~doc:
+            "Explain the commit that ordered vertex (round $(b,R), process \
+             $(b,P)).")
+  in
+  let json_arg =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit JSON instead of text.")
+  in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:
+         "Render the provenance certificate chain behind any ordering \
+          decision: the wave's leader and schedule evidence, the exact \
+          supporting quorum, the chain-back path for retroactive commits, \
+          and — for skipped waves — why no commit was legal. Default (no \
+          --wave/--vertex) prints the one-line-per-wave story summary.")
+    Term.(
+      const run $ Common.term $ jsonl_arg $ node_arg $ wave_arg $ vertex_arg
+      $ json_arg)
+
+(* ---- divergence (first divergent decision of two runs) ---- *)
+
+let divergence_cmd =
+  let run file_a file_b node_a node_b json =
+    let load label path =
+      match Forensics.of_jsonl_file path with
+      | Ok fx -> fx
+      | Error e ->
+        Printf.eprintf "divergence: %s: %s\n" label e;
+        exit 1
+    in
+    let fa = load "A" file_a and fb = load "B" file_b in
+    let pick label fx = function
+      | Some n -> n
+      | None -> (
+        match Forensics.observer fx with
+        | Some n -> n
+        | None ->
+          Printf.eprintf "divergence: %s has no provenance certificates\n" label;
+          exit 1)
+    in
+    let node_a = pick "A" fa node_a and node_b = pick "B" fb node_b in
+    if json then
+      print_endline
+        (Stdx.Json.to_string (Forensics.divergence_to_json fa ~node_a fb ~node_b))
+    else print_string (Forensics.render_divergence fa ~node_a fb ~node_b)
+  in
+  let file_a =
+    Arg.(
+      required & pos 0 (some string) None
+      & info [] ~docv:"A.jsonl" ~doc:"First trace dump.")
+  in
+  let file_b =
+    Arg.(
+      required & pos 1 (some string) None
+      & info [] ~docv:"B.jsonl" ~doc:"Second trace dump.")
+  in
+  let node_a_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "node-a" ] ~docv:"P"
+          ~doc:"Observer process in A (default: most certificates).")
+  in
+  let node_b_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "node-b" ] ~docv:"P"
+          ~doc:"Observer process in B (default: most certificates).")
+  in
+  let json_arg =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit JSON instead of text.")
+  in
+  Cmd.v
+    (Cmd.info "divergence"
+       ~doc:
+         "Binary-search two runs' certificate streams (two nodes of one run, \
+          two seeds, or dagrider-vs-bullshark on one schedule) to the first \
+          divergent ordering decision and print both sides' evidence. \
+          Same-rule pairs compare per-wave decisions; cross-rule pairs \
+          compare the ordered delivery logs.")
+    Term.(
+      const run $ file_a $ file_b $ node_a_arg $ node_b_arg $ json_arg)
+
 (* ---- profile ---- *)
 
 let profile_cmd =
@@ -396,7 +584,7 @@ let profile_cmd =
 (* ---- dot (Figures 1-2 style DAG rendering, analyzer-classified) ---- *)
 
 let dot_cmd =
-  let run (c : Common.t) rounds shade_wave snapshot save_snapshot =
+  let run (c : Common.t) rounds shade_wave justify_wave snapshot save_snapshot =
     match snapshot with
     | Some path ->
       (* offline: a saved snapshot has no trace, so no leader classes *)
@@ -423,7 +611,27 @@ let dot_cmd =
         write_file path (Dagrider.Snapshot.dag_to_string dag);
         Printf.eprintf "saved DAG snapshot to %s\n" path
       | None -> ());
-      print_string (Analyze.dot ?shade_wave ~max_round:rounds ~dag report)
+      (match justify_wave with
+      | Some wave ->
+        (* shade the provenance certificate's justification subgraph
+           instead of the analyzer classification *)
+        let fx = Option.get (Harness.Runner.forensics fleet) in
+        let node =
+          match Forensics.observer fx with Some n -> n | None -> 0
+        in
+        (match Forensics.justification fx ~node ~wave with
+        | Some (leader, support, chain) ->
+          print_string
+            (Dagrider.Render.dot_justification ~support ~chain ~legend:true
+               ~max_round:rounds dag ~leader)
+        | None ->
+          Printf.eprintf
+            "dot: wave %d has no commit certificate at p%d (skipped or \
+             unresolved — try `explain --wave %d`)\n"
+            wave node wave;
+          exit 1)
+      | None ->
+        print_string (Analyze.dot ?shade_wave ~max_round:rounds ~dag report))
   in
   let rounds_arg =
     Arg.(
@@ -436,6 +644,15 @@ let dot_cmd =
           ~doc:
             "Shade the causal history of wave $(docv)'s committed leader \
              (default: the newest committed wave).")
+  in
+  let justify_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "justify-wave" ] ~docv:"W"
+          ~doc:
+            "Shade wave $(docv)'s justification subgraph from its provenance \
+             certificate: leader gold, supporting quorum palegreen, \
+             chain-back leaders orange, causal history gray.")
   in
   let snapshot_arg =
     Arg.(
@@ -457,8 +674,8 @@ let dot_cmd =
           colored by outcome (committed/skipped/elected), and the causal \
           history of a chosen commit shaded.")
     Term.(
-      const run $ Common.term $ rounds_arg $ shade_arg $ snapshot_arg
-      $ save_snapshot_arg)
+      const run $ Common.term $ rounds_arg $ shade_arg $ justify_arg
+      $ snapshot_arg $ save_snapshot_arg)
 
 (* ---- render-dag (Figure 1) ---- *)
 
@@ -582,5 +799,6 @@ let () =
        (Cmd.group ~default
           (Cmd.info "dagrider_run" ~version:"1.0.0"
              ~doc:"DAG-Rider simulation driver (PODC 2021 reproduction).")
-          [ run_cmd; trace_cmd; analyze_cmd; profile_cmd; dot_cmd;
-            render_dag_cmd; render_commit_cmd; experiments_cmd ]))
+          [ run_cmd; trace_cmd; analyze_cmd; explain_cmd; divergence_cmd;
+            profile_cmd; dot_cmd; render_dag_cmd; render_commit_cmd;
+            experiments_cmd ]))

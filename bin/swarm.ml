@@ -116,11 +116,18 @@ let lossy_of_flags ~loss ~dup ~corrupt ~reorder =
    functions of the seed, so the traced re-run reproduces the failing
    execution (honest AND sabotage mode: trace_scenario replays the
    weakened quorum and leader-hiding schedule too) — drop the event log
-   next to the repro command and attach the protocol analyzer's anomaly
-   summary so the first triage pass needs no tooling *)
+   and a per-wave certificate digest under traces/ next to the repro
+   command, and attach the protocol analyzer's anomaly summary so the
+   first triage pass needs no tooling *)
+let traces_dir = "traces"
+
 let dump_trace (sc : Check.Scenario.t) =
   let tracer = Check.Swarm.trace_scenario sc in
-  let path = Printf.sprintf "swarm-seed%d.trace.jsonl" sc.Check.Scenario.seed in
+  (if not (Sys.file_exists traces_dir) then Sys.mkdir traces_dir 0o755);
+  let path =
+    Filename.concat traces_dir
+      (Printf.sprintf "swarm-seed%d.trace.jsonl" sc.Check.Scenario.seed)
+  in
   let oc = open_out path in
   output_string oc (Trace.to_jsonl tracer);
   close_out oc;
@@ -128,6 +135,28 @@ let dump_trace (sc : Check.Scenario.t) =
     (if sc.Check.Scenario.sabotage then "sabotage" else "honest")
     (List.length (Trace.events tracer))
     (Trace.dropped tracer);
+  (* the forensics sink sees the whole stream even past ring wrap:
+     summarize every node's wave stories so triage can see who decided
+     what without replaying the trace *)
+  let fx = Forensics.of_events (Trace.events tracer) in
+  (match Forensics.nodes fx with
+  | [] -> ()
+  | nodes ->
+    let explain_path =
+      Filename.concat traces_dir
+        (Printf.sprintf "swarm-seed%d.explain.txt" sc.Check.Scenario.seed)
+    in
+    let oc = open_out explain_path in
+    output_string oc
+      (Printf.sprintf "%s\n\n" (Check.Scenario.describe sc));
+    List.iter
+      (fun node ->
+        output_string oc (Forensics.summary fx ~node);
+        output_char oc '\n')
+      nodes;
+    close_out oc;
+    Printf.printf "  explain: %s (certificate stories of %d node(s))\n"
+      explain_path (List.length nodes));
   (* the analyzer sees only the ring's retained window; truncation is
      reported inside the summary rather than hidden *)
   let rule =

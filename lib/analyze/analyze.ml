@@ -187,6 +187,9 @@ type t = {
   last_commit : (int, float) Hashtbl.t;
   adeliv : (int, (int * int * float * float option) list ref) Hashtbl.t;
       (* node -> rev (round, source, at, attributed commit time) *)
+  skip_certs : (int * int, string) Hashtbl.t;
+      (* (node, wave) -> certificate skip reason (authoritative,
+         replaces the insertion-table heuristic when present) *)
   drop_reasons : (string, int ref) Hashtbl.t;
   retrans_links : (int * int, int ref) Hashtbl.t; (* (src, dst) -> count *)
   giveup_links : (int * int, int ref) Hashtbl.t;
@@ -213,6 +216,7 @@ let create () =
     ord = Hashtbl.create 16;
     last_commit = Hashtbl.create 16;
     adeliv = Hashtbl.create 16;
+    skip_certs = Hashtbl.create 64;
     drop_reasons = Hashtbl.create 8;
     retrans_links = Hashtbl.create 64;
     giveup_links = Hashtbl.create 16;
@@ -303,6 +307,16 @@ let feed t (e : Trace.event) =
     bump leader_source;
     push t.ord node (Ocommit { wave; leader_source; direct; delivered; at = time });
     Hashtbl.replace t.last_commit node time
+  | Trace.Commit_cert { node; leader_source; _ } ->
+    (* the compact Commit event drives the wave records; the certificate
+       adds nothing the analyzer aggregates (forensics consumes it) *)
+    bump node;
+    bump leader_source
+  | Trace.Skip_cert { node; wave; leader_source; reason; _ } ->
+    bump node;
+    bump leader_source;
+    if not (Hashtbl.mem t.skip_certs (node, wave)) then
+      Hashtbl.add t.skip_certs (node, wave) reason
   | Trace.A_deliver { node; round; source } ->
     bump node;
     bump source;
@@ -446,12 +460,20 @@ let finalize ?(config = default_config) t =
             match skip with
             | Some (leader, at) ->
               incr skipped_final;
+              (* the skip certificate carries the authoritative reason;
+                 traces predating certificates fall back to the
+                 insertion-table heuristic *)
               let reason =
-                match
-                  Hashtbl.find_opt t.inserted (observer, leader_round w, leader)
-                with
-                | Some ins when ins <= at -> "leader under-supported"
-                | _ -> "leader vertex absent"
+                match Hashtbl.find_opt t.skip_certs (observer, w) with
+                | Some "leader-absent" -> "leader vertex absent"
+                | Some "under-supported" -> "leader under-supported"
+                | Some other -> other
+                | None -> (
+                  match
+                    Hashtbl.find_opt t.inserted (observer, leader_round w, leader)
+                  with
+                  | Some ins when ins <= at -> "leader under-supported"
+                  | _ -> "leader vertex absent")
               in
               (Skipped reason, None, 0)
             | None -> (Unresolved, None, 0))
@@ -833,6 +855,8 @@ let report_to_json r =
       ("f", Stdx.Json.Int r.r_f);
       ("wave_length", Stdx.Json.Int r.r_wave_length);
       ("rule", Stdx.Json.String r.r_rule);
+      ("rule_name", Stdx.Json.String r.r_rule);
+      ("waves_bound", Stdx.Json.Float r.r_waves_bound);
       ("observer", Stdx.Json.Int r.r_observer);
       ("events", Stdx.Json.Int r.r_events);
       ("truncated", Stdx.Json.Bool r.r_truncated);

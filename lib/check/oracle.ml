@@ -296,6 +296,254 @@ let check_skip_legality ~wave_length ~commits ~dag_of ~leader_of =
         !violations)
     by_node []
 
+(* Re-validate provenance certificates against the final DAGs. A
+   certificate is a {e claim} about why a decision was legal; the
+   checker re-derives every part of the claim it can from the DAG it
+   ends up with — a certificate the checker cannot verify is itself a
+   failure, whether the bug is in the ordering or in the emission.
+   Strong paths and vertex presence are monotone (support only grows),
+   so positive claims stay checkable end-of-run; the claimed-at-the-time
+   {e counts} of skip certificates are checked for internal consistency
+   instead. *)
+let check_certificates ~rule ~f ~forensics ~dag_of =
+  let wave_length = rule.Dagrider.Ordering.rule_wave_length in
+  let quorum = Dagrider.Ordering.quorum_of rule ~f in
+  let bad node detail = { invariant = "certificate"; node; detail } in
+  let check_common node ~wave ~rule_name ~cert_quorum ~leader_round =
+    let acc = [] in
+    let acc =
+      if rule_name <> rule.Dagrider.Ordering.rule_name then
+        bad node
+          (Printf.sprintf "wave %d certificate names rule %S, run used %S" wave
+             rule_name rule.Dagrider.Ordering.rule_name)
+        :: acc
+      else acc
+    in
+    let acc =
+      if cert_quorum <> quorum then
+        bad node
+          (Printf.sprintf "wave %d certificate claims quorum %d, rule needs %d"
+             wave cert_quorum quorum)
+        :: acc
+      else acc
+    in
+    if leader_round <> Dagrider.Ordering.round_of ~wave_length ~wave ~k:1 then
+      bad node
+        (Printf.sprintf "wave %d certificate places the leader in round %d, \
+                         the wave's first round is %d"
+           wave leader_round
+           (Dagrider.Ordering.round_of ~wave_length ~wave ~k:1))
+      :: acc
+    else acc
+  in
+  let check_commit node dag ~floor tbl_committed (c : Forensics.commit_cert) =
+    let acc =
+      check_common node ~wave:c.Forensics.c_wave ~rule_name:c.Forensics.c_rule
+        ~cert_quorum:c.Forensics.c_quorum ~leader_round:c.Forensics.c_leader_round
+    in
+    let leader =
+      { Dagrider.Vertex.round = c.Forensics.c_leader_round;
+        source = c.Forensics.c_leader_source }
+    in
+    if c.Forensics.c_leader_round < floor then
+      (* the wave sits below the GC horizon: its vertices were pruned,
+         so absence is not evidence against the certificate — only the
+         schedule/quorum field checks above still apply *)
+      acc
+    else if not (Dagrider.Dag.contains dag leader) then
+      bad node
+        (Printf.sprintf "wave %d committed leader %s absent from the final DAG"
+           c.Forensics.c_wave (pp_vref leader))
+      :: acc
+    else if c.Forensics.c_direct then begin
+      let last_round =
+        Dagrider.Ordering.round_of ~wave_length ~wave:c.Forensics.c_wave
+          ~k:wave_length
+      in
+      let acc =
+        if List.length c.Forensics.c_support < quorum then
+          bad node
+            (Printf.sprintf
+               "wave %d direct commit cites %d supporters, below quorum %d"
+               c.Forensics.c_wave
+               (List.length c.Forensics.c_support)
+               quorum)
+          :: acc
+        else acc
+      in
+      List.fold_left
+        (fun acc src ->
+          let sref = { Dagrider.Vertex.round = last_round; source = src } in
+          if not (Dagrider.Dag.contains dag sref) then
+            bad node
+              (Printf.sprintf "wave %d cites supporter %s missing from the \
+                               final DAG"
+                 c.Forensics.c_wave (pp_vref sref))
+            :: acc
+          else if not (Dagrider.Dag.strong_path dag sref leader) then
+            bad node
+              (Printf.sprintf "wave %d cites supporter %s with no strong path \
+                               to leader %s"
+                 c.Forensics.c_wave (pp_vref sref) (pp_vref leader))
+            :: acc
+          else acc)
+        acc c.Forensics.c_support
+    end
+    else begin
+      let via =
+        { Dagrider.Vertex.round = c.Forensics.c_via_round;
+          source = c.Forensics.c_via_source }
+      in
+      let via_wave = ((c.Forensics.c_via_round - 1) / wave_length) + 1 in
+      let acc =
+        if
+          via_wave <= c.Forensics.c_wave || via_wave > c.Forensics.c_anchor
+          || not (Hashtbl.mem tbl_committed via_wave)
+        then
+          bad node
+            (Printf.sprintf
+               "wave %d chained via %s (wave %d), which is not a later \
+                committed wave of the same chain (anchor %d)"
+               c.Forensics.c_wave (pp_vref via) via_wave c.Forensics.c_anchor)
+          :: acc
+        else acc
+      in
+      if not (Dagrider.Dag.contains dag via) then
+        bad node
+          (Printf.sprintf "wave %d chain-back evidence %s absent from the \
+                           final DAG"
+             c.Forensics.c_wave (pp_vref via))
+        :: acc
+      else if not (Dagrider.Dag.strong_path dag via leader) then
+        bad node
+          (Printf.sprintf "wave %d chained without a strong path from %s to \
+                           leader %s"
+             c.Forensics.c_wave (pp_vref via) (pp_vref leader))
+        :: acc
+      else acc
+    end
+  in
+  let check_final_skip node dag ~floor ~next_commit (s : Forensics.skip_cert) =
+    let acc =
+      check_common node ~wave:s.Forensics.s_wave ~rule_name:s.Forensics.s_rule
+        ~cert_quorum:s.Forensics.s_quorum ~leader_round:s.Forensics.s_leader_round
+    in
+    let leader =
+      { Dagrider.Vertex.round = s.Forensics.s_leader_round;
+        source = s.Forensics.s_leader_source }
+    in
+    let acc =
+      if List.length s.Forensics.s_support >= quorum then
+        bad node
+          (Printf.sprintf
+             "wave %d skip cites %d supporters — at or above quorum %d, the \
+              skip was illegal by its own evidence"
+             s.Forensics.s_wave
+             (List.length s.Forensics.s_support)
+             quorum)
+        :: acc
+      else acc
+    in
+    let acc =
+      if s.Forensics.s_reason = "leader-absent" && s.Forensics.s_support <> []
+      then
+        bad node
+          (Printf.sprintf "wave %d skip claims an absent leader yet cites \
+                           supporters"
+             s.Forensics.s_wave)
+        :: acc
+      else acc
+    in
+    (* claimed supporters are monotone facts — still checkable (unless
+       the wave fell below the GC horizon and was pruned) *)
+    let acc =
+      if s.Forensics.s_leader_round >= floor && Dagrider.Dag.contains dag leader
+      then
+        List.fold_left
+          (fun acc src ->
+            let sref =
+              { Dagrider.Vertex.round =
+                  Dagrider.Ordering.round_of ~wave_length
+                    ~wave:s.Forensics.s_wave ~k:wave_length;
+                source = src }
+            in
+            if
+              Dagrider.Dag.contains dag sref
+              && Dagrider.Dag.strong_path dag sref leader
+            then acc
+            else
+              bad node
+                (Printf.sprintf "wave %d skip cites supporter %s the final \
+                                 DAG does not confirm"
+                   s.Forensics.s_wave (pp_vref sref))
+              :: acc)
+          acc s.Forensics.s_support
+      else acc
+    in
+    (* skip legality: if the next committed leader reaches this wave's
+       leader by a strong path in the final DAG, the chain-back was
+       obliged to commit it (causal closure at insertion makes this
+       auditable end-of-run, as in check_skip_legality) *)
+    match next_commit with
+    | Some (next : Forensics.commit_cert)
+      when s.Forensics.s_leader_round >= floor
+           && Dagrider.Dag.contains dag leader
+           && Dagrider.Dag.strong_path dag
+                { Dagrider.Vertex.round = next.Forensics.c_leader_round;
+                  source = next.Forensics.c_leader_source }
+                leader ->
+      bad node
+        (Printf.sprintf
+           "wave %d was finally skipped although committed wave %d's leader \
+            reaches its leader %s by a strong path"
+           s.Forensics.s_wave next.Forensics.c_wave (pp_vref leader))
+      :: acc
+    | _ -> acc
+  in
+  List.concat_map
+    (fun node ->
+      match dag_of node with
+      | None -> []
+      | Some dag ->
+        (* the GC horizon: rounds below the lowest retained one were
+           pruned and cannot be audited against this DAG *)
+        let floor =
+          List.fold_left
+            (fun acc v -> min acc v.Dagrider.Vertex.round)
+            max_int
+            (Dagrider.Dag.vertices dag)
+        in
+        let sts = Forensics.stories forensics ~node in
+        let committed = Hashtbl.create 64 in
+        List.iter
+          (fun st ->
+            match st.Forensics.st_commit with
+            | Some c -> Hashtbl.replace committed st.Forensics.st_wave c
+            | None -> ())
+          sts;
+        let next_commit_after w =
+          List.fold_left
+            (fun acc st ->
+              match (acc, st.Forensics.st_commit) with
+              | None, Some c when st.Forensics.st_wave > w -> Some c
+              | _ -> acc)
+            None sts
+        in
+        List.concat_map
+          (fun st ->
+            (match st.Forensics.st_commit with
+            | Some c -> check_commit node dag ~floor committed c
+            | None -> [])
+            @
+            match (st.Forensics.st_commit, st.Forensics.st_skip) with
+            | None, Some s ->
+              check_final_skip node dag ~floor
+                ~next_commit:(next_commit_after st.Forensics.st_wave)
+                s
+            | _ -> [])
+          sts)
+    (Forensics.nodes forensics)
+
 let check_chain_quality ~f ~correct ~logs =
   List.filter_map
     (fun (i, log) ->
@@ -374,5 +622,8 @@ let check_fleet ~runner ~commits ~expect_validity =
   @ check_leader_support ~rule ~f ~commits:live_commits ~dag_of
   @ check_skip_legality ~wave_length:rule.Dagrider.Ordering.rule_wave_length
       ~commits:live_commits ~dag_of ~leader_of
+  @ (match Harness.Runner.forensics runner with
+    | Some forensics -> check_certificates ~rule ~f ~forensics ~dag_of
+    | None -> [])
   @ check_chain_quality ~f ~correct:is_correct ~logs:full_logs
   @ (if expect_validity then check_validity ~n ~logs:full_logs else [])

@@ -16,8 +16,8 @@ type violation = {
   invariant : string;
       (** which property broke: ["agreement"], ["extension"],
           ["integrity"], ["dag-wf"], ["equivocation"],
-          ["leader-support"], ["skip-legality"], ["chain-quality"],
-          or ["validity"] *)
+          ["leader-support"], ["skip-legality"], ["certificate"],
+          ["chain-quality"], or ["validity"] *)
   node : int; (** the process at which the violation was observed *)
   detail : string;
 }
@@ -101,6 +101,30 @@ val check_skip_legality :
     oracle that catches an illegally aggressive leader-skip rule, e.g.
     a Bullshark fallback that skips a leader its successor can see. *)
 
+val check_certificates :
+  rule:Dagrider.Ordering.rule ->
+  f:int ->
+  forensics:Forensics.t ->
+  dag_of:(int -> Dagrider.Dag.t option) ->
+  violation list
+(** Re-validate every provenance certificate a traced run emitted
+    against the final DAGs — a certificate the checker cannot verify is
+    itself a failure. Per commit certificate: the rule name and quorum
+    match the run's rule (re-derived from [rule] and [f], never the
+    certificate's own claim), the leader sits in the wave's first round
+    and exists in the node's final DAG, a direct commit's cited
+    supporter set is [>= quorum] and each cited supporter reaches the
+    leader by a strong path, and a chained commit's [via] leader is a
+    later committed wave of the same chain that reaches it by a strong
+    path (all monotone facts, so the final DAG is sound to judge by).
+    Per final skip certificate: the cited support is below quorum and
+    consistent with the reason, each cited supporter is confirmed, and
+    no later committed leader reaches the skipped leader by a strong
+    path (the skip-legality argument of {!check_skip_legality}).
+    Certificates for waves below a GC'd DAG's lowest retained round
+    keep only the field checks — pruned vertices cannot witness either
+    way. *)
+
 val check_fleet :
   runner:Harness.Runner.t ->
   commits:commit_record list ->
@@ -124,6 +148,9 @@ val check_fleet :
       committed leader;
     - {b skip-legality}: no skipped wave's leader is strong-path
       reachable from the next committed leader (above);
+    - {b certificate} (traced runs only): every provenance certificate
+      the run emitted re-validates against the final DAGs
+      ({!check_certificates});
     - {b chain-quality}: the [(f+1)/(2f+1)]-per-prefix bound
       ({!Metrics.Chain_quality.audit});
     - {b validity} (only when [expect_validity], i.e. fault-free

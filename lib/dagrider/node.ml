@@ -322,6 +322,64 @@ let maybe_gc t =
       if bound > 1 then Dag.prune_below t.dag ~round:bound
     end
 
+(* ---- provenance certificates (forensics) ----
+
+   Alongside the compact Commit / Leader_skipped events, a traced node
+   emits one certificate per ordering decision carrying the full
+   evidence: the schedule that named the leader, the exact supporter
+   set counted against the quorum, and — for chained commits — which
+   later leader's strong path recovered the wave. lib/forensics
+   reconstructs explain/divergence views purely from these. *)
+
+let sched_label = function
+  | Ordering.Coin -> "coin"
+  | Ordering.Round_robin -> "round-robin"
+
+let emit_skip_cert t ~wave ~leader_source =
+  match t.trace with
+  | None -> ()
+  | Some tr ->
+    let rule = Ordering.rule t.ordering in
+    let wave_length = Ordering.wave_length t.ordering in
+    let reason, support =
+      Ordering.skip_evidence ~wave_length ~dag:t.dag ~wave ~leader_source
+    in
+    Trace.emit tr
+      (Trace.Skip_cert
+         { node = t.me;
+           rule = rule.Ordering.rule_name;
+           sched = sched_label rule.Ordering.rule_schedule;
+           wave;
+           leader_round = Ordering.round_of ~wave_length ~wave ~k:1;
+           leader_source;
+           reason = Ordering.skip_reason_label reason;
+           support = List.map (fun v -> v.Vertex.source) support;
+           quorum = Ordering.commit_quorum t.ordering })
+
+let emit_commit_cert t (c : Ordering.commit) =
+  match t.trace with
+  | None -> ()
+  | Some tr ->
+    let rule = Ordering.rule t.ordering in
+    Trace.emit tr
+      (Trace.Commit_cert
+         { node = t.me;
+           rule = rule.Ordering.rule_name;
+           sched = sched_label rule.Ordering.rule_schedule;
+           wave = c.Ordering.wave;
+           leader_round = c.Ordering.leader.Vertex.round;
+           leader_source = c.Ordering.leader.Vertex.source;
+           direct = c.Ordering.direct;
+           anchor_wave = c.Ordering.anchor;
+           via_round = c.Ordering.via.Vertex.round;
+           via_source = c.Ordering.via.Vertex.source;
+           support =
+             List.map
+               (fun (r : Vertex.vref) -> r.Vertex.source)
+               c.Ordering.support;
+           quorum = Ordering.commit_quorum t.ordering;
+           delivered = List.length c.Ordering.delivered })
+
 (* Run the ordering step for every wave that is locally complete and
    whose leader is known, strictly in wave order (Algorithm 3 needs
    leaders of all waves <= w when processing w). Coin-scheduled rules
@@ -345,10 +403,15 @@ let rec try_order_waves t =
     let commits =
       Ordering.process_wave t.ordering ~dag:t.dag ~wave:w ~choose_leader
     in
-    if commits = [] then
+    if commits = [] then begin
       tr_emit t
         (Trace.Leader_skipped
            { node = t.me; wave = w; leader = choose_leader w });
+      (* w <= decided_wave only happens on restore edge cases where the
+         wave was in fact already decided — no skip evidence then *)
+      if w > Ordering.decided_wave t.ordering then
+        emit_skip_cert t ~wave:w ~leader_source:(choose_leader w)
+    end;
     List.iter
       (fun (c : Ordering.commit) ->
         tr_emit t
@@ -359,6 +422,7 @@ let rec try_order_waves t =
                leader_source = c.leader.Vertex.source;
                direct = c.direct;
                delivered = List.length c.delivered });
+        emit_commit_cert t c;
         t.on_commit c;
         List.iter
           (fun v ->

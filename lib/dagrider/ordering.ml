@@ -57,7 +57,16 @@ type commit = {
   leader : Vertex.t;
   delivered : Vertex.t list;
   direct : bool;
+  support : Vertex.vref list;
+  anchor : int;
+  via : Vertex.vref;
 }
+
+type skip_reason = Leader_absent | Under_supported
+
+let skip_reason_label = function
+  | Leader_absent -> "leader-absent"
+  | Under_supported -> "under-supported"
 
 let create ?(rule = dag_rider) ?wave_length ?commit_quorum ~f () =
   let wave_length =
@@ -92,16 +101,21 @@ let leader_vertex ~wave_length ~dag ~wave ~leader_source =
   Dag.find dag
     { Vertex.round = round_of ~wave_length ~wave ~k:1; source = leader_source }
 
-let commit_rule_met ~wave_length ~commit_quorum ~dag ~wave ~leader =
+let supporters ~wave_length ~dag ~wave ~leader =
   let last_round = round_of ~wave_length ~wave ~k:wave_length in
-  let supporters =
-    List.filter
-      (fun v -> Dag.strong_path dag (Vertex.vref_of v) (Vertex.vref_of leader))
-      (Dag.round_vertices dag last_round)
-  in
-  List.length supporters >= commit_quorum
+  List.filter
+    (fun v -> Dag.strong_path dag (Vertex.vref_of v) (Vertex.vref_of leader))
+    (Dag.round_vertices dag last_round)
 
-let deliver_leader t ~dag ~wave ~leader ~direct =
+let commit_rule_met ~wave_length ~commit_quorum ~dag ~wave ~leader =
+  List.length (supporters ~wave_length ~dag ~wave ~leader) >= commit_quorum
+
+let skip_evidence ~wave_length ~dag ~wave ~leader_source =
+  match leader_vertex ~wave_length ~dag ~wave ~leader_source with
+  | None -> (Leader_absent, [])
+  | Some leader -> (Under_supported, supporters ~wave_length ~dag ~wave ~leader)
+
+let deliver_leader t ~dag ~wave ~leader ~direct ~support ~anchor ~via =
   let history = Dag.causal_history dag (Vertex.vref_of leader) in
   let fresh =
     List.filter
@@ -114,7 +128,7 @@ let deliver_leader t ~dag ~wave ~leader ~direct =
       t.log_rev <- v :: t.log_rev;
       t.delivered_count <- t.delivered_count + 1)
     fresh;
-  { wave; leader; delivered = fresh; direct }
+  { wave; leader; delivered = fresh; direct; support; anchor; via }
 
 let process_wave_impl t ~dag ~wave ~choose_leader =
   if wave <= t.decided_wave then []
@@ -125,11 +139,8 @@ let process_wave_impl t ~dag ~wave ~choose_leader =
     with
     | None -> []
     | Some leader ->
-      if
-        not
-          (commit_rule_met ~wave_length ~commit_quorum:t.commit_quorum ~dag
-             ~wave ~leader)
-      then []
+      let support = supporters ~wave_length ~dag ~wave ~leader in
+      if List.length support < t.commit_quorum then []
       else begin
         (* Lines 38-43: push this wave's leader, then walk back through
            undecided waves, chaining any leader the current one reaches
@@ -153,11 +164,25 @@ let process_wave_impl t ~dag ~wave ~choose_leader =
         done;
         t.decided_wave <- wave;
         (* Lines 51-57: pop in increasing wave order and deliver causal
-           histories not yet delivered. *)
-        List.map
-          (fun (w, v) ->
-            deliver_leader t ~dag ~wave:w ~leader:v ~direct:(w = wave))
-          !stack
+           histories not yet delivered. Each commit carries its
+           provenance: direct commits cite the last-round supporter set,
+           chained ones the next leader up the chain ([via]) whose
+           strong path justified them; [anchor] names the wave whose
+           direct commit fired the whole chain. *)
+        let support_refs = List.map Vertex.vref_of support in
+        let rec emit = function
+          | [] -> []
+          | [ (w, v) ] ->
+            [ deliver_leader t ~dag ~wave:w ~leader:v ~direct:true
+                ~support:support_refs ~anchor:wave ~via:(Vertex.vref_of v) ]
+          | (w, v) :: ((_, next) :: _ as rest) ->
+            let c =
+              deliver_leader t ~dag ~wave:w ~leader:v ~direct:false ~support:[]
+                ~anchor:wave ~via:(Vertex.vref_of next)
+            in
+            c :: emit rest
+        in
+        emit !stack
       end
 
 let process_wave t ~dag ~wave ~choose_leader =

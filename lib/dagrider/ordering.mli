@@ -73,7 +73,28 @@ type commit = {
   delivered : Vertex.t list;(** newly delivered causal history, in order *)
   direct : bool;            (** committed by its own wave's commit rule
                                 ([false] = chained from a later wave) *)
+  support : Vertex.vref list;
+      (** provenance of a direct commit: the wave's last-round vertices
+          with a strong path to the leader — the exact set the Line 36
+          vote count was taken over. Empty for chained commits, whose
+          evidence is [via]. *)
+  anchor : int;
+      (** the wave whose direct commit fired this decision; equals
+          [wave] for direct commits, the wave at the top of the
+          lines-38-43 chain for chained ones *)
+  via : Vertex.vref;
+      (** the next committed leader up the chain whose strong path to
+          this leader justified a chained commit; the leader itself
+          when [direct] *)
 }
+
+type skip_reason =
+  | Leader_absent    (** no leader vertex in the local DAG (Line 47) *)
+  | Under_supported  (** leader present, support below the quorum *)
+
+val skip_reason_label : skip_reason -> string
+(** Stable identifiers "leader-absent" / "under-supported" (the trace
+    certificate encoding). *)
 
 val create :
   ?rule:rule -> ?wave_length:int -> ?commit_quorum:int -> f:int -> unit -> t
@@ -97,6 +118,21 @@ val leader_vertex :
   dag:Dag.t -> wave:int -> leader_source:int -> Vertex.t option
 (** [get_wave_vertex_leader] (Line 46): the chosen process's vertex in
     the wave's first round, if the local DAG has it. *)
+
+val supporters :
+  wave_length:int -> dag:Dag.t -> wave:int -> leader:Vertex.t -> Vertex.t list
+(** The vertices of [round(w, L)] with a strong path to the leader —
+    the set whose size Line 36 compares against the quorum, in DAG
+    order (sorted by source). *)
+
+val skip_evidence :
+  wave_length:int ->
+  dag:Dag.t -> wave:int -> leader_source:int ->
+  skip_reason * Vertex.t list
+(** Why a wave's commit rule is not met right now, with the partial
+    supporter set as evidence ([Leader_absent] carries the empty list).
+    Pure DAG probe — meaningful whenever {!process_wave} returned no
+    commit for the wave. *)
 
 val commit_rule_met :
   wave_length:int -> commit_quorum:int ->

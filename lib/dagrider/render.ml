@@ -37,6 +37,8 @@ type vertex_class =
   | Skipped_leader
   | Committed_leader
   | Shaded
+  | Supporter
+  | Chained_leader
 
 let class_style = function
   | Plain -> ""
@@ -44,6 +46,8 @@ let class_style = function
   | Skipped_leader -> " [style=filled, fillcolor=lightcoral]"
   | Committed_leader -> " [style=filled, fillcolor=gold]"
   | Shaded -> " [style=filled, fillcolor=gray90]"
+  | Supporter -> " [style=filled, fillcolor=palegreen]"
+  | Chained_leader -> " [style=filled, fillcolor=orange]"
 
 let dot_classified ?(classify = fun _ -> Plain) ?(legend = false) ?max_round dag
     =
@@ -59,6 +63,8 @@ let dot_classified ?(classify = fun _ -> Plain) ?(legend = false) ?max_round dag
       "  // legend: gold = committed leader, lightcoral = skipped leader,\n\
       \  //         lightskyblue = elected (unresolved) leader,\n\
       \  //         gray90 = causal history of the chosen commit,\n\
+      \  //         palegreen = supporting-quorum vertex,\n\
+      \  //         orange = chain-back leader,\n\
       \  //         solid edge = strong, dashed edge = weak\n";
   let node_id (vref : Vertex.vref) =
     Printf.sprintf "r%dp%d" vref.Vertex.round vref.Vertex.source
@@ -96,6 +102,22 @@ let dot_classified ?(classify = fun _ -> Plain) ?(legend = false) ?max_round dag
   done;
   Buffer.add_string buf "}\n";
   Buffer.contents buf
+
+let dot_justification ?(support = []) ?(chain = []) ?legend ?max_round dag
+    ~leader =
+  let classes : (Vertex.vref, vertex_class) Hashtbl.t = Hashtbl.create 64 in
+  (* paint lowest-priority first so the stronger roles win the slot *)
+  if Dag.contains dag leader then
+    List.iter
+      (fun v -> Hashtbl.replace classes v Shaded)
+      (Dag.reachable_from dag leader ~via_strong_only:false);
+  List.iter (fun v -> Hashtbl.replace classes v Supporter) support;
+  List.iter (fun v -> Hashtbl.replace classes v Chained_leader) chain;
+  Hashtbl.replace classes leader Committed_leader;
+  dot_classified
+    ~classify:(fun v ->
+      match Hashtbl.find_opt classes v with Some c -> c | None -> Plain)
+    ?legend ?max_round dag
 
 let dot ?(highlight = fun _ -> false) ?max_round dag =
   dot_classified

@@ -30,6 +30,12 @@ type vertex_class =
   | Skipped_leader  (** ordering skipped it (absent / under-supported) *)
   | Committed_leader  (** directly or retroactively committed *)
   | Shaded  (** in the chosen commit's causal history (Figure 2) *)
+  | Supporter
+      (** last-round vertex of the supporting quorum (strong path to
+          the leader — the set Line 36 counted) *)
+  | Chained_leader
+      (** leader committed by the lines-38-43 chain-back of the
+          rendered commit *)
 
 val dot_classified :
   ?classify:(Vertex.vref -> vertex_class) ->
@@ -43,6 +49,20 @@ val dot_classified :
     [legend] (default false) prepends a comment block naming the
     colors. [dot] is [dot_classified] with highlight mapped to
     {!Committed_leader} and no legend. *)
+
+val dot_justification :
+  ?support:Vertex.vref list ->
+  ?chain:Vertex.vref list ->
+  ?legend:bool ->
+  ?max_round:int ->
+  Dag.t ->
+  leader:Vertex.vref ->
+  string
+(** {!dot_classified} shading one commit's justification subgraph: the
+    leader gold, its supporting-quorum vertices palegreen, the
+    chain-back leaders orange, and the leader's causal history gray —
+    the visual form of a provenance certificate (role colors override
+    history shading where they overlap). *)
 
 val wave_summary :
   Dag.t ->

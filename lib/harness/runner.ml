@@ -106,6 +106,7 @@ type t = {
   crashed : bool array; (* additionally, never started *)
   latency : Metrics.Latency.t;
   analyzer : Analyze.t option; (* streaming trace consumer, iff traced *)
+  forensics : Forensics.t option; (* certificate collector, iff traced *)
   mutable started : bool;
 }
 
@@ -171,6 +172,16 @@ let build options =
       let acc = Analyze.create () in
       Trace.add_sink tr (Analyze.feed acc);
       Some acc
+  in
+  (* ...and into the forensics collector, which keeps every provenance
+     certificate for explain / divergence / oracle re-validation *)
+  let forensics =
+    match options.trace with
+    | None -> None
+    | Some tr ->
+      let fx = Forensics.create () in
+      Trace.add_sink tr (Forensics.feed fx);
+      Some fx
   in
   (* One transport stack per protocol; same engine/schedule/counters, so
      semantically a single multiplexed network. Direct mode builds the
@@ -439,6 +450,7 @@ let build options =
     crashed;
     latency;
     analyzer;
+    forensics;
     started = false }
 
 let engine t = t.engine
@@ -605,6 +617,20 @@ let retransmits_by_link t =
 
 let metrics_snapshot t =
   let reg = Metrics.Registry.create () in
+  (* name the commit rule explicitly ("rule.<name>" = 1) so downstream
+     tooling doesn't have to infer it from span names like
+     order.wave.<rule>, and export the rule's shape next to it *)
+  let rule = effective_rule t.options in
+  Metrics.Registry.incr reg ("rule." ^ rule.Dagrider.Ordering.rule_name) ();
+  Metrics.Registry.set_gauge reg "rule.wave_length"
+    (float_of_int rule.Dagrider.Ordering.rule_wave_length);
+  Metrics.Registry.set_gauge reg "rule.waves_bound"
+    rule.Dagrider.Ordering.rule_bound;
+  Metrics.Registry.set_gauge reg "rule.commit_quorum"
+    (float_of_int
+       (match t.options.commit_quorum with
+       | Some q -> q
+       | None -> Dagrider.Ordering.quorum_of rule ~f:t.options.f));
   Metrics.Registry.incr reg "net.bits.total"
     ~by:(Metrics.Counters.total_bits t.counters) ();
   Metrics.Registry.incr reg "net.bits.honest" ~by:(honest_bits t) ();
@@ -699,6 +725,8 @@ let analysis t =
   | Some acc -> Some (Analyze.finalize ~config:(analysis_config t) acc)
 
 let analysis_report t = Option.map Analyze.report_to_json (analysis t)
+
+let forensics t = t.forensics
 
 let restart_node t i =
   if i < 0 || i >= t.options.n then invalid_arg "Runner.restart_node: bad index";

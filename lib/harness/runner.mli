@@ -188,7 +188,10 @@ val retransmits_by_link : t -> ((int * int) * int) list
     diagnostics the analyzer and swarm checker read. *)
 
 val metrics_snapshot : t -> Metrics.Registry.snapshot
-(** One snapshot of the run's health: communication counters (total,
+(** One snapshot of the run's health: the active commit rule
+    ([rule.<name>] = 1 plus [rule.wave_length] / [rule.waves_bound] /
+    [rule.commit_quorum] gauges — explicit so downstream tooling need
+    not infer the rule from span names), communication counters (total,
     honest, per message kind), engine gauges (virtual time, events
     executed, events pending), latency histograms (first delivery and
     per-process delivery), per-node delivered counts, drop counters by
@@ -207,6 +210,14 @@ val analysis : t -> Analyze.report option
 
 val analysis_report : t -> Stdx.Json.t option
 (** {!analysis} serialized via {!Analyze.report_to_json}. *)
+
+val forensics : t -> Forensics.t option
+(** The run's provenance-certificate collector: [Some] iff the run was
+    built with a tracer (fed live through {!Trace.add_sink}, like the
+    analyzer, so it holds every certificate even past ring wrap). This
+    is what [explain]/[divergence] read and what the swarm oracle
+    re-validates via {!Check} — untraced runs return [None] and pay
+    nothing. *)
 
 val restart_node : t -> int -> unit
 (** Crash-and-recover process [i] in place: checkpoint it (through the

@@ -25,6 +25,32 @@ type kind =
       direct : bool;
       delivered : int;
     }
+  | Commit_cert of {
+      node : int;
+      rule : string;
+      sched : string;
+      wave : int;
+      leader_round : int;
+      leader_source : int;
+      direct : bool;
+      anchor_wave : int;
+      via_round : int;
+      via_source : int;
+      support : int list;
+      quorum : int;
+      delivered : int;
+    }
+  | Skip_cert of {
+      node : int;
+      rule : string;
+      sched : string;
+      wave : int;
+      leader_round : int;
+      leader_source : int;
+      reason : string;
+      support : int list;
+      quorum : int;
+    }
   | A_deliver of { node : int; round : int; source : int }
   | Engine_sample of { executed : int; pending : int }
 
@@ -91,6 +117,8 @@ let node_of = function
   | Leader_elected { node; _ }
   | Leader_skipped { node; _ }
   | Commit { node; _ }
+  | Commit_cert { node; _ }
+  | Skip_cert { node; _ }
   | A_deliver { node; _ } -> Some node
   | Engine_sample _ -> None
 
@@ -108,6 +136,8 @@ let kind_label = function
   | Leader_elected _ -> "leader-elected"
   | Leader_skipped _ -> "leader-skipped"
   | Commit _ -> "commit"
+  | Commit_cert _ -> "commit-cert"
+  | Skip_cert _ -> "skip-cert"
   | A_deliver _ -> "a-deliver"
   | Engine_sample _ -> "engine-sample"
 
@@ -143,6 +173,29 @@ let describe_kind = function
       node wave leader_round leader_source
       (if direct then "" else " [chained]")
       delivered
+  | Commit_cert
+      { node; rule; wave; leader_round; leader_source; direct; anchor_wave;
+        via_round; via_source; support; quorum; delivered; _ } ->
+    if direct then
+      Printf.sprintf
+        "p%d cert[%s]: wave %d leader (r%d,p%d) committed direct, support \
+         {%s} >= %d, %d delivered"
+        node rule wave leader_round leader_source
+        (String.concat "," (List.map string_of_int support))
+        quorum delivered
+    else
+      Printf.sprintf
+        "p%d cert[%s]: wave %d leader (r%d,p%d) committed chained via \
+         (r%d,p%d) from wave %d, %d delivered"
+        node rule wave leader_round leader_source via_round via_source
+        anchor_wave delivered
+  | Skip_cert { node; rule; wave; leader_round; leader_source; reason; support;
+                quorum; _ } ->
+    Printf.sprintf
+      "p%d cert[%s]: wave %d leader (r%d,p%d) skipped (%s, support {%s} < %d)"
+      node rule wave leader_round leader_source reason
+      (String.concat "," (List.map string_of_int support))
+      quorum
   | A_deliver { node; round; source } ->
     Printf.sprintf "p%d a-delivered (r%d,p%d)" node round source
   | Engine_sample { executed; pending } ->
@@ -157,6 +210,7 @@ let event_to_json { seq; time; kind } =
   in
   let i k v = (k, Stdx.Json.Int v) in
   let s k v = (k, Stdx.Json.String v) in
+  let il k vs = (k, Stdx.Json.List (List.map (fun v -> Stdx.Json.Int v) vs)) in
   match kind with
   | Send { src; dst; msg_kind; bits } ->
     ev "send" [ i "src" src; i "dst" dst; s "kind" msg_kind; i "bits" bits ]
@@ -190,6 +244,22 @@ let event_to_json { seq; time; kind } =
       [ i "node" node; i "wave" wave; i "leader_round" leader_round;
         i "leader_source" leader_source;
         ("direct", Stdx.Json.Bool direct); i "delivered" delivered ]
+  | Commit_cert
+      { node; rule; sched; wave; leader_round; leader_source; direct;
+        anchor_wave; via_round; via_source; support; quorum; delivered } ->
+    ev "commit-cert"
+      [ i "node" node; s "rule" rule; s "sched" sched; i "wave" wave;
+        i "leader_round" leader_round; i "leader_source" leader_source;
+        ("direct", Stdx.Json.Bool direct); i "anchor_wave" anchor_wave;
+        i "via_round" via_round; i "via_source" via_source;
+        il "support" support; i "quorum" quorum; i "delivered" delivered ]
+  | Skip_cert
+      { node; rule; sched; wave; leader_round; leader_source; reason; support;
+        quorum } ->
+    ev "skip-cert"
+      [ i "node" node; s "rule" rule; s "sched" sched; i "wave" wave;
+        i "leader_round" leader_round; i "leader_source" leader_source;
+        s "reason" reason; il "support" support; i "quorum" quorum ]
   | A_deliver { node; round; source } ->
     ev "a-deliver" [ i "node" node; i "round" round; i "source" source ]
   | Engine_sample { executed; pending } ->
@@ -205,6 +275,16 @@ let event_of_json json =
   let int_field name = field name Stdx.Json.to_int_opt in
   let str_field name = field name Stdx.Json.to_string_opt in
   let bool_field name = field name Stdx.Json.to_bool_opt in
+  let int_list_field name =
+    field name (fun j ->
+        Option.bind (Stdx.Json.to_list_opt j) (fun items ->
+            List.fold_right
+              (fun item acc ->
+                match (Stdx.Json.to_int_opt item, acc) with
+                | Some n, Some rest -> Some (n :: rest)
+                | _ -> None)
+              items (Some [])))
+  in
   let* seq = int_field "seq" in
   let* time = field "t" Stdx.Json.to_float_opt in
   let* ev = str_field "ev" in
@@ -280,6 +360,38 @@ let event_of_json json =
       let* direct = bool_field "direct" in
       let* delivered = int_field "delivered" in
       Ok (Commit { node; wave; leader_round; leader_source; direct; delivered })
+    | "commit-cert" ->
+      let* node = int_field "node" in
+      let* rule = str_field "rule" in
+      let* sched = str_field "sched" in
+      let* wave = int_field "wave" in
+      let* leader_round = int_field "leader_round" in
+      let* leader_source = int_field "leader_source" in
+      let* direct = bool_field "direct" in
+      let* anchor_wave = int_field "anchor_wave" in
+      let* via_round = int_field "via_round" in
+      let* via_source = int_field "via_source" in
+      let* support = int_list_field "support" in
+      let* quorum = int_field "quorum" in
+      let* delivered = int_field "delivered" in
+      Ok
+        (Commit_cert
+           { node; rule; sched; wave; leader_round; leader_source; direct;
+             anchor_wave; via_round; via_source; support; quorum; delivered })
+    | "skip-cert" ->
+      let* node = int_field "node" in
+      let* rule = str_field "rule" in
+      let* sched = str_field "sched" in
+      let* wave = int_field "wave" in
+      let* leader_round = int_field "leader_round" in
+      let* leader_source = int_field "leader_source" in
+      let* reason = str_field "reason" in
+      let* support = int_list_field "support" in
+      let* quorum = int_field "quorum" in
+      Ok
+        (Skip_cert
+           { node; rule; sched; wave; leader_round; leader_source; reason;
+             support; quorum })
     | "a-deliver" ->
       let* node = int_field "node" in
       let* round = int_field "round" in

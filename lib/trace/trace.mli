@@ -69,6 +69,52 @@ type kind =
       direct : bool; (** [false] = chained retroactively, lines 38-43 *)
       delivered : int; (** fresh vertices ordered by this commit *)
     }
+  | Commit_cert of {
+      node : int;
+      rule : string;  (** commit rule in force ("dagrider", "bullshark") *)
+      sched : string;  (** leader schedule evidence: "coin" | "round-robin" *)
+      wave : int;
+      leader_round : int;
+      leader_source : int;
+      direct : bool;
+      anchor_wave : int;
+          (** the wave whose {e direct} commit fired this decision; equals
+              [wave] for direct commits, the directly-committed wave at
+              the top of the lines-38-43 chain for chained ones *)
+      via_round : int;
+      via_source : int;
+          (** the next leader up the chain whose strong path justifies a
+              chained commit; equals the leader itself when [direct] *)
+      support : int list;
+          (** direct commits: sources of the wave's last-round vertices
+              with a strong path to the leader (the exact quorum the
+              Algorithm 3 line 14 / Bullshark vote check counted).
+              Chained commits carry the empty list — their evidence is
+              [via]'s strong path. *)
+      quorum : int;  (** votes required by the rule: 2f+1 or f+1 *)
+      delivered : int;
+    }
+      (** provenance certificate for one commit decision (forensics) *)
+  | Skip_cert of {
+      node : int;
+      rule : string;
+      sched : string;
+      wave : int;
+      leader_round : int;
+      leader_source : int;
+      reason : string;
+          (** why no commit was legal when the wave was processed:
+              "leader-absent" (no leader vertex in the DAG) or
+              "under-supported" (support below the rule's quorum) *)
+      support : int list;
+          (** sources of the last-round vertices that {e did} have a
+              strong path to the leader (empty when absent) *)
+      quorum : int;
+    }
+      (** provenance certificate for one skip decision. A wave skipped
+          at its own time can still be recovered later by a chained
+          {!Commit_cert} for the same wave (chain-back found a strong
+          path after all); a skip with no later commit is final. *)
   | A_deliver of { node : int; round : int; source : int }
       (** the atomic-broadcast output upcall *)
   | Engine_sample of { executed : int; pending : int }
