@@ -75,6 +75,9 @@ let experiments :
     ( "throughput",
       "Throughput scaling with n (DAG-Rider+AVID)",
       fun () -> Harness.Experiments.throughput () );
+    ( "sustained-load",
+      "Sustained load over time: monitored n=10 fleet, DAG growth",
+      fun () -> Harness.Experiments.sustained_load () );
     ( "related-work",
       "Section 7: Aleph-style baseline vs DAG-Rider",
       fun () -> Harness.Experiments.related_work () );

@@ -8,6 +8,8 @@
      explain       render the provenance certificate of a commit/skip
      divergence    first divergent decision between two trace dumps
      profile       simulate under the span profiler, print the hot-span table
+     monitor       sustained-load run under the flight recorder: dashboard,
+                   SLO health checks, CSV/JSON time-series export
      dot           render the DAG as Graphviz with leader/commit classes
      render-dag    regenerate Figure 1: a live DAG rendered as ASCII/DOT
      render-commit regenerate Figure 2: the cross-wave commit narrative
@@ -780,6 +782,207 @@ let render_commit_cmd =
       const render $ Common.n_arg $ Common.seed_arg $ Common.until_arg
       $ Common.rule_arg)
 
+(* ---- monitor (time-series flight recorder + SLO dashboard) ---- *)
+
+(* Parse "FROM,UNTIL" (also accepts "FROM:UNTIL"). *)
+let span_conv =
+  let parse s =
+    let s = String.map (function ':' -> ',' | c -> c) s in
+    match String.split_on_char ',' s with
+    | [ a; b ] -> (
+      match
+        (float_of_string_opt (String.trim a), float_of_string_opt (String.trim b))
+      with
+      | Some a, Some b when a < b -> Ok (a, b)
+      | _ -> Error (`Msg (Printf.sprintf "bad span %S (want FROM,UNTIL)" s)))
+    | _ -> Error (`Msg (Printf.sprintf "bad span %S (want FROM,UNTIL)" s))
+  in
+  let print ppf (a, b) = Format.fprintf ppf "%g,%g" a b in
+  Arg.conv (parse, print)
+
+let monitor_cmd =
+  let run (c : Common.t) interval window rate batch body_bytes max_pending
+      stall min_tps max_p99 max_stall max_growth csv_out json_out jsonl_out =
+    let mon = Monitor.create ~interval ~window () in
+    let workload =
+      if rate <= 0.0 then None
+      else
+        Some
+          { Harness.Runner.wl_rate = rate;
+            wl_body_bytes = body_bytes;
+            wl_max_batch = batch;
+            wl_max_pending = max_pending }
+    in
+    (* SLOs: throughput on the ordered-transaction stream (or delivered
+       vertices when the workload is off), commit-gap liveness, tail
+       latency — and, only when asked, bounded DAG growth (the paper's
+       default has no GC, so growth is expected and healthy) *)
+    let tput_series = if workload = None then "node.delivered" else "tx.ordered" in
+    Monitor.add_slo mon
+      (Monitor.Min_rate
+         { series = tput_series; min_per_unit = min_tps; after = 20.0 });
+    Monitor.add_slo mon (Monitor.Max_stall { series = "commits"; max_gap = max_stall });
+    Monitor.add_slo mon (Monitor.Max_p99 { max_units = max_p99; after = 20.0 });
+    (match max_growth with
+    | Some g ->
+      Monitor.add_slo mon
+        (Monitor.Max_slope
+           { series = "dag.vertices"; max_per_unit = g; after = 20.0 })
+    | None -> ());
+    let tracer =
+      match jsonl_out with Some _ -> Some (Trace.create ()) | None -> None
+    in
+    let schedule =
+      match stall with
+      | None -> c.schedule
+      | Some (from_time, until_time) ->
+        (* mid-run partition: cross-half traffic slowed two hundredfold
+           inside the window — commits stall, the SLOs should notice *)
+        Harness.Runner.Custom
+          (fun rng ->
+            let inner =
+              match c.schedule with
+              | Harness.Runner.Synchronous -> Net.Sched.synchronous ()
+              | Harness.Runner.Uniform_random -> Net.Sched.uniform_random ~rng
+              | Harness.Runner.Skewed_random -> Net.Sched.skewed_random ~rng
+              | Harness.Runner.Custom f -> f rng
+            in
+            let during =
+              Net.Sched.partition ~inner
+                ~left:(fun i -> i < (c.n + 1) / 2)
+                ~factor:200.0
+            in
+            Net.Sched.with_window ~inner ~from_time ~until_time ~during)
+    in
+    let options =
+      { (Common.options ?trace:tracer c) with schedule; workload;
+        monitor = Some mon }
+    in
+    let fleet = Harness.Runner.build options in
+    Harness.Runner.run fleet ~until:c.until;
+    print_string (Monitor.render mon);
+    (match csv_out with
+    | Some path ->
+      write_file path (Monitor.to_csv mon);
+      Printf.printf "wrote %d time-series rows to %s\n" (Monitor.samples mon)
+        path
+    | None -> ());
+    (match json_out with
+    | Some path ->
+      write_file path (Stdx.Json.to_string (Monitor.to_json mon));
+      Printf.printf "wrote time-series JSON to %s\n" path
+    | None -> ());
+    (match (jsonl_out, tracer) with
+    | Some path, Some tr ->
+      write_file path (Trace.to_jsonl tr);
+      Printf.printf "wrote trace (health events included) to %s\n" path
+    | _ -> ());
+    if Monitor.ever_unhealthy mon then exit 1
+  in
+  let interval_arg =
+    Arg.(
+      value & opt float 1.0
+      & info [ "interval" ] ~docv:"T" ~doc:"Sampling interval (virtual time).")
+  in
+  let window_arg =
+    Arg.(
+      value & opt float 10.0
+      & info [ "window" ] ~docv:"T"
+          ~doc:"Sliding window behind rates, percentiles and slopes.")
+  in
+  let rate_arg =
+    Arg.(
+      value & opt float 20.0
+      & info [ "rate" ] ~docv:"TX"
+          ~doc:
+            "Client transactions per time unit per live process (0 disables \
+             the workload and falls back to synthetic blocks).")
+  in
+  let batch_arg =
+    Arg.(
+      value & opt int 64
+      & info [ "batch" ] ~docv:"K" ~doc:"Mempool transactions per block.")
+  in
+  let body_arg =
+    Arg.(
+      value & opt int 32
+      & info [ "body-bytes" ] ~docv:"BYTES" ~doc:"Transaction payload size.")
+  in
+  let max_pending_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "max-pending" ] ~docv:"K"
+          ~doc:"Mempool backpressure cap (default unbounded).")
+  in
+  let stall_arg =
+    Arg.(
+      value & opt (some span_conv) None
+      & info [ "stall" ] ~docv:"FROM,UNTIL"
+          ~doc:
+            "Inject a network partition (cross-half delay x200) inside this \
+             virtual-time window to exercise the health checks.")
+  in
+  let min_tps_arg =
+    Arg.(
+      value & opt float 1.0
+      & info [ "min-tps" ] ~docv:"R"
+          ~doc:"SLO: minimum windowed ordering rate after warmup.")
+  in
+  let max_p99_arg =
+    Arg.(
+      value & opt float 50.0
+      & info [ "max-p99" ] ~docv:"T"
+          ~doc:"SLO: maximum sliding-window p99 latency after warmup.")
+  in
+  let max_stall_arg =
+    Arg.(
+      value & opt float 15.0
+      & info [ "max-stall" ] ~docv:"T"
+          ~doc:"SLO: maximum gap between commits at the observer.")
+  in
+  let max_growth_arg =
+    Arg.(
+      value & opt (some float) None
+      & info [ "max-growth" ] ~docv:"R"
+          ~doc:
+            "SLO: maximum DAG growth (vertices per time unit) — off by \
+             default because the paper's protocol has no GC and growth is \
+             expected; combine with a gc-enabled build to check bounded \
+             memory.")
+  in
+  let csv_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "csv" ] ~docv:"FILE" ~doc:"Export the time series as CSV.")
+  in
+  let json_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:"Export the time series, health states and verdict as JSON.")
+  in
+  let jsonl_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "jsonl" ] ~docv:"FILE"
+          ~doc:
+            "Also trace the run and dump JSONL (health transitions appear as \
+             typed events).")
+  in
+  Cmd.v
+    (Cmd.info "monitor"
+       ~doc:
+         "Run a sustained-load fleet under the time-series flight recorder: \
+          ASCII dashboard with per-series sparklines, windowed rates, \
+          sliding latency percentiles, and SLO health checks (exit 1 if any \
+          check ever failed). Use --csv/--json for plotting exports and \
+          --stall to inject a partition.")
+    Term.(
+      const run $ Common.term $ interval_arg $ window_arg $ rate_arg
+      $ batch_arg $ body_arg $ max_pending_arg $ stall_arg $ min_tps_arg
+      $ max_p99_arg $ max_stall_arg $ max_growth_arg $ csv_arg $ json_arg
+      $ jsonl_arg)
+
 (* ---- experiments ---- *)
 
 let experiments_cmd =
@@ -800,5 +1003,5 @@ let () =
           (Cmd.info "dagrider_run" ~version:"1.0.0"
              ~doc:"DAG-Rider simulation driver (PODC 2021 reproduction).")
           [ run_cmd; trace_cmd; analyze_cmd; explain_cmd; divergence_cmd;
-            profile_cmd; dot_cmd; render_dag_cmd; render_commit_cmd;
-            experiments_cmd ]))
+            profile_cmd; monitor_cmd; dot_cmd; render_dag_cmd;
+            render_commit_cmd; experiments_cmd ]))

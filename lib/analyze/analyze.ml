@@ -335,7 +335,11 @@ let feed t (e : Trace.event) =
     bump src;
     bump dst;
     t.corrupt_rejects <- t.corrupt_rejects + 1
-  | Trace.Engine_sample _ -> ())
+  | Trace.Engine_sample _ -> ()
+  | Trace.Health _ ->
+    (* monitor SLO transitions: the monitor owns their aggregation
+       (Monitor.health / verdict); the analyzer just passes them through *)
+    ())
    with exn -> Prof.leave_reraise sp exn);
   Prof.leave sp
 

@@ -31,6 +31,8 @@ let find t vref = Hashtbl.find_opt t.store vref
 
 let contains t vref = Hashtbl.mem t.store vref
 
+let size t = Hashtbl.length t.store
+
 let round_vertices t round =
   let acc = ref [] in
   for source = t.n - 1 downto 0 do

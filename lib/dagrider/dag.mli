@@ -26,6 +26,11 @@ val round_vertices : t -> int -> Vertex.t list
 
 val round_size : t -> int -> int
 
+val size : t -> int
+(** Total vertices in the store, genesis included — an O(1) probe for
+    growth monitoring (the DAG only grows until §8-style garbage
+    collection prunes it). *)
+
 val highest_round : t -> int
 (** Largest round with at least one vertex (0 for a fresh DAG). *)
 

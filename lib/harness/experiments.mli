@@ -90,6 +90,16 @@ val ablation_gc : ?seed:int -> unit -> table
     per time unit as n grows (DAG-Rider+AVID with batching). *)
 val throughput : ?seed:int -> unit -> table
 
+(** Supporting measurement — sustained load over time (the way
+    Narwhal-lineage systems report headline numbers): an n=10 fleet
+    under continuous client traffic, flight-recorded each virtual time
+    unit. Rows are windowed tx/s, commits/s, and sliding p99 latency
+    over the run, next to the observer's DAG size with garbage
+    collection off (the paper's setting — grows without bound) and with
+    gc_depth 8. The monitored fleet's metrics snapshot (including the
+    mempool gauges) rides along for the bench's JSON export. *)
+val sustained_load : ?seed:int -> unit -> table
+
 (** Related work (paper §7) — Aleph-style per-vertex binary agreement
     vs DAG-Rider: validity under censorship, per-vertex cost, agreement
     instance counts. *)

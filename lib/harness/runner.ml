@@ -22,6 +22,16 @@ type link_faults = {
 let default_link_faults =
   { lf_drop = 0.0; lf_duplicate = 0.0; lf_corrupt = 0.0; lf_reorder = 0.0 }
 
+type workload = {
+  wl_rate : float;
+  wl_body_bytes : int;
+  wl_max_batch : int;
+  wl_max_pending : int option;
+}
+
+let default_workload =
+  { wl_rate = 20.0; wl_body_bytes = 32; wl_max_batch = 64; wl_max_pending = None }
+
 type options = {
   n : int;
   f : int;
@@ -43,6 +53,8 @@ type options = {
   faults : fault list;
   link_faults : link_faults option;
   trace : Trace.t option;
+  workload : workload option;
+  monitor : Monitor.t option;
 }
 
 let default_options ~n =
@@ -63,7 +75,9 @@ let default_options ~n =
     on_commit = None;
     faults = [];
     link_faults = None;
-    trace = None }
+    trace = None;
+    workload = None;
+    monitor = None }
 
 (* The rule the nodes actually run (Node applies the same resolution):
    coin-scheduled rules order on the coin cadence [options.wave_length];
@@ -107,7 +121,15 @@ type t = {
   latency : Metrics.Latency.t;
   analyzer : Analyze.t option; (* streaming trace consumer, iff traced *)
   forensics : Forensics.t option; (* certificate collector, iff traced *)
+  mempools : Workload.Mempool.t array option; (* iff workload-driven *)
+  mctx : monitor_ctx option; (* iff a monitor is attached *)
   mutable started : bool;
+}
+
+and monitor_ctx = {
+  mc_mon : Monitor.t;
+  mc_observer : int; (* lowest never-faulty process: the vantage point *)
+  mc_commits : int ref; (* direct+chained commits seen at the observer *)
 }
 
 let fault_index = function
@@ -126,6 +148,82 @@ let synthetic_block ~block_bytes ~me ~round =
   let tag = Printf.sprintf "blk:p%d:r%d:" me round in
   if String.length tag >= block_bytes then tag
   else tag ^ String.make (block_bytes - String.length tag) 'x'
+
+(* The three per-node closures, shared by [build] and [restart_node] so a
+   restarted node keeps the workload/monitor wiring of the original.
+   With no workload and no monitor the closures reduce to the historical
+   ones — nothing extra touches the engine or any RNG, so delivery logs
+   stay byte-identical to builds predating these features. *)
+let node_hooks ~options ~engine ~latency ~mempools ~mctx ~me =
+  let a_deliver =
+    let user_hook =
+      match options.on_deliver with
+      | None -> fun ~block:_ ~round:_ ~source:_ -> ()
+      | Some hook ->
+        fun ~block ~round ~source ->
+          hook ~node:me ~block ~round ~source ~time:(Sim.Engine.now engine)
+    in
+    let retire =
+      match mempools with
+      | None -> fun _ -> ()
+      | Some pools ->
+        (* every delivered block retires its transactions here, foreign
+           ones included (a client may have multi-submitted) *)
+        fun block -> ignore (Workload.Mempool.retire_block pools.(me) block)
+    in
+    let observe =
+      match mctx with
+      | Some mc when mc.mc_observer = me ->
+        fun block ->
+          if block <> "" then
+            (match Metrics.Latency.proposed_at latency block with
+            | Some at ->
+              let now = Sim.Engine.now engine in
+              Monitor.observe_latency mc.mc_mon ~now (now -. at)
+            | None -> ())
+      | _ -> fun _ -> ()
+    in
+    fun ~block ~round ~source ->
+      Metrics.Latency.delivered latency block ~process:me
+        ~now:(Sim.Engine.now engine);
+      retire block;
+      observe block;
+      user_hook ~block ~round ~source
+  in
+  let on_commit =
+    let user_hook =
+      match options.on_commit with
+      | None -> fun _ -> ()
+      | Some hook -> fun commit -> hook ~node:me commit
+    in
+    match mctx with
+    | Some mc when mc.mc_observer = me ->
+      fun commit ->
+        incr mc.mc_commits;
+        user_hook commit
+    | _ -> user_hook
+  in
+  (* [block_source] fires exactly when this node creates its round
+     vertex, so the proposal timestamp lands on the vertex's birth *)
+  let block_source =
+    match mempools with
+    | None ->
+      fun ~round ->
+        let block =
+          synthetic_block ~block_bytes:options.block_bytes ~me ~round
+        in
+        Metrics.Latency.proposed latency block ~now:(Sim.Engine.now engine);
+        block
+    | Some pools ->
+      fun ~round:_ ->
+        let block = Workload.Mempool.assemble_block pools.(me) in
+        (* an empty mempool still yields a vertex, just with no payload;
+           "" is shared across nodes so it gets no latency record *)
+        if block <> "" then
+          Metrics.Latency.proposed latency block ~now:(Sim.Engine.now engine);
+        block
+  in
+  (a_deliver, on_commit, block_source)
 
 let build options =
   let { n; f; seed; _ } = options in
@@ -325,35 +423,34 @@ let build options =
          else Dagrider.Node.Separate_network) }
   in
   let latency = Metrics.Latency.create () in
+  let mempools =
+    match options.workload with
+    | None -> None
+    | Some wl ->
+      if wl.wl_rate <= 0.0 then
+        invalid_arg "Runner.build: wl_rate must be positive";
+      Some
+        (Array.init n (fun me ->
+             Workload.Mempool.create ~max_batch:wl.wl_max_batch
+               ?max_pending:wl.wl_max_pending ~owner:me ()))
+  in
+  let mctx =
+    match options.monitor with
+    | None -> None
+    | Some mon ->
+      (* the vantage point: the lowest process no declared fault touches
+         (mid-run silencing can still corrupt it — acceptable, the swarm
+         never monitors) *)
+      let declared = List.map fault_index options.faults in
+      let rec first i =
+        if i >= n then 0 else if List.mem i declared then first (i + 1) else i
+      in
+      Some { mc_mon = mon; mc_observer = first 0; mc_commits = ref 0 }
+  in
   let nodes =
     Array.init n (fun me ->
-        let a_deliver =
-          let user_hook =
-            match options.on_deliver with
-            | None -> fun ~block:_ ~round:_ ~source:_ -> ()
-            | Some hook ->
-              fun ~block ~round ~source ->
-                hook ~node:me ~block ~round ~source
-                  ~time:(Sim.Engine.now engine)
-          in
-          fun ~block ~round ~source ->
-            Metrics.Latency.delivered latency block ~process:me
-              ~now:(Sim.Engine.now engine);
-            user_hook ~block ~round ~source
-        in
-        let on_commit =
-          match options.on_commit with
-          | None -> fun _ -> ()
-          | Some hook -> fun commit -> hook ~node:me commit
-        in
-        (* [block_source] fires exactly when this node creates its round
-           vertex, so the proposal timestamp lands on the vertex's birth *)
-        let block_source ~round =
-          let block =
-            synthetic_block ~block_bytes:options.block_bytes ~me ~round
-          in
-          Metrics.Latency.proposed latency block ~now:(Sim.Engine.now engine);
-          block
+        let a_deliver, on_commit, block_source =
+          node_hooks ~options ~engine ~latency ~mempools ~mctx ~me
         in
         Dagrider.Node.create ~config ~me ~coin ~coin_net:coin_stack.st_port
           ~make_rbc ~sync_net:sync_stack.st_port ?trace:options.trace
@@ -433,6 +530,79 @@ let build options =
         Sim.Engine.schedule engine ~delay:0.5 (fun () -> attack 0));
       coin_stack.st_corrupt ~drop_in_flight:false i)
     options.faults;
+  (* deterministic client traffic: one transaction per period per live
+     process, injected by recurring engine events — no RNG stream, so a
+     workload-driven run is still a pure function of the seed *)
+  (match (options.workload, mempools) with
+  | Some wl, Some pools ->
+    let period = 1.0 /. wl.wl_rate in
+    let gens =
+      Array.init n (fun me ->
+          Workload.Txgen.gen ~owner:me ~body_bytes:wl.wl_body_bytes)
+    in
+    for me = 0 to n - 1 do
+      if not crashed.(me) then begin
+        let rec inject () =
+          ignore
+            (Workload.Mempool.submit pools.(me)
+               (Workload.Txgen.next_tx gens.(me)));
+          Sim.Engine.schedule engine ~delay:period inject
+        in
+        Sim.Engine.schedule engine ~delay:period inject
+      end
+    done
+  | _ -> ());
+  (* monitor probes only read state (and the sampler draws no RNG), so —
+     like tracing — an attached monitor leaves delivery logs untouched *)
+  (match mctx with
+  | None -> ()
+  | Some mc ->
+    let mon = mc.mc_mon in
+    let obs = mc.mc_observer in
+    Monitor.add_probe mon ~name:"node.delivered" ~kind:Monitor.Counter
+      (fun () ->
+        float_of_int
+          (Dagrider.Ordering.delivered_count
+             (Dagrider.Node.ordering nodes.(obs))));
+    Monitor.add_probe mon ~name:"commits" ~kind:Monitor.Counter (fun () ->
+        float_of_int !(mc.mc_commits));
+    Monitor.add_probe mon ~name:"dag.vertices" ~kind:Monitor.Gauge (fun () ->
+        float_of_int (Dagrider.Dag.size (Dagrider.Node.dag nodes.(obs))));
+    Monitor.add_probe mon ~name:"net.bits" ~kind:Monitor.Counter (fun () ->
+        float_of_int (Metrics.Counters.total_bits counters));
+    Monitor.add_probe mon ~name:"net.messages" ~kind:Monitor.Counter
+      (fun () -> float_of_int (Metrics.Counters.total_messages counters));
+    Monitor.add_probe mon ~name:"net.drops" ~kind:Monitor.Counter (fun () ->
+        let sum counts = List.fold_left (fun a (_, c) -> a + c) 0 counts in
+        float_of_int
+          (sum (coin_stack.st_drop_counts ())
+          + sum (sync_stack.st_drop_counts ())
+          + sum (rbc_drop_counts ())));
+    Monitor.add_probe mon ~name:"engine.events" ~kind:Monitor.Counter
+      (fun () -> float_of_int (Sim.Engine.events_executed engine));
+    Monitor.add_probe mon ~name:"gc.heap_words" ~kind:Monitor.Gauge (fun () ->
+        float_of_int (Gc.quick_stat ()).Gc.heap_words);
+    (match mempools with
+    | None -> ()
+    | Some pools ->
+      let sum f = Array.fold_left (fun acc p -> acc + f p) 0 pools in
+      Monitor.add_probe mon ~name:"tx.submitted" ~kind:Monitor.Counter
+        (fun () -> float_of_int (sum Workload.Mempool.submitted));
+      (* the observer retires every ordered transaction, its own and
+         foreign alike — fleet ordering throughput from one vantage *)
+      Monitor.add_probe mon ~name:"tx.ordered" ~kind:Monitor.Counter
+        (fun () -> float_of_int (Workload.Mempool.retired pools.(obs)));
+      Monitor.add_probe mon ~name:"mempool.pending" ~kind:Monitor.Gauge
+        (fun () -> float_of_int (sum Workload.Mempool.pending));
+      Monitor.add_probe mon ~name:"mempool.in_flight" ~kind:Monitor.Gauge
+        (fun () -> float_of_int (sum Workload.Mempool.in_flight));
+      Monitor.add_probe mon ~name:"mempool.rejected" ~kind:Monitor.Counter
+        (fun () -> float_of_int (sum Workload.Mempool.rejected)));
+    (match options.trace with
+    | None -> ()
+    | Some tr -> Monitor.set_trace mon tr);
+    Sim.Engine.set_sampler engine ~interval:(Monitor.interval mon)
+      (fun ~time ~executed:_ ~pending:_ -> Monitor.sample mon ~now:time));
   { options;
     engine;
     counters;
@@ -451,6 +621,8 @@ let build options =
     latency;
     analyzer;
     forensics;
+    mempools;
+    mctx;
     started = false }
 
 let engine t = t.engine
@@ -459,6 +631,8 @@ let coin t = t.coin
 let nodes t = t.nodes
 let options t = t.options
 let node t i = t.nodes.(i)
+let mempools t = t.mempools
+let monitor t = t.options.monitor
 
 let is_correct t i = not t.faulty.(i)
 
@@ -676,6 +850,20 @@ let metrics_snapshot t =
      Metrics.Registry.incr reg "link.dup_suppressed" ~by:dup_suppressed ();
      Metrics.Registry.incr reg "link.corrupt_rejected" ~by:corrupt_rejected ();
      Metrics.Registry.incr reg "link.decode_failures" ~by:decode_failures ());
+  (match t.mempools with
+  | None -> ()
+  | Some pools ->
+    let sum f = Array.fold_left (fun acc p -> acc + f p) 0 pools in
+    Metrics.Registry.set_gauge reg "mempool.pending"
+      (float_of_int (sum Workload.Mempool.pending));
+    Metrics.Registry.set_gauge reg "mempool.in_flight"
+      (float_of_int (sum Workload.Mempool.in_flight));
+    Metrics.Registry.set_gauge reg "mempool.submitted"
+      (float_of_int (sum Workload.Mempool.submitted));
+    Metrics.Registry.set_gauge reg "mempool.retired"
+      (float_of_int (sum Workload.Mempool.retired));
+    Metrics.Registry.set_gauge reg "mempool.rejected"
+      (float_of_int (sum Workload.Mempool.rejected)));
   let gcs = Gc.quick_stat () in
   Metrics.Registry.set_gauge reg "gc.minor_collections"
     (float_of_int gcs.Gc.minor_collections);
@@ -756,30 +944,9 @@ let restart_node t i =
       ck_decided_wave = ck.Dagrider.Node.ck_decided_wave;
       ck_round = ck.Dagrider.Node.ck_round }
   in
-  let a_deliver =
-    let user_hook =
-      match t.options.on_deliver with
-      | None -> fun ~block:_ ~round:_ ~source:_ -> ()
-      | Some hook ->
-        fun ~block ~round ~source ->
-          hook ~node:i ~block ~round ~source ~time:(Sim.Engine.now t.engine)
-    in
-    fun ~block ~round ~source ->
-      Metrics.Latency.delivered t.latency block ~process:i
-        ~now:(Sim.Engine.now t.engine);
-      user_hook ~block ~round ~source
-  in
-  let on_commit =
-    match t.options.on_commit with
-    | None -> fun _ -> ()
-    | Some hook -> fun commit -> hook ~node:i commit
-  in
-  let block_source ~round =
-    let block =
-      synthetic_block ~block_bytes:t.options.block_bytes ~me:i ~round
-    in
-    Metrics.Latency.proposed t.latency block ~now:(Sim.Engine.now t.engine);
-    block
+  let a_deliver, on_commit, block_source =
+    node_hooks ~options:t.options ~engine:t.engine ~latency:t.latency
+      ~mempools:t.mempools ~mctx:t.mctx ~me:i
   in
   let restored =
     Dagrider.Node.restore ~config:t.node_config ~me:i ~coin:t.coin

@@ -47,6 +47,23 @@ val default_link_faults : link_faults
 (** All rates 0.0 — a convenient base for [{ default_link_faults with
     lf_drop = ... }]. *)
 
+type workload = {
+  wl_rate : float;  (** transactions per time unit per live process *)
+  wl_body_bytes : int;  (** transaction payload size *)
+  wl_max_batch : int;  (** mempool batch cap per assembled block *)
+  wl_max_pending : int option;  (** mempool backpressure cap (default none) *)
+}
+(** Sustained client load: with [workload = Some _] every live process
+    gets a {!Workload.Mempool} fed by a deterministic per-process
+    transaction stream (recurring engine events, no RNG), its
+    [block_source] assembles real batches instead of synthetic padding
+    blocks, and every a_deliver retires the delivered block's
+    transactions — the closed loop the throughput-over-time curves are
+    measured on. *)
+
+val default_workload : workload
+(** 20 tx/unit/process, 32-byte bodies, batches of 64, no cap. *)
+
 type options = {
   n : int;
   f : int;
@@ -96,6 +113,24 @@ type options = {
           fans it out to every network, RBC instance, and node. [None]
           (the default) installs nothing: the run's event schedule and
           delivered logs are identical to a build without tracing. *)
+  workload : workload option;
+      (** drive the fleet with sustained client traffic (see
+          {!workload}); [None] (the default) keeps the historical
+          synthetic-block proposals *)
+  monitor : Monitor.t option;
+      (** attach a time-series flight recorder: [build] registers probes
+          over the lowest never-faulty process's node ([node.delivered],
+          [commits], [dag.vertices]), the shared network counters
+          ([net.bits]/[net.messages]/[net.drops]), the engine, the GC,
+          and — when a workload is on — the mempool fleet
+          ([tx.submitted], [tx.ordered], [mempool.pending]/[in_flight]/
+          [rejected]); feeds proposal→a_deliver latencies observed at
+          that process into the sliding-window percentiles; arms the
+          engine sampler at the monitor's interval; and, when a tracer
+          is also installed, routes SLO health transitions into it.
+          Probes only read state and the sampler draws no randomness, so
+          delivery logs are byte-identical with and without a monitor.
+          [None] (the default) installs nothing. *)
 }
 
 val default_options : n:int -> options
@@ -120,6 +155,12 @@ val nodes : t -> Dagrider.Node.t array
 val options : t -> options
 
 val node : t -> int -> Dagrider.Node.t
+
+val mempools : t -> Workload.Mempool.t array option
+(** The per-process transaction pools, iff built with a workload. *)
+
+val monitor : t -> Monitor.t option
+(** The attached flight recorder, iff one was passed in the options. *)
 
 val is_correct : t -> int -> bool
 (** Correct = not listed in [faults]. *)
@@ -195,8 +236,10 @@ val metrics_snapshot : t -> Metrics.Registry.snapshot
     honest, per message kind), engine gauges (virtual time, events
     executed, events pending), latency histograms (first delivery and
     per-process delivery), per-node delivered counts, drop counters by
-    reason ([net.drops.*]), and — on lossy builds — the aggregated
-    reliable-transport counters ([link.*]). *)
+    reason ([net.drops.*]), on workload-driven builds the mempool fleet
+    gauges ([mempool.pending]/[in_flight]/[submitted]/[retired]/
+    [rejected], summed across processes), and — on lossy builds — the
+    aggregated reliable-transport counters ([link.*]). *)
 
 val analysis : t -> Analyze.report option
 (** The protocol analyzer's view of this run: [Some] iff the run was

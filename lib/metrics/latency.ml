@@ -32,18 +32,27 @@ let first_delivery_latency t key =
   | Some r ->
     Option.map (fun d -> d -. r.proposed_at) r.first_delivery
 
+(* Hashtbl iteration order depends on the table's internal layout, so
+   every [fold]-built list below is sorted before it escapes — reports
+   and registry snapshots must not change shape when a hash function or
+   resize policy does. *)
 let all_first_delivery_latencies t =
-  Hashtbl.fold
-    (fun _ r acc ->
-      match r.first_delivery with
-      | Some d -> (d -. r.proposed_at) :: acc
-      | None -> acc)
-    t.records []
+  List.sort compare
+    (Hashtbl.fold
+       (fun _ r acc ->
+         match r.first_delivery with
+         | Some d -> (d -. r.proposed_at) :: acc
+         | None -> acc)
+       t.records [])
 
 let undelivered t =
-  Hashtbl.fold
-    (fun key r acc -> if r.first_delivery = None then key :: acc else acc)
-    t.records []
+  List.sort compare
+    (Hashtbl.fold
+       (fun key r acc -> if r.first_delivery = None then key :: acc else acc)
+       t.records [])
+
+let proposed_at t key =
+  Option.map (fun r -> r.proposed_at) (Hashtbl.find_opt t.records key)
 
 let delivery_count t key =
   match Hashtbl.find_opt t.records key with
@@ -59,9 +68,10 @@ let per_process_latency t key =
       (List.map (fun (p, at) -> (p, at -. r.proposed_at)) r.deliveries)
 
 let all_per_process_latencies t =
-  Hashtbl.fold
-    (fun _ r acc ->
-      List.fold_left
-        (fun acc (_, at) -> (at -. r.proposed_at) :: acc)
-        acc r.deliveries)
-    t.records []
+  List.sort compare
+    (Hashtbl.fold
+       (fun _ r acc ->
+         List.fold_left
+           (fun acc (_, at) -> (at -. r.proposed_at) :: acc)
+           acc r.deliveries)
+       t.records [])

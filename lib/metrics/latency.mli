@@ -23,10 +23,18 @@ val first_delivery_latency : t -> key -> float option
     if not yet delivered or never proposed. *)
 
 val all_first_delivery_latencies : t -> float list
-(** Latencies of every payload delivered at least once. *)
+(** Latencies of every payload delivered at least once, sorted
+    ascending (the recorder is hash-backed; sorting keeps reports
+    independent of table iteration order). *)
 
 val undelivered : t -> key list
-(** Proposed payloads no process has delivered yet (liveness audits). *)
+(** Proposed payloads no process has delivered yet (liveness audits),
+    sorted by key. *)
+
+val proposed_at : t -> key -> float option
+(** The recorded proposal timestamp ([None] if never proposed) — lets a
+    live observer (the monitor's sliding-window percentiles) compute a
+    delivery's latency at the moment it happens. *)
 
 val delivery_count : t -> key -> int
 (** Number of distinct processes that delivered the payload. *)
@@ -37,6 +45,6 @@ val per_process_latency : t -> key -> (int * float) list
     process counts; [[]] if never proposed or not yet delivered. *)
 
 val all_per_process_latencies : t -> float list
-(** Every (payload, process) delivery latency pooled together — the
-    distribution a "time to delivery at each process" histogram is
-    built from. *)
+(** Every (payload, process) delivery latency pooled together, sorted
+    ascending — the distribution a "time to delivery at each process"
+    histogram is built from. *)

@@ -53,6 +53,7 @@ type kind =
     }
   | A_deliver of { node : int; round : int; source : int }
   | Engine_sample of { executed : int; pending : int }
+  | Health of { check : string; ok : bool; value : float; threshold : float }
 
 type event = { seq : int; time : float; kind : kind }
 
@@ -120,7 +121,7 @@ let node_of = function
   | Commit_cert { node; _ }
   | Skip_cert { node; _ }
   | A_deliver { node; _ } -> Some node
-  | Engine_sample _ -> None
+  | Engine_sample _ | Health _ -> None
 
 let kind_label = function
   | Send _ -> "send"
@@ -140,6 +141,7 @@ let kind_label = function
   | Skip_cert _ -> "skip-cert"
   | A_deliver _ -> "a-deliver"
   | Engine_sample _ -> "engine-sample"
+  | Health _ -> "health"
 
 let describe_kind = function
   | Send { src; dst; msg_kind; bits } ->
@@ -200,6 +202,10 @@ let describe_kind = function
     Printf.sprintf "p%d a-delivered (r%d,p%d)" node round source
   | Engine_sample { executed; pending } ->
     Printf.sprintf "engine: %d events executed, %d pending" executed pending
+  | Health { check; ok; value; threshold } ->
+    Printf.sprintf "health %s: %s (%.3g vs %.3g)" check
+      (if ok then "OK" else "FAILING")
+      value threshold
 
 (* ---- JSONL ---- *)
 
@@ -264,6 +270,11 @@ let event_to_json { seq; time; kind } =
     ev "a-deliver" [ i "node" node; i "round" round; i "source" source ]
   | Engine_sample { executed; pending } ->
     ev "engine-sample" [ i "executed" executed; i "pending" pending ]
+  | Health { check; ok; value; threshold } ->
+    ev "health"
+      [ s "check" check; ("ok", Stdx.Json.Bool ok);
+        ("value", Stdx.Json.Float value);
+        ("threshold", Stdx.Json.Float threshold) ]
 
 let event_of_json json =
   let ( let* ) r f = Result.bind r f in
@@ -401,6 +412,12 @@ let event_of_json json =
       let* executed = int_field "executed" in
       let* pending = int_field "pending" in
       Ok (Engine_sample { executed; pending })
+    | "health" ->
+      let* check = str_field "check" in
+      let* ok = bool_field "ok" in
+      let* value = field "value" Stdx.Json.to_float_opt in
+      let* threshold = field "threshold" Stdx.Json.to_float_opt in
+      Ok (Health { check; ok; value; threshold })
     | other -> Error (Printf.sprintf "unknown event kind %S" other)
   in
   Ok { seq; time; kind }

@@ -119,6 +119,13 @@ type kind =
       (** the atomic-broadcast output upcall *)
   | Engine_sample of { executed : int; pending : int }
       (** periodic simulator health sample (event count, queue depth) *)
+  | Health of { check : string; ok : bool; value : float; threshold : float }
+      (** an SLO health check changed state at the monitor's sample
+          tick: [check] is the check's name, [value] the measured
+          quantity (a windowed rate, p99, stall gap, or growth slope)
+          and [threshold] the declared bound it is compared against.
+          Emitted on transitions only, so a trace shows exactly when a
+          run went unhealthy and when it recovered. *)
 
 type event = { seq : int; time : float; kind : kind }
 

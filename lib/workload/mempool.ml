@@ -3,6 +3,7 @@ type key = int * int (* owner, seqno *)
 type t = {
   owner : int;
   max_batch : int;
+  max_pending : int option;
   queue : Txgen.tx Queue.t;
   (* every key we have ever seen, for dedup across submit/retire *)
   seen : (key, unit) Hashtbl.t;
@@ -12,29 +13,38 @@ type t = {
   retired_keys : (key, unit) Hashtbl.t;
   mutable submitted : int;
   mutable retired : int;
+  mutable rejected : int;
 }
 
-let create ?(max_batch = 64) ~owner () =
+let create ?(max_batch = 64) ?max_pending ~owner () =
   { owner;
     max_batch;
+    max_pending;
     queue = Queue.create ();
     seen = Hashtbl.create 256;
     inflight = Hashtbl.create 256;
     retired_keys = Hashtbl.create 256;
     submitted = 0;
-    retired = 0 }
+    retired = 0;
+    rejected = 0 }
 
 let key_of (tx : Txgen.tx) = (tx.owner, tx.seqno)
 
 let submit t tx =
   let k = key_of tx in
   if Hashtbl.mem t.seen k then false
-  else begin
-    Hashtbl.add t.seen k ();
-    Queue.add tx t.queue;
-    t.submitted <- t.submitted + 1;
-    true
-  end
+  else
+    match t.max_pending with
+    | Some cap when Queue.length t.queue >= cap ->
+      (* backpressure: shed without recording the key, so the client may
+         retry once the queue drains *)
+      t.rejected <- t.rejected + 1;
+      false
+    | _ ->
+      Hashtbl.add t.seen k ();
+      Queue.add tx t.queue;
+      t.submitted <- t.submitted + 1;
+      true
 
 let assemble_block t =
   let rec take acc count =
@@ -75,3 +85,5 @@ let in_flight t = Hashtbl.length t.inflight
 let submitted t = t.submitted
 
 let retired t = t.retired
+
+let rejected t = t.rejected

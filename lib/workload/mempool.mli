@@ -10,12 +10,18 @@
 
 type t
 
-val create : ?max_batch:int -> owner:int -> unit -> t
-(** [max_batch] (default 64) caps transactions per assembled block. *)
+val create : ?max_batch:int -> ?max_pending:int -> owner:int -> unit -> t
+(** [max_batch] (default 64) caps transactions per assembled block.
+    [max_pending] (default unbounded) caps the pending queue: submits
+    beyond it are shed with backpressure (see {!submit}). *)
 
 val submit : t -> Txgen.tx -> bool
 (** Queue a transaction. [false] if it was a duplicate (same owner and
-    seqno as a pending or already-retired transaction) and was dropped. *)
+    seqno as a pending or already-retired transaction) and was dropped,
+    or if the pending queue is at [max_pending] — a backpressure
+    rejection counted in {!rejected}; unlike a duplicate, a rejected
+    transaction is {e not} remembered, so the client may retry it once
+    the queue drains. *)
 
 val assemble_block : t -> string
 (** Drain up to [max_batch] pending transactions into a block (the
@@ -35,4 +41,6 @@ val pending : t -> int
 val in_flight : t -> int
 val submitted : t -> int
 val retired : t -> int
-(** Counters for experiments and backpressure decisions. *)
+val rejected : t -> int
+(** Counters for experiments and backpressure decisions. [rejected]
+    counts submits shed by the [max_pending] cap. *)

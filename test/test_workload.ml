@@ -120,6 +120,58 @@ let test_mempool_foreign_retirement_drops_queued () =
   (* and a late re-submission of the foreign tx is rejected *)
   checkb "re-submission rejected" false (Workload.Mempool.submit m (mk_tx 9 5))
 
+let test_mempool_resubmit_after_retire () =
+  (* ordered-and-retired transactions stay remembered: a client retrying
+     a tx that already made it into the total order must be rejected,
+     not ordered twice *)
+  let m = Workload.Mempool.create ~owner:0 () in
+  checkb "accepted" true (Workload.Mempool.submit m (mk_tx 0 7));
+  let block = Workload.Mempool.assemble_block m in
+  checki "retired" 1 (Workload.Mempool.retire_block m block);
+  checkb "re-submit after retire rejected" false
+    (Workload.Mempool.submit m (mk_tx 0 7));
+  checki "nothing pending" 0 (Workload.Mempool.pending m);
+  checki "submitted counted once" 1 (Workload.Mempool.submitted m)
+
+let test_mempool_empty_assembly_no_inflight () =
+  let m = Workload.Mempool.create ~owner:2 () in
+  checks "empty block" "" (Workload.Mempool.assemble_block m);
+  checki "no in-flight from empty assembly" 0 (Workload.Mempool.in_flight m);
+  (* retiring the empty block is a no-op, not a crash *)
+  checki "empty retirement" 0 (Workload.Mempool.retire_block m "")
+
+let test_mempool_foreign_only_block () =
+  (* a block of transactions this pool has never seen: nothing counts as
+     ours, but the keys are remembered so later local submissions of the
+     same transactions are rejected *)
+  let m = Workload.Mempool.create ~owner:0 () in
+  let foreign = Workload.Txgen.block_of_txs [ mk_tx 5 1; mk_tx 6 2 ] in
+  checki "none of it ours" 0 (Workload.Mempool.retire_block m foreign);
+  checki "nothing pending" 0 (Workload.Mempool.pending m);
+  checki "nothing in flight" 0 (Workload.Mempool.in_flight m);
+  checkb "ordered-elsewhere tx rejected locally" false
+    (Workload.Mempool.submit m (mk_tx 5 1));
+  checkb "ordered-elsewhere tx rejected locally (2)" false
+    (Workload.Mempool.submit m (mk_tx 6 2));
+  checkb "fresh tx still accepted" true (Workload.Mempool.submit m (mk_tx 0 1))
+
+let test_mempool_backpressure () =
+  let m = Workload.Mempool.create ~owner:0 ~max_pending:2 () in
+  checkb "1 accepted" true (Workload.Mempool.submit m (mk_tx 0 1));
+  checkb "2 accepted" true (Workload.Mempool.submit m (mk_tx 0 2));
+  checkb "3 rejected at cap" false (Workload.Mempool.submit m (mk_tx 0 3));
+  checki "rejection counted" 1 (Workload.Mempool.rejected m);
+  checki "pending holds at cap" 2 (Workload.Mempool.pending m);
+  checki "submitted excludes rejected" 2 (Workload.Mempool.submitted m);
+  (* a rejected tx was NOT remembered: once the queue drains the client's
+     retry succeeds *)
+  ignore (Workload.Mempool.assemble_block m);
+  checkb "retry after drain accepted" true (Workload.Mempool.submit m (mk_tx 0 3));
+  checki "rejected stays at 1" 1 (Workload.Mempool.rejected m);
+  (* in-flight transactions do not count against the pending cap *)
+  checkb "cap is on the queue, not in-flight" true
+    (Workload.Mempool.submit m (mk_tx 0 4))
+
 let test_mempool_end_to_end_with_node () =
   (* drive a real fleet with mempools as block sources; every submitted
      transaction must appear exactly once in the total order *)
@@ -188,6 +240,14 @@ let () =
           Alcotest.test_case "empty block" `Quick test_mempool_empty_block;
           Alcotest.test_case "foreign retirement" `Quick
             test_mempool_foreign_retirement_drops_queued;
+          Alcotest.test_case "re-submit after retire" `Quick
+            test_mempool_resubmit_after_retire;
+          Alcotest.test_case "empty assembly leaves no in-flight" `Quick
+            test_mempool_empty_assembly_no_inflight;
+          Alcotest.test_case "foreign-only block" `Quick
+            test_mempool_foreign_only_block;
+          Alcotest.test_case "backpressure cap" `Quick
+            test_mempool_backpressure;
           Alcotest.test_case "end to end with fleet" `Quick
             test_mempool_end_to_end_with_node ] )
     ]
