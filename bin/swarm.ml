@@ -70,6 +70,35 @@ let rule_arg =
            the ordering layer differs. In sabotage mode the hidden victim \
            is the rule's own predicted leader.")
 
+let attack_arg =
+  let strategy_conv =
+    Arg.enum
+      (List.map (fun s -> (Attack.strategy_label s, s)) Attack.all_strategies)
+  in
+  Arg.(
+    value & opt (some strategy_conv) None
+    & info [ "attack" ] ~docv:"STRATEGY"
+        ~doc:
+          "Force a programmable Byzantine adversary into every scenario: \
+           $(b,equivocate), $(b,withhold), $(b,grind), $(b,bias) or \
+           $(b,lying-sync). The forced adversary replaces the seed's \
+           sampled static faults (restarts are kept, and a forced \
+           lying-sync run gains one if the seed sampled none); its \
+           victims are drawn from the run's own seeded stream. Sampled \
+           scenarios already include adversaries without this flag — use \
+           it to pin the strategy. Ignored in sabotage mode.")
+
+let weaken_sync_arg =
+  Arg.(
+    value & flag
+    & info [ "weaken-sync" ]
+        ~doc:
+          "Planted-vulnerability self-test: run every fleet with the \
+           deliberately weakened sync validator (any single responder is \
+           trusted during catch-up), force a lying-sync adversary unless \
+           --attack says otherwise, and FAIL unless the oracles catch the \
+           resulting corruption (sync-lie / equivocation violations).")
+
 let loss_arg =
   Arg.(
     value & opt (some float) None
@@ -193,12 +222,42 @@ let print_failure (o : Check.Swarm.outcome) =
     (Check.Swarm.repro_command o.Check.Swarm.scenario);
   dump_trace o.Check.Swarm.scenario
 
-let summarize ~sabotage (report : Check.Swarm.report) =
+let summarize ~sabotage ~weaken_sync (report : Check.Swarm.report) =
   let failed = List.length report.Check.Swarm.failures in
   Printf.printf
     "\nswarm: %d scenario(s), %d with violations, %d agreement violation(s)\n"
     report.Check.Swarm.runs failed report.Check.Swarm.agreement_violations;
-  if sabotage then
+  if weaken_sync && not sabotage then begin
+    (* the planted corruption surfaces either as the attack-informed
+       sync-lie check or as plain cross-node equivocation once the
+       honest copy of a poisoned slot arrives elsewhere *)
+    let caught =
+      List.fold_left
+        (fun acc (o : Check.Swarm.outcome) ->
+          acc
+          + List.length
+              (List.filter
+                 (fun (v : Check.Oracle.violation) ->
+                   v.Check.Oracle.invariant = "sync-lie"
+                   || v.Check.Oracle.invariant = "equivocation")
+                 o.Check.Swarm.violations))
+        0 report.Check.Swarm.failures
+    in
+    if caught > 0 then begin
+      Printf.printf
+        "weaken-sync: oracle caught the planted sync corruption (%d \
+         violation(s)) — self-test PASSED\n"
+        caught;
+      0
+    end
+    else begin
+      print_endline
+        "weaken-sync: planted sync corruption went uncaught — the sync \
+         oracles are blind! self-test FAILED";
+      1
+    end
+  end
+  else if sabotage then
     if report.Check.Swarm.agreement_violations > 0 then begin
       print_endline
         "sabotage: oracle caught the weakened quorum — self-test PASSED";
@@ -216,7 +275,8 @@ let summarize ~sabotage (report : Check.Swarm.report) =
   end
   else 1
 
-let main seeds seed base quick sabotage verbose rule loss dup corrupt reorder =
+let main seeds seed base quick sabotage verbose rule attack weaken_sync loss
+    dup corrupt reorder =
   if seeds < 1 && seed = None then begin
     (* a zero-seed sweep would vacuously report "all invariants held"
        and green-light a typo'd CI invocation *)
@@ -239,11 +299,21 @@ let main seeds seed base quick sabotage verbose rule loss dup corrupt reorder =
         o.Check.Swarm.commits o.Check.Swarm.events
   in
   let lossy = lossy_of_flags ~loss ~dup ~corrupt ~reorder in
-  let report =
-    Check.Swarm.run_seeds ~sabotage ~quick ?lossy ~rule ~progress
-      ~seeds:seed_list ()
+  let attack =
+    match attack with
+    | Some strategy -> Some { Attack.strategy; victims = [] }
+    | None ->
+      (* the weakened validator is only interesting with someone lying
+         to it *)
+      if weaken_sync then
+        Some { Attack.strategy = Attack.Lying_sync; victims = [] }
+      else None
   in
-  summarize ~sabotage report
+  let report =
+    Check.Swarm.run_seeds ~sabotage ~quick ?lossy ?attack ~weaken_sync ~rule
+      ~progress ~seeds:seed_list ()
+  in
+  summarize ~sabotage ~weaken_sync report
 
 let cmd =
   Cmd.v
@@ -253,7 +323,7 @@ let cmd =
           reproduction.")
     Term.(
       const main $ seeds_arg $ seed_arg $ base_arg $ quick_arg $ sabotage_arg
-      $ verbose_arg $ rule_arg $ loss_arg $ dup_arg $ corrupt_arg
-      $ reorder_arg)
+      $ verbose_arg $ rule_arg $ attack_arg $ weaken_sync_arg $ loss_arg
+      $ dup_arg $ corrupt_arg $ reorder_arg)
 
 let () = exit (Cmd.eval' cmd)

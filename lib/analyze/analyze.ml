@@ -83,6 +83,8 @@ type anomaly =
       gave_up : int;
       median : float;
     }
+  | Attacker_active of { node : int; strategy : string; actions : int }
+  | Sync_rejections of { node : int; count : int; reasons : string list }
 
 let describe_anomaly = function
   | Round_stall { node; round; at; gap; median } ->
@@ -116,6 +118,13 @@ let describe_anomaly = function
       (if gave_up > 0 then
          Printf.sprintf ", %d frames abandoned after retry exhaustion" gave_up
        else "")
+  | Attacker_active { node; strategy; actions } ->
+    Printf.sprintf "attacker active: p%d ran %d %s action(s)" node actions
+      strategy
+  | Sync_rejections { node; count; reasons } ->
+    Printf.sprintf
+      "sync defense: p%d rejected %d catch-up vertex(es) (%s)" node count
+      (String.concat ", " reasons)
 
 type report = {
   r_processes : int;
@@ -195,6 +204,10 @@ type t = {
   giveup_links : (int * int, int ref) Hashtbl.t;
   mutable retransmit_events : int;
   mutable corrupt_rejects : int;
+  attack_acts : (int * string, int ref) Hashtbl.t;
+      (* (attacker, strategy) -> actions (attacker-attributed events) *)
+  sync_rejects : (int, string list ref) Hashtbl.t;
+      (* node -> rejection reasons, reverse-chronological *)
 }
 
 let create () =
@@ -221,7 +234,9 @@ let create () =
     retrans_links = Hashtbl.create 64;
     giveup_links = Hashtbl.create 16;
     retransmit_events = 0;
-    corrupt_rejects = 0 }
+    corrupt_rejects = 0;
+    attack_acts = Hashtbl.create 8;
+    sync_rejects = Hashtbl.create 8 }
 
 let incr_cell tbl key =
   match Hashtbl.find_opt tbl key with
@@ -335,6 +350,15 @@ let feed t (e : Trace.event) =
     bump src;
     bump dst;
     t.corrupt_rejects <- t.corrupt_rejects + 1
+  | Trace.Sync_retry { node; _ } | Trace.Sync_gave_up { node; _ }
+  | Trace.Sync_unavailable { node } ->
+    bump node
+  | Trace.Sync_reject { node; reason; _ } ->
+    bump node;
+    push t.sync_rejects node reason
+  | Trace.Attack_event { node; strategy; _ } ->
+    bump node;
+    incr_cell t.attack_acts (node, strategy)
   | Trace.Engine_sample _ -> ()
   | Trace.Health _ ->
     (* monitor SLO transitions: the monitor owns their aggregation
@@ -729,6 +753,19 @@ let finalize ?(config = default_config) t =
          if gave_up > 0 || float_of_int retransmits > threshold then
            add (Lossy_link { src; dst; retransmits; gave_up; median = med }))
        suspect_links);
+  (* attacker-attributed activity and sync-defense rejections: always
+     flagged when present, so an attacked trace names its adversary *)
+  Hashtbl.fold (fun key r acc -> (key, !r) :: acc) t.attack_acts []
+  |> List.sort compare
+  |> List.iter (fun ((node, strategy), actions) ->
+         add (Attacker_active { node; strategy; actions }));
+  Hashtbl.fold (fun node r acc -> (node, !r) :: acc) t.sync_rejects []
+  |> List.sort compare
+  |> List.iter (fun (node, reasons) ->
+         let distinct = List.sort_uniq compare reasons in
+         add
+           (Sync_rejections
+              { node; count = List.length reasons; reasons = distinct }));
   { r_processes = processes;
     r_f = f;
     r_wave_length = wave_length;
@@ -851,6 +888,15 @@ let anomaly_to_json a =
         i "retransmits" retransmits;
         i "gave_up" gave_up;
         fl "median" median ]
+  | Attacker_active { node; strategy; actions } ->
+    obj "attacker-active"
+      [ i "node" node; ("strategy", Stdx.Json.String strategy);
+        i "actions" actions ]
+  | Sync_rejections { node; count; reasons } ->
+    obj "sync-rejections"
+      [ i "node" node; i "count" count;
+        ( "reasons",
+          Stdx.Json.List (List.map (fun r -> Stdx.Json.String r) reasons) ) ]
 
 let report_to_json r =
   let lo, hi = r.r_span in

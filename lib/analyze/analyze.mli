@@ -141,6 +141,14 @@ type anomaly =
           count is far above the median (uniform loss keeps links close
           together, so this singles out targeted loss), or the transport
           exhausted a frame's retry budget on it. *)
+  | Attacker_active of { node : int; strategy : string; actions : int }
+      (** attacker-attributed events in the trace: process [node] ran
+          [actions] deliberate deviations under the named strategy — an
+          attacked run always names its adversary in the anomaly list *)
+  | Sync_rejections of { node : int; count : int; reasons : string list }
+      (** the hardened catch-up validator at [node] refused [count]
+          sync-response vertices; [reasons] are the distinct rejection
+          causes seen (see {!Trace.kind.Sync_reject}) *)
 
 val describe_anomaly : anomaly -> string
 (** One-line human rendering. *)

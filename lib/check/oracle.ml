@@ -562,6 +562,105 @@ let check_chain_quality ~f ~correct ~logs =
                 (float_of_int (f + 1) /. float_of_int ((2 * f) + 1)) })
     logs
 
+(* ---- attack-informed oracles ----
+
+   The adversary driver records the ground truth of every deviation it
+   actually sent (forked vertices, forged sync payloads); these checks
+   replay that ledger against the honest fleet's final DAGs. They are
+   strictly sharper than the black-box checks above: [check_equivocation]
+   only fires when two honest DAGs happen to disagree, while the fork
+   ledger also proves the {e safe} outcomes — every fork was excluded or
+   converged — and ties each verdict to the attack that caused it. *)
+
+let short_digest d = String.sub (Crypto.Sha256.to_hex d) 0 12
+
+type fork_outcome =
+  | Fork_excluded
+  | Fork_converged of string
+
+let fork_outcome ~dags ~attacker (fk : Attack.fork) =
+  let slot =
+    { Dagrider.Vertex.round = fk.Attack.fork_round; source = attacker }
+  in
+  let held =
+    List.filter_map
+      (fun (i, dag) ->
+        Option.map
+          (fun v -> (i, Dagrider.Vertex.digest v))
+          (Dagrider.Dag.find dag slot))
+      dags
+  in
+  match held with
+  | [] -> Ok Fork_excluded
+  | (_, d0) :: rest ->
+    if List.for_all (fun (_, d) -> String.equal d d0) rest then
+      Ok (Fork_converged d0)
+    else Error held
+
+let check_fork_outcomes ~(reports : Harness.Runner.attack_report list) ~dags =
+  List.concat_map
+    (fun (ar : Harness.Runner.attack_report) ->
+      let attacker = ar.Harness.Runner.ar_node in
+      List.concat_map
+        (fun (fk : Attack.fork) ->
+          match fork_outcome ~dags ~attacker fk with
+          | Ok Fork_excluded -> []
+          | Ok (Fork_converged d) ->
+            (* converging is legal, but only onto a variant the attacker
+               actually broadcast — anything else means the backend
+               manufactured a vertex *)
+            if List.exists (String.equal d) fk.Attack.fork_digests then []
+            else
+              [ { invariant = "fork-outcome";
+                  node = attacker;
+                  detail =
+                    Printf.sprintf
+                      "round-%d fork converged on digest %s the attacker \
+                       never sent"
+                      fk.Attack.fork_round (short_digest d) } ]
+          | Error held ->
+            let node = match held with (i, _) :: _ -> i | [] -> attacker in
+            [ { invariant = "fork-outcome";
+                node;
+                detail =
+                  Printf.sprintf "p%d's round-%d fork split the fleet: %s"
+                    attacker fk.Attack.fork_round
+                    (String.concat ", "
+                       (List.map
+                          (fun (i, d) ->
+                            Printf.sprintf "p%d=%s" i (short_digest d))
+                          held)) } ])
+        ar.Harness.Runner.ar_forks)
+    reports
+
+let check_lie_exclusion ~(reports : Harness.Runner.attack_report list) ~dags =
+  List.concat_map
+    (fun (ar : Harness.Runner.attack_report) ->
+      List.concat_map
+        (fun (lie : Attack.lie) ->
+          let slot =
+            { Dagrider.Vertex.round = lie.Attack.lie_round;
+              source = lie.Attack.lie_source }
+          in
+          List.filter_map
+            (fun (i, dag) ->
+              match Dagrider.Dag.find dag slot with
+              | Some v
+                when String.equal (Dagrider.Vertex.digest v)
+                       lie.Attack.lie_digest ->
+                Some
+                  { invariant = "sync-lie";
+                    node = i;
+                    detail =
+                      Printf.sprintf
+                        "admitted p%d's forged catch-up vertex for %s"
+                        ar.Harness.Runner.ar_node (pp_vref slot) }
+              | _ -> None)
+            dags)
+        (* one forged slot is typically served many times; judge it once *)
+        (List.sort_uniq compare ar.Harness.Runner.ar_lies))
+    reports
+
 let check_validity ~n ~logs =
   List.concat_map
     (fun (i, log) ->
@@ -626,4 +725,8 @@ let check_fleet ~runner ~commits ~expect_validity =
     | Some forensics -> check_certificates ~rule ~f ~forensics ~dag_of
     | None -> [])
   @ check_chain_quality ~f ~correct:is_correct ~logs:full_logs
+  @ (match Harness.Runner.attack_reports runner with
+    | [] -> []
+    | reports ->
+      check_fork_outcomes ~reports ~dags @ check_lie_exclusion ~reports ~dags)
   @ (if expect_validity then check_validity ~n ~logs:full_logs else [])

@@ -17,7 +17,8 @@ type violation = {
       (** which property broke: ["agreement"], ["extension"],
           ["integrity"], ["dag-wf"], ["equivocation"],
           ["leader-support"], ["skip-legality"], ["certificate"],
-          ["chain-quality"], or ["validity"] *)
+          ["chain-quality"], ["fork-outcome"], ["sync-lie"], or
+          ["validity"] *)
   node : int; (** the process at which the violation was observed *)
   detail : string;
 }
@@ -125,6 +126,46 @@ val check_certificates :
     keep only the field checks — pruned vertices cannot witness either
     way. *)
 
+type fork_outcome =
+  | Fork_excluded
+      (** no honest process holds any variant of the forked slot —
+          reliable broadcast starved both sides of a quorum *)
+  | Fork_converged of string
+      (** every honest holder agrees on the variant with this digest *)
+(** How the honest fleet resolved one recorded equivocation. Both
+    outcomes are legal; what is {e illegal} is a split. *)
+
+val fork_outcome :
+  dags:(int * Dagrider.Dag.t) list ->
+  attacker:int ->
+  Attack.fork ->
+  (fork_outcome, (int * string) list) result
+(** Judge one fork from the attacker's {!Attack.forks} ledger against
+    the correct processes' final DAGs. [Error held] is the violation
+    case — honest processes accepted {e different} variants — with the
+    (node, digest) evidence. *)
+
+val check_fork_outcomes :
+  reports:Harness.Runner.attack_report list ->
+  dags:(int * Dagrider.Dag.t) list ->
+  violation list
+(** The equivocation-exclusion oracle, attack-informed: every fork the
+    adversary driver actually sent must be excluded or converged — a
+    split fleet, or convergence onto a digest the attacker never sent,
+    is a ["fork-outcome"] violation. Sharper than the black-box
+    equivocation check because it also {e proves} the safe outcomes,
+    fork by fork, instead of only noticing disagreements. *)
+
+val check_lie_exclusion :
+  reports:Harness.Runner.attack_report list ->
+  dags:(int * Dagrider.Dag.t) list ->
+  violation list
+(** No honest DAG may contain any forged catch-up vertex from a lying
+    sync peer's {!Attack.lies} ledger (matched by slot {e and} digest —
+    the honest vertex for the same slot is of course fine). A match is
+    a ["sync-lie"] violation: the hardened sync admission path let a
+    single Byzantine responder poison a restarted node. *)
+
 val check_fleet :
   runner:Harness.Runner.t ->
   commits:commit_record list ->
@@ -153,6 +194,10 @@ val check_fleet :
       ({!check_certificates});
     - {b chain-quality}: the [(f+1)/(2f+1)]-per-prefix bound
       ({!Metrics.Chain_quality.audit});
+    - {b fork-outcome} and {b sync-lie} (attacked runs only): every
+      deviation in the adversary drivers' ledgers
+      ({!Harness.Runner.attack_reports}) was excluded or converged
+      ({!check_fork_outcomes}, {!check_lie_exclusion});
     - {b validity} (only when [expect_validity], i.e. fault-free
       scenarios): once a log is long enough to show steady state
       ([>= 3n] entries), every correct process's proposals appear in

@@ -37,6 +37,9 @@ type t = {
   commit_quorum : int option;
   link_faults : Harness.Runner.link_faults option;
   lossy_forced : bool;
+  attack : (int * Attack.spec) option;
+  attack_forced : bool;
+  sync_weakened : bool;
 }
 
 let rbc_prefix = function
@@ -95,6 +98,7 @@ let static_index = function
   | Harness.Runner.Byzantine_silent i
   | Harness.Runner.Byzantine_live i
   | Harness.Runner.Byzantine_attacker i -> i
+  | Harness.Runner.Adversary (i, _) -> i
 
 let fault_node = function
   | Static f -> static_index f
@@ -125,8 +129,8 @@ let predicted_leader ~seed ~n ~f ~wave =
   | Some leader -> leader
   | None -> wave mod n
 
-let generate ?(sabotage = false) ?(quick = false) ?lossy
-    ?(rule = Dagrider.Ordering.dag_rider) ~seed () =
+let generate ?(sabotage = false) ?(quick = false) ?lossy ?attack
+    ?(weaken_sync = false) ?(rule = Dagrider.Ordering.dag_rider) ~seed () =
   (* offset keeps the sampling stream distinct from the run's own seeded
      streams (Runner also derives from [seed]) *)
   let rng = Stdx.Rng.create (seed lxor 0x5ca40c0de) in
@@ -279,18 +283,78 @@ let generate ?(sabotage = false) ?(quick = false) ?lossy
      whatever was sampled, again without consuming extra draws. *)
   let link_faults, lossy_forced =
     if sabotage then (None, false)
-    else
-      match lossy with
-      | Some lf -> (Some lf, true)
-      | None ->
+    else begin
+      (* the sampling draws happen whether or not the override is used,
+         so a forced-lossy run consumes exactly the draws the sampled
+         one did and everything drawn after (the adversary) agrees *)
+      let sampled =
         if Stdx.Rng.int rng 4 = 0 then
-          ( Some
-              { Harness.Runner.lf_drop = 0.05 +. Stdx.Rng.float rng 0.2;
-                lf_duplicate = Stdx.Rng.float rng 0.1;
-                lf_corrupt = Stdx.Rng.float rng 0.05;
-                lf_reorder = Stdx.Rng.float rng 0.2 },
+          Some
+            { Harness.Runner.lf_drop = 0.05 +. Stdx.Rng.float rng 0.2;
+              lf_duplicate = Stdx.Rng.float rng 0.1;
+              lf_corrupt = Stdx.Rng.float rng 0.05;
+              lf_reorder = Stdx.Rng.float rng 0.2 }
+        else None
+      in
+      match lossy with Some lf -> (Some lf, true) | None -> (sampled, false)
+    end
+  in
+  (* the adversary is drawn after even the lossy links, so enabling
+     attacked sampling never perturbs any draw an older seed made. A
+     forced [~attack] spec (the CLI's --attack flag) consumes no draws
+     at all — it {e replaces} the sampled fault script with the one
+     adversary (plus the sampled restarts, which are not faults), so the
+     run stays within the [f] budget and the oracle verdicts stay
+     meaningful *)
+  let faults, attack, attack_forced =
+    if sabotage then (faults, None, false)
+    else begin
+      let busy = List.sort_uniq compare (List.map fault_node faults) in
+      let candidates =
+        List.filter (fun i -> not (List.mem i busy)) (List.init n (fun i -> i))
+      in
+      match attack with
+      | Some spec ->
+        let node = match candidates with c :: _ -> c | [] -> 0 in
+        let restarts =
+          List.filter (function Restart_at _ -> true | _ -> false) faults
+        in
+        (* a lying catch-up peer only ever acts when somebody restarts
+           and asks for sync: guarantee one restart in forced runs *)
+        let restarts =
+          if restarts <> [] || spec.Attack.strategy <> Attack.Lying_sync then
+            restarts
+          else
+            [ Restart_at { time = horizon *. 0.45; node = (node + 1) mod n } ]
+        in
+        ( Static (Harness.Runner.Adversary (node, spec)) :: restarts,
+          Some (node, spec),
+          true )
+      | None ->
+        let static_faulty =
+          List.filter (function Restart_at _ -> false | _ -> true) faults
+        in
+        (* short-circuit order matters: when the fault budget is already
+           spent no draw is consumed, and nothing is sampled after this
+           block, so both shapes stay replayable from the seed *)
+        if
+          List.length static_faulty >= f
+          || candidates = []
+          || Stdx.Rng.int rng 3 <> 0
+        then (faults, None, false)
+        else begin
+          let node = Stdx.Rng.choose rng (Array.of_list candidates) in
+          let strategy =
+            Stdx.Rng.choose rng (Array.of_list Attack.all_strategies)
+          in
+          let spec = { Attack.strategy; victims = [] } in
+          (* consed at the head so the shrinker tries dropping the
+             adversary before any other fault *)
+          ( Static (Harness.Runner.Adversary (node, spec)) :: faults,
+            Some (node, spec),
             false )
-        else (None, false)
+        end
+    end
   in
   (* retransmission (rto 3.0, backoff) stretches end-to-end latency:
      give lossy runs room to keep committing inside the horizon *)
@@ -308,7 +372,10 @@ let generate ?(sabotage = false) ?(quick = false) ?lossy
     horizon;
     commit_quorum = (if sabotage then Some 0 else None);
     link_faults;
-    lossy_forced }
+    lossy_forced;
+    attack;
+    attack_forced;
+    sync_weakened = weaken_sync && not sabotage }
 
 let base_sched base rng =
   match base with
@@ -353,7 +420,8 @@ let to_options t =
     schedule = Harness.Runner.Custom (build_sched t);
     commit_quorum = t.commit_quorum;
     faults = statics;
-    link_faults = t.link_faults }
+    link_faults = t.link_faults;
+    sync_trusting = t.sync_weakened }
 
 let expect_validity t =
   (not t.sabotage)
@@ -395,6 +463,7 @@ let describe_fault = function
   | Static (Harness.Runner.Byzantine_live i) -> Printf.sprintf "byz-live p%d" i
   | Static (Harness.Runner.Byzantine_attacker i) ->
     Printf.sprintf "attacker p%d" i
+  | Static (Harness.Runner.Adversary (i, spec)) -> Attack.describe ~node:i spec
   | Corrupt_at { time; node } -> Printf.sprintf "corrupt p%d@%.1f" node time
   | Restart_at { time; node } -> Printf.sprintf "restart p%d@%.1f" node time
 
@@ -405,7 +474,7 @@ let describe_lossy (lf : Harness.Runner.link_faults) =
 
 let describe t =
   Printf.sprintf
-    "seed %d: n=%d f=%d backend=%s%s sched=%s%s faults=[%s]%s%s horizon=%.0f%s"
+    "seed %d: n=%d f=%d backend=%s%s sched=%s%s faults=[%s]%s%s%s horizon=%.0f%s"
     t.seed t.n t.f
     (describe_backend t.backend)
     (if t.rule.Dagrider.Ordering.rule_name = "dagrider" then ""
@@ -422,5 +491,7 @@ let describe t =
     | None -> ""
     | Some lf ->
       " " ^ describe_lossy lf ^ if t.lossy_forced then "(forced)" else "")
+    ((if t.attack <> None && t.attack_forced then " attack(forced)" else "")
+    ^ if t.sync_weakened then " sync=TRUSTING(WEAKENED)" else "")
     t.horizon
     (if t.quick then " (quick)" else "")

@@ -63,12 +63,25 @@ type t = {
   lossy_forced : bool;
       (** [link_faults] came from the caller, not the seed — the repro
           command must carry the rates explicitly *)
+  attack : (int * Attack.spec) option;
+      (** the programmable adversary, if any — also present in [faults]
+          as [Static (Adversary _)]; kept here so the CLI and repro
+          rendering can reach the spec without pattern-matching the
+          script *)
+  attack_forced : bool;
+      (** the adversary came from the caller ([~attack]), not the seed —
+          the repro command must carry the [--attack] flag *)
+  sync_weakened : bool;
+      (** run the fleet with the deliberately weakened sync validator
+          ([sync_trusting]; planted-vulnerability self-test only) *)
 }
 
 val generate :
   ?sabotage:bool ->
   ?quick:bool ->
   ?lossy:Harness.Runner.link_faults ->
+  ?attack:Attack.spec ->
+  ?weaken_sync:bool ->
   ?rule:Dagrider.Ordering.rule ->
   seed:int ->
   unit ->
@@ -99,7 +112,20 @@ val generate :
     (ignored by sabotage scenarios, whose attack depends on exact
     delivery timing). Lossy scenarios double the horizon — the
     retransmit timeout stretches every quorum — and drop the validity
-    promise while keeping every safety oracle. *)
+    promise while keeping every safety oracle.
+
+    A programmable adversary ({!Attack.spec}) is drawn last of all —
+    after even the lossy links — roughly 1 in 3 honest seeds whose
+    sampled fault budget left room, so pre-adversary seeds replay
+    unchanged. [~attack] forces a spec instead, consuming no draws: the
+    forced adversary {e replaces} the sampled static faults (restarts
+    are kept, and a forced [Lying_sync] run gains one if the seed
+    sampled none) so the run stays within the [f] budget. [~weaken_sync]
+    runs the fleet with the deliberately weakened sync validator
+    ({!Harness.Runner.options.sync_trusting}) — the
+    planted-vulnerability mode the self-test uses to prove the sync
+    oracles are not vacuous; never combine it with an expectation of a
+    clean run. *)
 
 val build_sched : t -> Stdx.Rng.t -> Net.Sched.t
 (** Compose the schedule: base policy wrapped by each layer (partitions

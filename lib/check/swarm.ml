@@ -118,6 +118,13 @@ let repro_command (sc : Scenario.t) =
         lf.Harness.Runner.lf_drop lf.Harness.Runner.lf_duplicate
         lf.Harness.Runner.lf_corrupt lf.Harness.Runner.lf_reorder
     | _ -> "")
+    (* same split for the adversary: a sampled one replays from the
+       seed, a forced one must be repeated on the command line *)
+    ^ (match sc.Scenario.attack with
+      | Some (_, spec) when sc.Scenario.attack_forced ->
+        " --attack " ^ Attack.strategy_label spec.Attack.strategy
+      | _ -> "")
+    ^ if sc.Scenario.sync_weakened then " --weaken-sync" else ""
 
 let shrink_list ~keep xs =
   let rec go kept = function
@@ -138,7 +145,18 @@ let shrink (outcome : outcome) =
       match Hashtbl.find_opt cache key with
       | Some o -> o
       | None ->
-        let o = run_scenario { sc with Scenario.faults } in
+        (* keep the convenience field in step with the script, so a
+           shrunk scenario that dropped its adversary doesn't still
+           advertise one *)
+        let attack =
+          List.find_map
+            (function
+              | Scenario.Static (Harness.Runner.Adversary (i, s)) ->
+                Some (i, s)
+              | _ -> None)
+            faults
+        in
+        let o = run_scenario { sc with Scenario.faults; attack } in
         Hashtbl.add cache key o;
         o
     in
@@ -156,12 +174,15 @@ type report = {
   agreement_violations : int;
 }
 
-let run_seeds ?(sabotage = false) ?(quick = false) ?lossy ?rule ?progress
-    ~seeds () =
+let run_seeds ?(sabotage = false) ?(quick = false) ?lossy ?attack
+    ?(weaken_sync = false) ?rule ?progress ~seeds () =
   let failures = ref [] in
   List.iter
     (fun seed ->
-      let sc = Scenario.generate ~sabotage ~quick ?lossy ?rule ~seed () in
+      let sc =
+        Scenario.generate ~sabotage ~quick ?lossy ?attack ~weaken_sync ?rule
+          ~seed ()
+      in
       let outcome = run_scenario sc in
       let outcome =
         if outcome.violations = [] then outcome else shrink outcome

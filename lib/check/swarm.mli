@@ -55,6 +55,8 @@ val run_seeds :
   ?sabotage:bool ->
   ?quick:bool ->
   ?lossy:Harness.Runner.link_faults ->
+  ?attack:Attack.spec ->
+  ?weaken_sync:bool ->
   ?rule:Dagrider.Ordering.rule ->
   ?progress:(seed:int -> outcome -> unit) ->
   seeds:int list ->
@@ -63,6 +65,9 @@ val run_seeds :
 (** Generate-and-run each seed; failing outcomes are shrunk before they
     are reported. [progress] observes every run (the CLI uses it for
     live output). [lossy] forces every scenario onto lossy links at the
-    given rates (the CLI's --loss/--dup/--corrupt flags). [rule] runs
-    every scenario under the given commit rule (the CLI's --rule
-    flag). *)
+    given rates (the CLI's --loss/--dup/--corrupt flags). [attack]
+    forces the given adversary into every scenario (the CLI's --attack
+    flag); [weaken_sync] runs every fleet with the deliberately
+    weakened sync validator — the planted-vulnerability mode, expected
+    to {e produce} violations. [rule] runs every scenario under the
+    given commit rule (the CLI's --rule flag). *)

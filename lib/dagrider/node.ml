@@ -71,6 +71,13 @@ type t = {
   leaders : (int, int) Hashtbl.t; (* resolved coin: wave -> process *)
   mutable share_sent_up_to : int;
   mutable next_wave_to_order : int;
+  (* catch-up hardening: a sync response is one peer's unauthenticated
+     claim, so a vertex this node cannot cross-check against its DAG
+     needs byte-identical confirmation from f+1 distinct responders
+     before admission (at most f are Byzantine, so one voucher is
+     honest). Keyed (round, source, digest) -> responders seen. *)
+  sync_trusting : bool;
+  sync_pending : (int * int * string, int list ref) Hashtbl.t;
 }
 
 let me t = t.me
@@ -88,6 +95,12 @@ let leader_of t ~wave =
   | Ordering.Round_robin ->
     if wave >= 1 then Some (Ordering.round_robin_leader ~n:t.config.n ~wave)
     else None
+
+(* the raw coin-instance resolution, independent of the ordering rule's
+   schedule — the coin cadence is the same under every rule, so readers
+   of this accessor (e.g. adaptive adversaries) behave identically
+   across rules and keep the DAG substrate rule-oblivious *)
+let coin_leader_of t ~wave = Hashtbl.find_opt t.leaders wave
 
 let rbc t =
   match t.rbc with
@@ -509,12 +522,18 @@ let rec try_advance t =
     if ready <> [] then begin
       List.iter
         (fun v ->
-          Dag.add t.dag v;
-          tr_emit t
-            (Trace.Vertex_added
-               { node = t.me;
-                 round = v.Vertex.round;
-                 source = v.Vertex.source }))
+          (* two copies of one slot can become addable in the same sweep
+             only through the deliberately weakened sync path (honest
+             admission cross-checks the slot first); first writer wins
+             and the cross-node equivocation oracle judges the result *)
+          if not (Dag.contains t.dag (Vertex.vref_of v)) then begin
+            Dag.add t.dag v;
+            tr_emit t
+              (Trace.Vertex_added
+                 { node = t.me;
+                   round = v.Vertex.round;
+                   source = v.Vertex.source })
+          end)
         ready;
       t.buffer <- waiting;
       progressed := true
@@ -588,11 +607,85 @@ let first_incomplete_round t =
 
 let request_sync t =
   match t.sync_net with
-  | None -> ()
+  | None ->
+    (* surface the misconfiguration instead of silently doing nothing:
+       a restart driver that calls this without wiring a sync channel
+       would otherwise look like a liveness bug in the protocol *)
+    tr_emit t (Trace.Sync_unavailable { node = t.me });
+    false
   | Some net ->
     (* u8 tag + u32 from_round *)
     Net.Port.broadcast net ~src:t.me ~kind:"sync-request" ~bits:(8 * 5)
-      (Sync_request { from_round = first_incomplete_round t })
+      (Sync_request { from_round = first_incomplete_round t });
+    true
+
+(* Validated admission for synced vertices. Reliable-broadcast
+   deliveries carry quorum evidence by construction; a sync response is
+   a single peer's bare claim, so each triple is checked against the
+   DAG's structural invariants and, when it cannot be cross-checked
+   locally, held until f+1 distinct responders vouch for byte-identical
+   content. Rejections are typed trace events ("envelope", "decode",
+   "invalid", "conflict") so forensics can attribute the lie. Note sync
+   responses carry the {e bare} vertex encoding (never the In_dag share
+   framing): shares for old waves are useless to a restarting node, and
+   decoding directly avoids mis-parsing raw bytes as a frame suffix. *)
+
+let max_sync_pending = 2048
+
+let sync_reject t ~src ~round ~source reason =
+  tr_emit t (Trace.Sync_reject { node = t.me; src; round; source; reason })
+
+let admit_sync_vertex t ~src ~payload ~round ~source =
+  if round < 1 || source < 0 || source >= t.config.n then
+    sync_reject t ~src ~round ~source "envelope"
+  else
+    match Vertex.decode ~round ~source payload with
+    | None -> sync_reject t ~src ~round ~source "decode"
+    | Some v -> (
+      match Vertex.validate ~n:t.config.n ~f:t.config.f v with
+      | Error _ -> sync_reject t ~src ~round ~source "invalid"
+      | Ok () -> (
+        let vr = Vertex.vref_of v in
+        match Dag.find t.dag vr with
+        | Some existing ->
+          (* the slot is occupied: a digest mismatch is a forgery (our
+             copy came through reliable broadcast), a match is old news *)
+          if Vertex.digest existing <> Vertex.digest v then
+            sync_reject t ~src ~round ~source "conflict"
+        | None ->
+          let digest = Vertex.digest v in
+          let buffered_already =
+            List.exists
+              (fun b -> Vertex.vref_of b = vr && Vertex.digest b = digest)
+              t.buffer
+          in
+          if not buffered_already then begin
+            let need = if t.sync_trusting then 1 else t.config.f + 1 in
+            if need <= 1 then begin
+              t.buffer <- v :: t.buffer;
+              try_advance t
+            end
+            else begin
+              let key = (round, source, digest) in
+              let responders =
+                match Hashtbl.find_opt t.sync_pending key with
+                | Some r -> r
+                | None ->
+                  if Hashtbl.length t.sync_pending >= max_sync_pending then
+                    Hashtbl.reset t.sync_pending;
+                  let r = ref [] in
+                  Hashtbl.add t.sync_pending key r;
+                  r
+              in
+              if not (List.mem src !responders) then
+                responders := src :: !responders;
+              if List.length !responders >= need then begin
+                Hashtbl.remove t.sync_pending key;
+                t.buffer <- v :: t.buffer;
+                try_advance t
+              end
+            end
+          end))
 
 let on_sync_msg t ~src msg =
   let sp = Prof.enter "node.sync" in
@@ -631,18 +724,17 @@ let on_sync_msg t ~src msg =
           (Sync_response { vertices = List.rev !vertices })
       end)
   | Sync_response { vertices } ->
-    (* identical admission path as reliable-broadcast deliveries; the
-       wrapped coin share (if any, In_dag mode) is accepted too *)
     List.iter
       (fun (payload, round, source) ->
-        on_r_deliver t ~payload ~round ~source)
+        admit_sync_vertex t ~src ~payload ~round ~source)
       vertices
    with e -> Prof.leave_reraise sp e);
   Prof.leave sp
 
 (* ---- construction ---- *)
 
-let create ~config ~me ~coin ~coin_net ~make_rbc ?sync_net ?trace
+let create ~config ~me ~coin ~coin_net ~make_rbc ?sync_net
+    ?(sync_trusting = false) ?trace
     ?(block_source = fun ~round:_ -> "")
     ?(a_deliver = fun ~block:_ ~round:_ ~source:_ -> ())
     ?(on_commit = fun _ -> ()) () =
@@ -672,7 +764,9 @@ let create ~config ~me ~coin ~coin_net ~make_rbc ?sync_net ?trace
       shares = Hashtbl.create 16;
       leaders = Hashtbl.create 16;
       share_sent_up_to = 0;
-      next_wave_to_order = 1 }
+      next_wave_to_order = 1;
+      sync_trusting;
+      sync_pending = Hashtbl.create 16 }
   in
   let deliver ~payload ~round ~source =
     on_r_deliver t ~payload ~round ~source
@@ -698,11 +792,11 @@ let checkpoint t =
     ck_decided_wave = Ordering.decided_wave t.ordering;
     ck_round = t.round }
 
-let restore ~config ~me ~coin ~coin_net ~make_rbc ?sync_net ?trace
-    ?block_source ?a_deliver ?on_commit ck =
+let restore ~config ~me ~coin ~coin_net ~make_rbc ?sync_net ?sync_trusting
+    ?trace ?block_source ?a_deliver ?on_commit ck =
   let t =
-    create ~config ~me ~coin ~coin_net ~make_rbc ?sync_net ?trace
-      ?block_source ?a_deliver ?on_commit ()
+    create ~config ~me ~coin ~coin_net ~make_rbc ?sync_net ?sync_trusting
+      ?trace ?block_source ?a_deliver ?on_commit ()
   in
   (* graft the persisted DAG in: rebuild through Dag.add to re-establish
      the causal-closure invariant *)
@@ -720,7 +814,7 @@ let restore ~config ~me ~coin ~coin_net ~make_rbc ?sync_net ?trace
   t.share_sent_up_to <- t.coin_waves_completed;
   t.next_wave_to_order <- ck.ck_decided_wave + 1;
   t.started <- true;
-  request_sync t;
+  ignore (request_sync t : bool);
   t
 
 let start t =

@@ -33,12 +33,18 @@ type sync_msg =
       (** (encoded vertex, round, source) triples *)
 (** Catch-up channel for restarted processes: reliable broadcast never
     re-delivers instances that completed while a process was down, so a
-    restarted node asks its peers for the missing DAG region. Responses
-    go through exactly the same decode/validate/buffer path as reliable
-    broadcast deliveries — a Byzantine responder can only feed vertices
-    the (restarting) node would have accepted anyway, and conflicting
-    fabrications are caught by the DAG's one-vertex-per-(round, source)
-    check against reliably-broadcast copies. *)
+    restarted node asks its peers for the missing DAG region. A response
+    carries {e bare} vertex encodings and, unlike an RBC delivery, is a
+    single peer's unauthenticated claim — so admission is hardened:
+    each triple must pass the envelope check (source in range, round
+    >= 1), decode, and {!Vertex.validate}; a triple whose
+    [(round, source)] slot is already occupied by a different digest is
+    rejected as a forgery; and a vertex the node cannot cross-check
+    locally is held until [f+1] {e distinct} responders vouch for
+    byte-identical content (at most [f] are Byzantine, so at least one
+    voucher is honest). Every rejection emits a typed
+    {!Trace.kind.Sync_reject} event ("envelope" | "decode" | "invalid"
+    | "conflict") for forensic attribution. *)
 
 val encode_coin_msg : coin_msg -> string
 (** Canonical wire encoding of a coin share (used when the coin channel
@@ -100,6 +106,7 @@ val create :
   coin_net:coin_msg Net.Port.t ->
   make_rbc:rbc_factory ->
   ?sync_net:sync_msg Net.Port.t ->
+  ?sync_trusting:bool ->
   ?trace:Trace.t ->
   ?block_source:(round:int -> string) ->
   ?a_deliver:(block:string -> round:int -> source:int -> unit) ->
@@ -113,7 +120,12 @@ val create :
     instrumentation). [trace] records this process's protocol events
     ({!Trace.Vertex_created}, [Vertex_added], [Round_advanced],
     [Coin_flip], [Leader_elected], [Leader_skipped], [Commit],
-    [A_deliver]); omitted, no event is ever allocated. *)
+    [A_deliver]); omitted, no event is ever allocated.
+    [sync_trusting] (default [false]) deliberately {e weakens} the
+    sync admission path back to trusting any single responder —
+    exists only so the checker's planted-vulnerability self-test can
+    prove the oracles catch a corrupted catch-up; never enable it in
+    an experiment. *)
 
 type checkpoint = {
   ck_dag : Dag.t;
@@ -133,6 +145,7 @@ val restore : config:config -> me:int ->
   coin_net:coin_msg Net.Port.t ->
   make_rbc:rbc_factory ->
   ?sync_net:sync_msg Net.Port.t ->
+  ?sync_trusting:bool ->
   ?trace:Trace.t ->
   ?block_source:(round:int -> string) ->
   ?a_deliver:(block:string -> round:int -> source:int -> unit) ->
@@ -177,8 +190,17 @@ val leader_of : t -> wave:int -> int option
     arrived), or the predefined [(wave - 1) mod n] under a round-robin
     rule. Used by the renderers. *)
 
-val request_sync : t -> unit
-(** Ask every peer for the DAG region this node is missing (no-op
-    without a [sync_net]). Called once by {!restore}; the restart driver
-    should re-call it a few virtual-time units later to collect vertices
-    whose broadcasts straddled the restart. *)
+val coin_leader_of : t -> wave:int -> int option
+(** The raw threshold-coin resolution for [wave], regardless of which
+    ordering rule is active (the coin runs at its own cadence under
+    every rule). [None] until this node has combined f+1 shares.
+    Readers that must stay rule-oblivious — the adaptive adversaries —
+    use this instead of {!leader_of}. *)
+
+val request_sync : t -> bool
+(** Ask every peer for the DAG region this node is missing. Returns
+    [false] — and emits a {!Trace.kind.Sync_unavailable} event — when no
+    [sync_net] was wired, so a restart driver cannot mistake a
+    misconfigured channel for protocol stall. Called once by {!restore};
+    the restart driver should re-call it later (with backoff) to collect
+    vertices whose broadcasts straddled the restart. *)

@@ -11,6 +11,7 @@ type fault =
   | Byzantine_silent of int
   | Byzantine_live of int
   | Byzantine_attacker of int
+  | Adversary of int * Attack.spec
 
 type link_faults = {
   lf_drop : float;
@@ -52,6 +53,7 @@ type options = {
   on_commit : (node:int -> Dagrider.Ordering.commit -> unit) option;
   faults : fault list;
   link_faults : link_faults option;
+  sync_trusting : bool;
   trace : Trace.t option;
   workload : workload option;
   monitor : Monitor.t option;
@@ -75,6 +77,7 @@ let default_options ~n =
     on_commit = None;
     faults = [];
     link_faults = None;
+    sync_trusting = false;
     trace = None;
     workload = None;
     monitor = None }
@@ -118,6 +121,7 @@ type t = {
   rbc_drop_counts : unit -> (string * int) list;
   faulty : bool array;  (* counted as Byzantine *)
   crashed : bool array; (* additionally, never started *)
+  attack_drivers : Attack.t option array; (* per-process, iff Adversary *)
   latency : Metrics.Latency.t;
   analyzer : Analyze.t option; (* streaming trace consumer, iff traced *)
   forensics : Forensics.t option; (* certificate collector, iff traced *)
@@ -134,6 +138,7 @@ and monitor_ctx = {
 
 let fault_index = function
   | Crash i | Byzantine_silent i | Byzantine_live i | Byzantine_attacker i -> i
+  | Adversary (i, _) -> i
 
 let make_sched ~schedule ~rng =
   match schedule with
@@ -243,6 +248,17 @@ let build options =
         invalid_arg "Runner.build: lf_drop must be < 1";
       Some (lf, Stdx.Rng.split root_rng)
   in
+  (* programmable adversaries (lib/attack): their RNG root splits after
+     every pre-existing stream — and only when at least one is declared —
+     so attack-free runs consume exactly the historical RNG sequence *)
+  let adversaries =
+    List.filter_map
+      (function Adversary (i, spec) -> Some (i, spec) | _ -> None)
+      options.faults
+  in
+  let adversary_rng =
+    if adversaries = [] then None else Some (Stdx.Rng.split root_rng)
+  in
   let engine = Sim.Engine.create () in
   let counters = Metrics.Counters.create () in
   let sched = make_sched ~schedule:options.schedule ~rng:sched_rng in
@@ -351,7 +367,15 @@ let build options =
     make_stack ~encode:Dagrider.Node.encode_sync_msg
       ~decode:Dagrider.Node.decode_sync_msg
   in
-  let (make_rbc : Dagrider.Node.rbc_factory),
+  (* [make_rbc_full] also yields the backend's targeted-send capability
+     (Bracha Init / AVID dispersal / Gossip seed toward chosen
+     destinations) — the attack driver's arsenal. Honest nodes only ever
+     see the plain factory below. *)
+  let (make_rbc_full :
+        me:int ->
+        deliver:Rbc.Rbc_intf.deliver ->
+        Dagrider.Node.rbc_handle
+        * (dsts:int list -> round:int -> payload:string -> unit)),
       (silence_rbc : drop_in_flight:bool -> int -> unit),
       rbc_link_stats,
       rbc_retransmits,
@@ -370,8 +394,12 @@ let build options =
           (match options.trace with
           | None -> ()
           | Some tr -> Rbc.Bracha.set_trace b tr);
-          { Dagrider.Node.rbc_bcast =
-              (fun ~payload ~round -> Rbc.Bracha.bcast b ~payload ~round) }),
+          ( { Dagrider.Node.rbc_bcast =
+                (fun ~payload ~round -> Rbc.Bracha.bcast b ~payload ~round) },
+            fun ~dsts ~round ~payload ->
+              List.iter
+                (fun dst -> Rbc.Bracha.inject_init b ~dst ~round ~payload)
+                dsts )),
         silencer stack,
         stack.st_link_stats,
         stack.st_retransmits,
@@ -385,8 +413,10 @@ let build options =
           (match options.trace with
           | None -> ()
           | Some tr -> Rbc.Avid.set_trace a tr);
-          { Dagrider.Node.rbc_bcast =
-              (fun ~payload ~round -> Rbc.Avid.bcast a ~payload ~round) }),
+          ( { Dagrider.Node.rbc_bcast =
+                (fun ~payload ~round -> Rbc.Avid.bcast a ~payload ~round) },
+            fun ~dsts ~round ~payload ->
+              Rbc.Avid.inject_disperse a ~dsts ~round ~payload )),
         silencer stack,
         stack.st_link_stats,
         stack.st_retransmits,
@@ -403,12 +433,19 @@ let build options =
           (match options.trace with
           | None -> ()
           | Some tr -> Rbc.Gossip.set_trace g tr);
-          { Dagrider.Node.rbc_bcast =
-              (fun ~payload ~round -> Rbc.Gossip.bcast g ~payload ~round) }),
+          ( { Dagrider.Node.rbc_bcast =
+                (fun ~payload ~round -> Rbc.Gossip.bcast g ~payload ~round) },
+            fun ~dsts ~round ~payload ->
+              List.iter
+                (fun dst -> Rbc.Gossip.inject_gossip g ~dst ~round ~payload)
+                dsts )),
         silencer stack,
         stack.st_link_stats,
         stack.st_retransmits,
         stack.st_drop_counts )
+  in
+  let make_rbc : Dagrider.Node.rbc_factory =
+   fun ~me ~deliver -> fst (make_rbc_full ~me ~deliver)
   in
   let config =
     { Dagrider.Node.n;
@@ -447,15 +484,64 @@ let build options =
       in
       Some { mc_mon = mon; mc_observer = first 0; mc_commits = ref 0 }
   in
+  let attack_drivers : Attack.t option array = Array.make n None in
   let nodes =
     Array.init n (fun me ->
         let a_deliver, on_commit, block_source =
           node_hooks ~options ~engine ~latency ~mempools ~mctx ~me
         in
+        (* an adversary runs the REAL node — real DAG, real codecs, real
+           coin participation — but its broadcasts detour through the
+           attack driver, which decides what actually hits the wire *)
+        let make_rbc_for_me : Dagrider.Node.rbc_factory =
+          match List.assoc_opt me adversaries with
+          | None -> make_rbc
+          | Some spec ->
+            fun ~me ~deliver ->
+              let handle, send = make_rbc_full ~me ~deliver in
+              let arsenal =
+                { Attack.ars_n = n;
+                  ars_f = f;
+                  ars_me = me;
+                  ars_send = send;
+                  ars_bcast =
+                    (fun ~round ~payload ->
+                      handle.Dagrider.Node.rbc_bcast ~payload ~round) }
+              in
+              let rng =
+                match adversary_rng with
+                | Some root -> Stdx.Rng.split root
+                | None -> assert false
+              in
+              let driver =
+                Attack.create ~spec ~arsenal ~rng
+                  ~schedule:(fun ~delay k -> Sim.Engine.schedule engine ~delay k)
+                  ?trace:options.trace ()
+              in
+              attack_drivers.(me) <- Some driver;
+              { Dagrider.Node.rbc_bcast =
+                  (fun ~payload ~round ->
+                    Attack.on_own_vertex driver ~payload ~round) }
+        in
         Dagrider.Node.create ~config ~me ~coin ~coin_net:coin_stack.st_port
-          ~make_rbc ~sync_net:sync_stack.st_port ?trace:options.trace
+          ~make_rbc:make_rbc_for_me ~sync_net:sync_stack.st_port
+          ~sync_trusting:options.sync_trusting ?trace:options.trace
           ~block_source ~a_deliver ~on_commit ())
   in
+  (* wire each driver's protocol brain, and swap in the lying catch-up
+     responder where that strategy was picked (Port.register replaces
+     the honest handler Node.create installed) *)
+  Array.iteri
+    (fun i d ->
+      match d with
+      | None -> ()
+      | Some driver ->
+        Attack.set_node driver nodes.(i);
+        (match List.assoc_opt i adversaries with
+        | Some { Attack.strategy = Attack.Lying_sync; _ } ->
+          Attack.lying_sync_handler driver ~sync_net:sync_stack.st_port
+        | _ -> ()))
+    attack_drivers;
   let faulty = Array.make n false in
   let crashed = Array.make n false in
   List.iter
@@ -464,6 +550,10 @@ let build options =
       if i < 0 || i >= n then invalid_arg "Runner.build: fault index out of range";
       faulty.(i) <- true;
       (match fault with
+      | Adversary _ ->
+        (* the attacker node starts and runs; its deviations were wired
+           into its broadcast path at creation time *)
+        ()
       | Crash _ | Byzantine_silent _ ->
         crashed.(i) <- true;
         (* a silent process neither proposes nor relays: silence its RBC
@@ -618,6 +708,7 @@ let build options =
     rbc_drop_counts;
     faulty;
     crashed;
+    attack_drivers;
     latency;
     analyzer;
     forensics;
@@ -916,8 +1007,50 @@ let analysis_report t = Option.map Analyze.report_to_json (analysis t)
 
 let forensics t = t.forensics
 
+type attack_report = {
+  ar_node : int;
+  ar_spec : Attack.spec;
+  ar_victims : int list;
+  ar_forks : Attack.fork list;
+  ar_lies : Attack.lie list;
+  ar_actions : int;
+}
+
+let attack_reports t =
+  let reports = ref [] in
+  Array.iteri
+    (fun i d ->
+      match d with
+      | None -> ()
+      | Some driver ->
+        let spec =
+          List.fold_left
+            (fun acc fault ->
+              match fault with
+              | Adversary (j, spec) when j = i -> Some spec
+              | _ -> acc)
+            None t.options.faults
+        in
+        let spec =
+          match spec with Some s -> s | None -> assert false
+        in
+        reports :=
+          { ar_node = i;
+            ar_spec = spec;
+            ar_victims = Attack.victims driver;
+            ar_forks = Attack.forks driver;
+            ar_lies = Attack.lies driver;
+            ar_actions = Attack.actions driver }
+          :: !reports)
+    t.attack_drivers;
+  List.rev !reports
+
 let restart_node t i =
   if i < 0 || i >= t.options.n then invalid_arg "Runner.restart_node: bad index";
+  if t.crashed.(i) then
+    invalid_arg
+      "Runner.restart_node: process never started (crashed/silent from \
+       genesis) — there is no state to restart from";
   let ck = Dagrider.Node.checkpoint t.nodes.(i) in
   (* serialize and reload, as a disk-backed restart would *)
   let dag =
@@ -951,12 +1084,76 @@ let restart_node t i =
   let restored =
     Dagrider.Node.restore ~config:t.node_config ~me:i ~coin:t.coin
       ~coin_net:t.coin_stack.st_port ~make_rbc:t.make_rbc
-      ~sync_net:t.sync_stack.st_port ?trace:t.options.trace ~block_source
+      ~sync_net:t.sync_stack.st_port
+      ~sync_trusting:t.options.sync_trusting ?trace:t.options.trace
+      ~block_source
       ~a_deliver ~on_commit ck
   in
   t.nodes.(i) <- restored;
-  (* broadcasts that straddled the restart surface a little later *)
-  Sim.Engine.schedule t.engine ~delay:5.0 (fun () ->
-      Dagrider.Node.request_sync restored);
-  Sim.Engine.schedule t.engine ~delay:10.0 (fun () ->
-      Dagrider.Node.request_sync restored)
+  (* Re-registration ordering: [restore] re-registered i's handlers on
+     the shared ports and issued its first sync request before we made
+     the instance visible in [t.nodes]. Responses travel through the
+     engine queue, so by the time any arrives the swap below has
+     happened — this also makes restarting mid-partition legal (the
+     requests are just frames; losing them is what the retries below
+     are for). The check guards that ordering against refactors. *)
+  assert (t.nodes.(i) == restored);
+  (* Follow-up syncs collect vertices whose broadcasts straddled the
+     restart. The old schedule was a fixed +5/+10 pair — under loss or
+     a partition both were often lost, and on a calm network the second
+     was redundant. Replace it with seeded exponential backoff + jitter
+     + give-up, mirroring Net.Link's retransmit policy. The stream is
+     keyed off the run seed and the process index (not split from the
+     build-time chain), so replays stay byte-identical and builds
+     without restarts draw nothing. *)
+  let rng = Stdx.Rng.create ((t.options.seed lxor 0x5bac0ff) + (7919 * i)) in
+  let backoff = 1.6 and max_rto = 20.0 and jitter = 0.3 and max_attempts = 6 in
+  let jittered d = d *. (1.0 +. (jitter *. Stdx.Rng.float rng 1.0)) in
+  (* caught up = no under-populated round below our frontier and a
+     frontier no further than one round behind the live fleet's *)
+  let caught_up () =
+    let node = t.nodes.(i) in
+    let dag = Dagrider.Node.dag node in
+    let hi = Dagrider.Dag.highest_round dag in
+    let quorum = t.options.n - t.options.f in
+    let rec hole r =
+      if r >= hi then false
+      else if Dagrider.Dag.round_size dag r < quorum then true
+      else hole (r + 1)
+    in
+    let fleet_hi = ref 0 in
+    Array.iteri
+      (fun j other ->
+        if j <> i && (not t.faulty.(j)) && not t.crashed.(j) then
+          fleet_hi :=
+            max !fleet_hi
+              (Dagrider.Dag.highest_round (Dagrider.Node.dag other)))
+      t.nodes;
+    (not (hole 1)) && hi + 1 >= !fleet_hi
+  in
+  let emit kind =
+    match t.options.trace with
+    | None -> ()
+    | Some tr -> Trace.emit tr kind
+  in
+  let rec retry ~attempt ~rto =
+    if caught_up () then ()
+    else if attempt > max_attempts then
+      emit (Trace.Sync_gave_up { node = i; attempts = max_attempts })
+    else begin
+      let node = t.nodes.(i) in
+      emit
+        (Trace.Sync_retry
+           { node = i;
+             attempt;
+             from_round =
+               Dagrider.Dag.highest_round (Dagrider.Node.dag node) + 1 });
+      if Dagrider.Node.request_sync node then begin
+        let next_rto = min max_rto (rto *. backoff) in
+        Sim.Engine.schedule t.engine ~delay:(jittered next_rto) (fun () ->
+            retry ~attempt:(attempt + 1) ~rto:next_rto)
+      end
+    end
+  in
+  Sim.Engine.schedule t.engine ~delay:(jittered 3.0) (fun () ->
+      retry ~attempt:1 ~rto:3.0)

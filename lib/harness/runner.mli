@@ -33,6 +33,17 @@ type fault =
           rounds, and replays — everything a malicious implementation
           can push through the broadcast channel. Correct processes must
           drop all of it and keep both safety and liveness. *)
+  | Adversary of int * Attack.spec
+      (** A programmable compromised process (see {!Attack}): it runs
+          the {e real} node — real DAG, real wire codecs, real coin
+          participation — but its own-vertex broadcasts detour through
+          an adaptive strategy (equivocation through the backend's
+          genuine messages, selective withholding, coin-grinding,
+          leader-biasing) and, under [Lying_sync], its catch-up
+          responder serves corrupted state to restarting peers. Each
+          driver gets a dedicated RNG stream split after every
+          historical one, so attacked runs are pure functions of the
+          seed and attack-free runs replay byte-identically. *)
 
 type link_faults = {
   lf_drop : float;  (** per-message loss probability *)
@@ -105,6 +116,12 @@ type options = {
           historical direct wiring — no extra RNG streams, no frame
           overhead, delivered logs byte-identical to builds predating
           the lossy transport. *)
+  sync_trusting : bool;
+      (** deliberately weaken every node's catch-up admission back to
+          trusting any single sync responder (the pre-hardening
+          behavior). Exists {e only} for the checker's
+          planted-vulnerability self-test, which proves the oracles
+          flag a corrupted catch-up; never set it in an experiment. *)
   trace : Trace.t option;
       (** record structured events from every layer — network
           sends/recvs, RBC phases, DAG/round progress, coin flips,
@@ -262,11 +279,38 @@ val forensics : t -> Forensics.t option
     re-validates via {!Check} — untraced runs return [None] and pay
     nothing. *)
 
+type attack_report = {
+  ar_node : int;
+  ar_spec : Attack.spec;
+  ar_victims : int list;  (** the resolved victim set *)
+  ar_forks : Attack.fork list;
+      (** every equivocation actually sent (oldest first) — the
+          equivocation-exclusion oracle's ground truth *)
+  ar_lies : Attack.lie list;
+      (** every forged sync vertex actually served — the lie-exclusion
+          oracle's ground truth *)
+  ar_actions : int;  (** total deliberate deviations *)
+}
+
+val attack_reports : t -> attack_report list
+(** One report per declared {!fault.Adversary}, in process order; empty
+    when none was declared. Read {e after} the run: the oracles compare
+    the recorded forks/lies against what correct processes actually
+    admitted. *)
+
 val restart_node : t -> int -> unit
 (** Crash-and-recover process [i] in place: checkpoint it (through the
     full {!Dagrider.Snapshot} serialization round-trip, as a real
     restart would), rebuild it from the checkpoint on the same
     networks, and let the sync protocol catch it up with the live
-    fleet. Two follow-up sync requests are scheduled at +5 and +10
-    virtual-time units to collect vertices whose broadcasts straddled
-    the restart. *)
+    fleet. Follow-up sync requests run on seeded exponential backoff
+    with jitter (initial 3.0, factor 1.6, cap 20.0, jitter 0.3 —
+    {!Net.Link}'s retransmit shape), stopping as soon as the node's DAG
+    has no under-populated round below its frontier and that frontier
+    is within one round of the live fleet's, or after 6 attempts
+    (emitting {!Trace.kind.Sync_retry} per attempt and
+    {!Trace.kind.Sync_gave_up} on exhaustion). The backoff stream is
+    keyed off the run seed and [i], so replays are byte-identical.
+    Restarting mid-partition is legal — lost requests are retried.
+    @raise Invalid_argument if [i] never started (declared [Crash] or
+    [Byzantine_silent]): there is no state to restart from. *)

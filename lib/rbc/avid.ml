@@ -306,6 +306,23 @@ let bcast t ~payload ~round =
    with e -> Prof.leave_reraise sp e);
   Prof.leave sp
 
+let inject_disperse t ~dsts ~round ~payload =
+  let frags = Crypto.Reed_solomon.encode t.coder payload in
+  let data_len = String.length payload in
+  let tree = Crypto.Merkle.build frags in
+  let root = Crypto.Merkle.root tree in
+  List.iter
+    (fun i ->
+      if i >= 0 && i < t.n then begin
+        let proof = Crypto.Merkle.prove tree i in
+        let msg =
+          Disperse { round; root; data_len; frag_index = i; frag = frags.(i); proof }
+        in
+        Net.Port.send t.net ~src:t.me ~dst:i ~kind:"avid-disperse"
+          ~bits:(msg_bits msg) msg
+      end)
+    dsts
+
 let bcast_inconsistent t ~payload ~round =
   let frags = Crypto.Reed_solomon.encode t.coder payload in
   (* corrupt one parity fragment before committing: the vector is no

@@ -72,3 +72,11 @@ val bcast_inconsistent : t -> payload:string -> round:int -> unit
 (** Byzantine dispersal helper for tests: commits to a fragment vector
     that is {e not} a codeword (one fragment corrupted before building
     the tree). Correct processes must all discard the instance. *)
+
+val inject_disperse : t -> dsts:int list -> round:int -> payload:string -> unit
+(** Byzantine-attacker capability: run the real dispersal (RS encoding,
+    Merkle commitment, per-fragment proofs) for [payload] but send only
+    the fragments belonging to [dsts] — equivocation sends two such
+    dispersals with different payloads to disjoint sets, withholding
+    sends one to a strict subset. Out-of-range destinations are
+    ignored. Attack harness only. *)

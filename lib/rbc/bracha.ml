@@ -187,4 +187,9 @@ let bcast t ~payload ~round =
    with e -> Prof.leave_reraise sp e);
   Prof.leave sp
 
+let inject_init t ~dst ~round ~payload =
+  let msg = Init { round; payload } in
+  Net.Port.send t.net ~src:t.me ~dst ~kind:"bracha-init" ~bits:(msg_bits msg)
+    msg
+
 let delivered_instances t = t.delivered_count

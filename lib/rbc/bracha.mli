@@ -50,3 +50,11 @@ val bcast : t -> payload:string -> round:int -> unit
 
 val delivered_instances : t -> int
 (** Number of instances this process has delivered (for tests). *)
+
+val inject_init : t -> dst:int -> round:int -> payload:string -> unit
+(** Byzantine-attacker capability: send a raw [Init] for this process's
+    instance [(me, round)] to a {e single} destination — the primitive
+    an equivocating or withholding sender uses to show different
+    payloads (or nothing) to different victims. Runs the real wire
+    codec; honest processes must exclude or converge the resulting
+    forks via Echo-quorum intersection. Attack harness only. *)

@@ -73,6 +73,9 @@ type instance = {
   mutable delivered : bool;
   echoes : (string, Iset.t ref) Hashtbl.t; (* digest -> echoers seen *)
   readies : (string, Iset.t ref) Hashtbl.t;
+  alt_payloads : (string, string) Hashtbl.t;
+      (* digest -> payload for variants seen after first acceptance: the
+         repair store a minority side of an equivocation converges from *)
 }
 
 type t = {
@@ -116,7 +119,8 @@ let get_instance t key =
         ready_sent = false;
         delivered = false;
         echoes = Hashtbl.create 4;
-        readies = Hashtbl.create 4 }
+        readies = Hashtbl.create 4;
+        alt_payloads = Hashtbl.create 2 }
     in
     Tbl.add t.instances key inst;
     inst
@@ -144,10 +148,40 @@ let send_sample t ~size ~kind ~bits msg =
     (fun dst -> Net.Port.send t.net ~src:t.me ~dst ~kind ~bits msg)
     peers
 
+(* Equivocation repair: if the network's ready evidence has committed to
+   a digest other than the one we first accepted (we were on the minority
+   side of a fork) and we know that variant's payload, re-accept it — the
+   fork then converges instead of leaving us unable to ever deliver the
+   instance. We deliberately do NOT re-send Echo/Ready for the new digest
+   (a correct process votes at most once per instance); the quorum that
+   justified the switch already carries delivery. *)
+let try_switch t inst =
+  if not inst.delivered then
+    let committed =
+      Hashtbl.fold
+        (fun digest set acc ->
+          match acc with
+          | Some _ -> acc
+          | None ->
+            if
+              Some digest <> inst.accepted_digest
+              && Iset.cardinal !set >= t.ready_need
+              && Hashtbl.mem inst.alt_payloads digest
+            then Some digest
+            else None)
+        inst.readies None
+    in
+    match committed with
+    | None -> ()
+    | Some digest ->
+      inst.payload <- Some (Hashtbl.find inst.alt_payloads digest);
+      inst.accepted_digest <- Some digest
+
 (* Re-examine the instance after any state change: become ready when the
    echo threshold (or the ready feedback threshold) is met for the digest
    we accepted, and deliver on the ready threshold. *)
 let progress t inst ~origin ~round =
+  try_switch t inst;
   match inst.accepted_digest with
   | None -> ()
   | Some digest ->
@@ -178,6 +212,17 @@ let handle t ~src msg =
      match msg with
   | Gossip { origin; round; payload } ->
     let inst = get_instance t (origin, round) in
+    if inst.payload <> None then begin
+      (* a variant of an instance we already accepted: remember it so the
+         repair in [try_switch] can converge if the network commits to it *)
+      let digest = Crypto.Sha256.digest_string payload in
+      if
+        Some digest <> inst.accepted_digest
+        && not (Hashtbl.mem inst.alt_payloads digest)
+        && Hashtbl.length inst.alt_payloads < 4
+      then Hashtbl.add inst.alt_payloads digest payload;
+      progress t inst ~origin ~round
+    end;
     if inst.payload = None then begin
       let digest = Crypto.Sha256.digest_string payload in
       inst.payload <- Some payload;
@@ -209,7 +254,7 @@ let handle t ~src msg =
    with e -> Prof.leave_reraise sp e);
   Prof.leave sp
 
-let create_port ~port ~rng ?(params = default_params) ~me ~f:_ ~deliver () =
+let create_port ~port ~rng ?(params = default_params) ~me ~f ~deliver () =
   let n = Net.Port.n port in
   let gossip_size = sample_size n params.gossip_factor in
   let echo_size = sample_size n params.echo_sample in
@@ -220,6 +265,19 @@ let create_port ~port ~rng ?(params = default_params) ~me ~f:_ ~deliver () =
   let ready_need =
     max 1 (int_of_float (ceil (params.ready_threshold *. float_of_int ready_size)))
   in
+  (* Byzantine floors for the degenerate small-n regime: when a sample
+     covers the whole network the epidemic is just broadcast, and the
+     fractional thresholds above can fall below quorum-intersection
+     bounds — an equivocating sender could then split echoes/readies and
+     make correct processes deliver divergent payloads. Lift them to the
+     Bracha quorums (2f+1 echoes and readies, f+1 ready feedback)
+     exactly in that regime; partial samples keep the paper's
+     probabilistic thresholds and its ε failure trade-off. *)
+  let echo_need = if echo_size >= n then max echo_need ((2 * f) + 1) else echo_need in
+  let ready_need =
+    if ready_size >= n then max ready_need ((2 * f) + 1) else ready_need
+  in
+  let feedback_floor = if ready_size >= n then f + 1 else 1 in
   let t =
     { net = port;
       rng;
@@ -231,7 +289,7 @@ let create_port ~port ~rng ?(params = default_params) ~me ~f:_ ~deliver () =
       ready_size;
       echo_need;
       ready_need;
-      ready_feedback = max 1 (ready_need / 2);
+      ready_feedback = max feedback_floor (ready_need / 2);
       instances = Tbl.create 64;
       delivered_count = 0;
       trace = None }
@@ -255,5 +313,10 @@ let bcast t ~payload ~round =
        ~bits:(msg_bits msg) msg
    with e -> Prof.leave_reraise sp e);
   Prof.leave sp
+
+let inject_gossip t ~dst ~round ~payload =
+  let msg = Gossip { origin = t.me; round; payload } in
+  Net.Port.send t.net ~src:t.me ~dst ~kind:"gossip-init" ~bits:(msg_bits msg)
+    msg
 
 let delivered_instances t = t.delivered_count

@@ -74,3 +74,11 @@ val set_trace : t -> Trace.t -> unit
 val bcast : t -> payload:string -> round:int -> unit
 
 val delivered_instances : t -> int
+
+val inject_gossip : t -> dst:int -> round:int -> payload:string -> unit
+(** Byzantine-attacker capability: gossip a chosen payload for this
+    process's instance [(me, round)] to a single destination — the
+    equivocation/withholding primitive. When samples cover the whole
+    network (small n) the hardened quorum floors make correct processes
+    exclude or converge the fork; in the sampled regime the guarantee is
+    the paper's probabilistic one. Attack harness only. *)

@@ -52,6 +52,22 @@ type kind =
       quorum : int;
     }
   | A_deliver of { node : int; round : int; source : int }
+  | Sync_retry of { node : int; attempt : int; from_round : int }
+  | Sync_gave_up of { node : int; attempts : int }
+  | Sync_reject of {
+      node : int;
+      src : int;
+      round : int;
+      source : int;
+      reason : string;
+    }
+  | Sync_unavailable of { node : int }
+  | Attack_event of {
+      node : int;
+      strategy : string;
+      round : int;
+      info : string;
+    }
   | Engine_sample of { executed : int; pending : int }
   | Health of { check : string; ok : bool; value : float; threshold : float }
 
@@ -120,7 +136,12 @@ let node_of = function
   | Commit { node; _ }
   | Commit_cert { node; _ }
   | Skip_cert { node; _ }
-  | A_deliver { node; _ } -> Some node
+  | A_deliver { node; _ }
+  | Sync_retry { node; _ }
+  | Sync_gave_up { node; _ }
+  | Sync_reject { node; _ }
+  | Sync_unavailable { node; _ }
+  | Attack_event { node; _ } -> Some node
   | Engine_sample _ | Health _ -> None
 
 let kind_label = function
@@ -140,6 +161,11 @@ let kind_label = function
   | Commit_cert _ -> "commit-cert"
   | Skip_cert _ -> "skip-cert"
   | A_deliver _ -> "a-deliver"
+  | Sync_retry _ -> "sync-retry"
+  | Sync_gave_up _ -> "sync-gave-up"
+  | Sync_reject _ -> "sync-reject"
+  | Sync_unavailable _ -> "sync-unavailable"
+  | Attack_event _ -> "attack"
   | Engine_sample _ -> "engine-sample"
   | Health _ -> "health"
 
@@ -200,6 +226,19 @@ let describe_kind = function
       quorum
   | A_deliver { node; round; source } ->
     Printf.sprintf "p%d a-delivered (r%d,p%d)" node round source
+  | Sync_retry { node; attempt; from_round } ->
+    Printf.sprintf "p%d sync retry #%d (catch-up from round %d)" node attempt
+      from_round
+  | Sync_gave_up { node; attempts } ->
+    Printf.sprintf "p%d gave up on sync catch-up after %d attempt(s)" node
+      attempts
+  | Sync_reject { node; src; round; source; reason } ->
+    Printf.sprintf "p%d rejected sync vertex (r%d,p%d) from p%d (%s)" node
+      round source src reason
+  | Sync_unavailable { node } ->
+    Printf.sprintf "p%d requested sync but has no sync network" node
+  | Attack_event { node; strategy; round; info } ->
+    Printf.sprintf "p%d ATTACK %s r%d: %s" node strategy round info
   | Engine_sample { executed; pending } ->
     Printf.sprintf "engine: %d events executed, %d pending" executed pending
   | Health { check; ok; value; threshold } ->
@@ -268,6 +307,19 @@ let event_to_json { seq; time; kind } =
         s "reason" reason; il "support" support; i "quorum" quorum ]
   | A_deliver { node; round; source } ->
     ev "a-deliver" [ i "node" node; i "round" round; i "source" source ]
+  | Sync_retry { node; attempt; from_round } ->
+    ev "sync-retry"
+      [ i "node" node; i "attempt" attempt; i "from_round" from_round ]
+  | Sync_gave_up { node; attempts } ->
+    ev "sync-gave-up" [ i "node" node; i "attempts" attempts ]
+  | Sync_reject { node; src; round; source; reason } ->
+    ev "sync-reject"
+      [ i "node" node; i "src" src; i "round" round; i "source" source;
+        s "reason" reason ]
+  | Sync_unavailable { node } -> ev "sync-unavailable" [ i "node" node ]
+  | Attack_event { node; strategy; round; info } ->
+    ev "attack"
+      [ i "node" node; s "strategy" strategy; i "round" round; s "info" info ]
   | Engine_sample { executed; pending } ->
     ev "engine-sample" [ i "executed" executed; i "pending" pending ]
   | Health { check; ok; value; threshold } ->
@@ -408,6 +460,31 @@ let event_of_json json =
       let* round = int_field "round" in
       let* source = int_field "source" in
       Ok (A_deliver { node; round; source })
+    | "sync-retry" ->
+      let* node = int_field "node" in
+      let* attempt = int_field "attempt" in
+      let* from_round = int_field "from_round" in
+      Ok (Sync_retry { node; attempt; from_round })
+    | "sync-gave-up" ->
+      let* node = int_field "node" in
+      let* attempts = int_field "attempts" in
+      Ok (Sync_gave_up { node; attempts })
+    | "sync-reject" ->
+      let* node = int_field "node" in
+      let* src = int_field "src" in
+      let* round = int_field "round" in
+      let* source = int_field "source" in
+      let* reason = str_field "reason" in
+      Ok (Sync_reject { node; src; round; source; reason })
+    | "sync-unavailable" ->
+      let* node = int_field "node" in
+      Ok (Sync_unavailable { node })
+    | "attack" ->
+      let* node = int_field "node" in
+      let* strategy = str_field "strategy" in
+      let* round = int_field "round" in
+      let* info = str_field "info" in
+      Ok (Attack_event { node; strategy; round; info })
     | "engine-sample" ->
       let* executed = int_field "executed" in
       let* pending = int_field "pending" in

@@ -117,6 +117,41 @@ type kind =
           path after all); a skip with no later commit is final. *)
   | A_deliver of { node : int; round : int; source : int }
       (** the atomic-broadcast output upcall *)
+  | Sync_retry of { node : int; attempt : int; from_round : int }
+      (** a restarted node (re)broadcast a catch-up request for rounds
+          [>= from_round]; [attempt] counts from 1 across the harness's
+          exponential-backoff schedule *)
+  | Sync_gave_up of { node : int; attempts : int }
+      (** the catch-up retry budget ran out before the node observed
+          itself back at the fleet frontier — stalled catch-up is now
+          visible instead of silent *)
+  | Sync_reject of {
+      node : int;
+      src : int;
+      round : int;
+      source : int;
+      reason : string;
+    }
+      (** [node] refused a sync-response vertex claimed for
+          [(round, source)] served by peer [src]. Reasons: "decode"
+          (payload failed the vertex codec), "invalid" (structural
+          validation failed), "envelope" (claimed round/source out of
+          range), "conflict" (a different vertex for the same slot is
+          already in the DAG or pending with other evidence) *)
+  | Sync_unavailable of { node : int }
+      (** [request_sync] was called on a node built without a sync
+          network — previously a silent no-op *)
+  | Attack_event of {
+      node : int;
+      strategy : string;
+      round : int;
+      info : string;
+    }
+      (** an installed Byzantine attacker acted: [strategy] names the
+          behavior ("equivocate", "withhold", "disclose", "grind",
+          "bias", "lying-sync", "fuzz") and [info] carries the
+          attacker-attributed detail (victim sets, variant digests,
+          timing decisions) for forensics stories *)
   | Engine_sample of { executed : int; pending : int }
       (** periodic simulator health sample (event count, queue depth) *)
   | Health of { check : string; ok : bool; value : float; threshold : float }

@@ -84,7 +84,8 @@ let test_partition_stall_flagged () =
     | Analyze.Round_stall _ | Analyze.Commit_stall _
     | Analyze.Quorum_starvation _ ->
       true
-    | Analyze.Skip_streak _ | Analyze.Slow_wave _ | Analyze.Lossy_link _ ->
+    | Analyze.Skip_streak _ | Analyze.Slow_wave _ | Analyze.Lossy_link _
+    | Analyze.Attacker_active _ | Analyze.Sync_rejections _ ->
       false
   in
   checkb "at least one stall anomaly flagged" true

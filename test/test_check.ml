@@ -138,8 +138,11 @@ let test_honest_scenario_clean () =
    reliable broadcast f+1 is provably still safe here — see the quorum
    discussion in lib/check/scenario.ml — so sabotage weakens the knob
    all the way to commit-on-sight. If scenario generation or the
-   runner's seed derivation changes, re-sweep and update this seed. *)
-let sabotage_seed = 87
+   runner's seed derivation changes, re-sweep and update this seed.
+   (Re-swept when the gossip backend gained its Byzantine quorum floors:
+   the old gossip-backed seed 87 stopped diverging, and this bracha seed
+   is immune to future gossip tuning.) *)
+let sabotage_seed = 293
 
 let test_sabotage_caught () =
   let sc = Check.Scenario.generate ~sabotage:true ~quick:true ~seed:sabotage_seed () in
@@ -158,7 +161,7 @@ let test_sabotage_caught () =
   in
   checkb "weak commit caught" true (support <> []);
   Alcotest.(check string)
-    "repro command" "dune exec bin/swarm.exe -- --seed 87 --quick --sabotage"
+    "repro command" "dune exec bin/swarm.exe -- --seed 293 --quick --sabotage"
     (Check.Swarm.repro_command sc)
 
 let () =

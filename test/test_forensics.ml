@@ -266,19 +266,19 @@ let test_oracle_rejects_forgery () =
 (* ---- divergence: the known diverging sabotage seed ---- *)
 
 let test_divergence_sabotage_seed () =
-  (* seed 87 is the sabotage self-test's pinned seed (see test_check):
+  (* seed 293 is the sabotage self-test's pinned seed (see test_check):
      quorum weakened to commit-on-sight plus leader hiding makes the
-     nodes disagree on wave 4 — p1 skips the hidden leader, p2 commits
+     nodes disagree on wave 1 — p1 skips the hidden leader, p2 commits
      it with zero support. Divergence must pinpoint that wave with both
      sides' evidence. *)
   let sc =
-    Check.Scenario.generate ~sabotage:true ~quick:true ~seed:87 ()
+    Check.Scenario.generate ~sabotage:true ~quick:true ~seed:293 ()
   in
   let tracer = Check.Swarm.trace_scenario sc in
   let fx = Forensics.of_events (Trace.events tracer) in
   (match Forensics.divergence fx ~node_a:1 fx ~node_b:2 with
   | Forensics.Diverged_wave { wave; a; b } ->
-    checki "diverges at wave 4" 4 wave;
+    checki "diverges at wave 1" 1 wave;
     let a = Option.get a and b = Option.get b in
     checkb "one side skipped" true
       (a.Forensics.st_commit = None && a.Forensics.st_skip <> None);
@@ -288,7 +288,7 @@ let test_divergence_sabotage_seed () =
   | _ -> Alcotest.fail "expected a wave divergence between p1 and p2");
   let text = Forensics.render_divergence fx ~node_a:1 fx ~node_b:2 in
   checkb "render names the wave" true
-    (contains text "FIRST DIVERGENT DECISION: wave 4");
+    (contains text "FIRST DIVERGENT DECISION: wave 1");
   checkb "render shows both sides" true
     (contains text "side A (p1)"
     && contains text "side B (p2)")
@@ -336,7 +336,7 @@ let () =
           Alcotest.test_case "forged certificate rejected" `Quick
             test_oracle_rejects_forgery ] );
       ( "divergence",
-        [ Alcotest.test_case "sabotage seed 87 pinpointed" `Slow
+        [ Alcotest.test_case "sabotage seed 293 pinpointed" `Slow
             test_divergence_sabotage_seed;
           Alcotest.test_case "identical and cross-rule modes" `Quick
             test_divergence_identical_and_cross_rule ] ) ]

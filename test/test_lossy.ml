@@ -537,6 +537,49 @@ let test_restart_under_lossy_links () =
   checkb "restarted node caught up with the fleet" true
     (List.length refs.(2) * 2 > best)
 
+(* restart under fire: an equivocating adversary AND 20% loss at once,
+   exercised under both commit rules — the restarted process must
+   re-converge through the hardened sync path while the fork oracle
+   proves every equivocation ended up excluded or converged *)
+let test_restart_under_fire rule () =
+  let options =
+    { (Harness.Runner.default_options ~n:4) with
+      seed = 23;
+      rule;
+      faults =
+        [ Harness.Runner.Adversary
+            (3, { Attack.strategy = Attack.Equivocate; victims = [ 1 ] }) ];
+      link_faults =
+        Some { lossy_rates with Harness.Runner.lf_drop = 0.2 } }
+  in
+  let t = Harness.Runner.build options in
+  Harness.Runner.run t ~until:60.0;
+  let before = List.length (Harness.Runner.delivered_refs t).(1) in
+  checkb "progress before the restart" true (before > 0);
+  Harness.Runner.restart_node t 1;
+  Harness.Runner.run t ~until:320.0;
+  assert_ok (Harness.Runner.check_total_order t);
+  assert_ok (Harness.Runner.check_integrity t);
+  let refs = Harness.Runner.delivered_refs t in
+  checkb "restarted node kept delivering under fire" true
+    (List.length refs.(1) > before);
+  let correct = Harness.Runner.correct_indices t in
+  let best =
+    List.fold_left (fun acc i -> max acc (List.length refs.(i))) 0 correct
+  in
+  checkb "restarted node re-converged with the fleet" true
+    (List.length refs.(1) * 2 > best);
+  let reports = Harness.Runner.attack_reports t in
+  checkb "the adversary actually equivocated" true
+    (List.exists (fun r -> r.Harness.Runner.ar_forks <> []) reports);
+  let dags =
+    List.map
+      (fun i -> (i, Dagrider.Node.dag (Harness.Runner.node t i)))
+      correct
+  in
+  checkb "forks excluded or converged" true
+    (Check.Oracle.check_fork_outcomes ~reports ~dags = [])
+
 (* ---- analyzer diagnostics ---- *)
 
 let test_analyzer_counts_loss_events () =
@@ -733,8 +776,11 @@ let () =
             (test_lossy_long_run Harness.Runner.Bracha 2400.0);
           Alcotest.test_case "avid: 100 waves over lossy links" `Slow
             (test_lossy_long_run Harness.Runner.Avid 2400.0);
+          (* the horizon grew with the gossip Byzantine floors: quorum
+             deliveries now need 2f+1 echoes/readies, so each wave costs
+             more retransmit round-trips under loss *)
           Alcotest.test_case "gossip: 100 waves over lossy links" `Slow
-            (test_lossy_long_run Harness.Runner.Gossip 900.0);
+            (test_lossy_long_run Harness.Runner.Gossip 1800.0);
           Alcotest.test_case "bracha: duplicate idempotence" `Quick
             (test_duplicates_are_idempotent Harness.Runner.Bracha);
           Alcotest.test_case "avid: duplicate idempotence" `Quick
@@ -748,7 +794,11 @@ let () =
           Alcotest.test_case "restart under byzantine attacker" `Quick
             test_restart_under_byzantine;
           Alcotest.test_case "restart under lossy links" `Slow
-            test_restart_under_lossy_links ] );
+            test_restart_under_lossy_links;
+          Alcotest.test_case "restart under fire (dag-rider)" `Slow
+            (test_restart_under_fire Dagrider.Ordering.dag_rider);
+          Alcotest.test_case "restart under fire (bullshark)" `Slow
+            (test_restart_under_fire Dagrider.Ordering.bullshark) ] );
       ( "analyze",
         [ Alcotest.test_case "loss counters from a real run" `Quick
             test_analyzer_counts_loss_events;

@@ -25,12 +25,13 @@ let checki = Alcotest.(check int)
 
 let rules = [ Dagrider.Ordering.dag_rider; Dagrider.Ordering.bullshark ]
 
-type flavor = Honest | Lossy | Partitioned
+type flavor = Honest | Lossy | Partitioned | Attacked of Attack.strategy
 
 let flavor_name = function
   | Honest -> "honest"
   | Lossy -> "lossy"
   | Partitioned -> "partitioned"
+  | Attacked s -> "attacked-" ^ Attack.strategy_label s
 
 (* a mid-run partition that heals well before the horizon, so liveness
    resumes and both rules get post-partition waves to order *)
@@ -44,6 +45,8 @@ let horizon = function
   (* retransmission stretches every quorum; give lossy runs room *)
   | Lossy -> 90.0
   | Partitioned -> 55.0
+  (* withheld disclosures and stalled leaders slow waves down *)
+  | Attacked _ -> 70.0
 
 let options ~rule ~flavor ~n ~seed =
   { (Harness.Runner.default_options ~n) with
@@ -52,7 +55,7 @@ let options ~rule ~flavor ~n ~seed =
     schedule =
       (match flavor with
       | Partitioned -> Harness.Runner.Custom partitioned_schedule
-      | Honest | Lossy -> Harness.Runner.Uniform_random);
+      | Honest | Lossy | Attacked _ -> Harness.Runner.Uniform_random);
     link_faults =
       (match flavor with
       | Lossy ->
@@ -61,7 +64,19 @@ let options ~rule ~flavor ~n ~seed =
             lf_duplicate = 0.05;
             lf_corrupt = 0.03;
             lf_reorder = 0.1 }
-      | Honest | Partitioned -> None) }
+      | Honest | Partitioned | Attacked _ -> None);
+    faults =
+      (* attackers are rule-oblivious by construction (they read the raw
+         coin table and the static round-robin table, never ordering
+         state), so the substrate fingerprint must stay byte-identical
+         across rules even under attack — asserted by every Attacked
+         case. No restarts here: catch-up sync responses depend on each
+         rule's GC frontier, which would legitimately fork the message
+         schedule. *)
+      (match flavor with
+      | Attacked strategy ->
+        [ Harness.Runner.Adversary (n - 1, { Attack.strategy; victims = [] }) ]
+      | Honest | Lossy | Partitioned -> []) }
 
 (* run one rule over the seeded execution, capturing every commit for
    the oracle sweep *)
@@ -152,7 +167,11 @@ let cases =
       List.map (fun seed -> (Lossy, 4, seed)) [ 11; 12; 13; 14 ];
       List.map (fun seed -> (Lossy, 7, seed)) [ 15 ];
       List.map (fun seed -> (Partitioned, 4, seed)) [ 16; 17; 18; 19 ];
-      List.map (fun seed -> (Partitioned, 7, seed)) [ 20; 21 ] ]
+      List.map (fun seed -> (Partitioned, 7, seed)) [ 20; 21 ];
+      List.map (fun seed -> (Attacked Attack.Equivocate, 4, seed)) [ 22; 23 ];
+      List.map (fun seed -> (Attacked Attack.Withhold, 4, seed)) [ 24 ];
+      List.map (fun seed -> (Attacked Attack.Grind, 7, seed)) [ 25 ];
+      List.map (fun seed -> (Attacked Attack.Bias, 4, seed)) [ 26 ] ]
 
 (* Bullshark's commit cadence: on a synchronous fault-free schedule the
    2-round waves commit at least as many waves as DAG-Rider's 4-round
