@@ -342,6 +342,37 @@ module Regress = struct
       ("reached", Count, float_of_int !reached);
       ("history_len", Count, float_of_int !history) ]
 
+  (* the critical-path tracer at fleet scale: a traced synchronous n=10
+     run plus the full per-commit reconstruction, with the
+     reconciliation counters (segment sums vs end-to-end latency) gated
+     as exact Counts — a reconstruction regression shows up as a count
+     drop before it shows up as wrong attributions *)
+  let critpath_sync () =
+    let tracer = Trace.create ~capacity:4096 () in
+    let fleet =
+      Harness.Runner.build
+        { (Harness.Runner.default_options ~n:10) with
+          backend = Harness.Runner.Bracha;
+          schedule = Harness.Runner.Synchronous;
+          block_bytes = 32;
+          trace = Some tracer }
+    in
+    let a0 = alloc_now () in
+    let t0 = Unix.gettimeofday () in
+    Harness.Runner.run fleet ~until:60.0;
+    let report =
+      match Harness.Runner.critpath_report fleet with
+      | Some r -> r
+      | None -> failwith "critpath.n10.sync: traced fleet has no collector"
+    in
+    let dt = Unix.gettimeofday () -. t0 in
+    let da = alloc_now () -. a0 in
+    [ ("time_s", Time, dt);
+      ("alloc_bytes", Alloc, da);
+      ("commits", Count, float_of_int (List.length report.Critpath.r_paths));
+      ("complete", Count, float_of_int report.Critpath.r_complete);
+      ("reconciled", Count, float_of_int report.Critpath.r_reconciled) ]
+
   let scenarios =
     [ ( "bracha.n4",
         fun () -> fleet ~backend:Harness.Runner.Bracha ~n:4 ~until:60.0 () );
@@ -388,6 +419,7 @@ module Regress = struct
         fun () ->
           fleet ~schedule:Harness.Runner.Synchronous
             ~backend:Harness.Runner.Bracha ~n:10 ~until:30.0 () );
+      ("critpath.n10.sync", critpath_sync);
       ("dag.paths", dag_paths) ]
 
   (* -- statistics -- *)

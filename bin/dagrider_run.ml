@@ -5,6 +5,7 @@
      run           simulate a fleet and print a summary
      trace         simulate with structured tracing, render the timeline
      analyze       run the protocol analyzer (live run or replayed JSONL)
+     critpath      per-commit causal critical path and latency attribution
      explain       render the provenance certificate of a commit/skip
      divergence    first divergent decision between two trace dumps
      profile       simulate under the span profiler, print the hot-span table
@@ -156,6 +157,28 @@ module Common = struct
     in
     Term.(const mk $ loss $ dup $ corrupt $ reorder)
 
+  (* shared trace-I/O flags, defined once so every subcommand agrees on
+     names, docv and wording: [replay_jsonl_arg] reads a dump back in
+     (analyze / explain / critpath), [dump_jsonl_arg] writes one out
+     (trace / monitor), [json_file_arg] exports a report to a file, and
+     [json_flag_arg] switches stdout rendering to JSON *)
+  let replay_jsonl_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "jsonl" ] ~docv:"FILE"
+          ~doc:
+            "Replay a trace dumped by `trace --jsonl` (or a swarm failure \
+             repro) instead of running a fresh simulation.")
+
+  let dump_jsonl_arg ~doc =
+    Arg.(value & opt (some string) None & info [ "jsonl" ] ~docv:"FILE" ~doc)
+
+  let json_file_arg ~doc =
+    Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
+
+  let json_flag_arg =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit JSON instead of text.")
+
   let term =
     let mk n seed backend rule schedule crashes byzantines block_bytes until
         link_faults =
@@ -273,10 +296,8 @@ let trace_cmd =
           ~doc:"Show only the newest $(docv) events (use --limit -1 for all).")
   in
   let jsonl_arg =
-    Arg.(
-      value & opt (some string) None
-      & info [ "jsonl" ] ~docv:"FILE"
-          ~doc:"Dump the trace as JSONL to $(docv) instead of rendering.")
+    Common.dump_jsonl_arg
+      ~doc:"Dump the trace as JSONL to $(docv) instead of rendering."
   in
   let normalize_limit = function Some k when k < 0 -> None | l -> l in
   Cmd.v
@@ -311,21 +332,15 @@ let analyze_cmd =
       write_file path (Stdx.Json.to_string (Analyze.report_to_json report));
       Printf.printf "wrote analysis report to %s\n\n" path
     | None -> ());
+    if report.Analyze.r_truncated then
+      print_string
+        "WARNING: trace is TRUNCATED (ring wrapped before the first event \
+         seen) — head-dependent numbers are lower bounds\n";
     print_string (Analyze.render report)
   in
-  let jsonl_arg =
-    Arg.(
-      value & opt (some string) None
-      & info [ "jsonl" ] ~docv:"FILE"
-          ~doc:
-            "Replay a trace dumped by `trace --jsonl` (or a swarm failure \
-             repro) instead of running a fresh simulation.")
-  in
+  let jsonl_arg = Common.replay_jsonl_arg in
   let json_arg =
-    Arg.(
-      value & opt (some string) None
-      & info [ "json" ] ~docv:"FILE"
-          ~doc:"Also write the full report as JSON to $(docv).")
+    Common.json_file_arg ~doc:"Also write the full report as JSON to $(docv)."
   in
   Cmd.v
     (Cmd.info "analyze"
@@ -335,6 +350,120 @@ let analyze_cmd =
           skew, RBC phase durations, chain quality, and anomaly detection \
           — over a live traced run or a replayed JSONL trace.")
     Term.(const run $ Common.term $ jsonl_arg $ json_arg)
+
+(* ---- critpath (causal critical-path attribution) ---- *)
+
+let critpath_cmd =
+  let run (c : Common.t) jsonl node top json dot_out =
+    (* both collectors run over the same event source so the cross-check
+       compares like with like; on live runs they stream through sinks
+       and see the whole run even past ring wrap *)
+    let cp_report, an_report =
+      match jsonl with
+      | Some path -> (
+        match Analyze.of_jsonl_file path with
+        | Error e ->
+          Printf.eprintf "critpath: %s\n" e;
+          exit 1
+        | Ok ar ->
+          let observer =
+            match node with Some p -> p | None -> ar.Analyze.r_observer
+          in
+          let config =
+            { Critpath.default_config with observer = Some observer }
+          in
+          (match Critpath.of_jsonl_file ~config path with
+          | Error e ->
+            Printf.eprintf "critpath: %s\n" e;
+            exit 1
+          | Ok rep -> (rep, ar)))
+      | None ->
+        let tracer = Trace.create ~capacity:4096 () in
+        let fleet = Common.build ~trace:tracer c in
+        Harness.Runner.run fleet ~until:c.until;
+        let cp = Option.get (Harness.Runner.critpath fleet) in
+        let config = { Critpath.default_config with observer = node } in
+        (Critpath.finalize ~config cp, Option.get (Harness.Runner.analysis fleet))
+    in
+    let checks =
+      if cp_report.Critpath.r_observer = an_report.Analyze.r_observer then
+        Critpath.cross_check cp_report an_report
+      else
+        [ Printf.sprintf
+            "(cross-check skipped: critpath observer p%d, analyzer observer \
+             p%d)"
+            cp_report.Critpath.r_observer an_report.Analyze.r_observer ]
+    in
+    if json then
+      print_endline
+        (Stdx.Json.to_string
+           (Stdx.Json.Obj
+              [ ("critpath", Critpath.report_to_json cp_report);
+                ( "cross_check",
+                  Stdx.Json.List
+                    (List.map (fun s -> Stdx.Json.String s) checks) ) ]))
+    else begin
+      print_string (Critpath.render ~top cp_report);
+      print_string "\ncross-check vs analyzer stage histograms:\n";
+      List.iter (fun line -> Printf.printf "  %s\n" line) checks
+    end;
+    match dot_out with
+    | None -> ()
+    | Some path -> (
+      (* export the slowest complete commit's causal chain *)
+      let slowest =
+        List.fold_left
+          (fun acc p ->
+            if not p.Critpath.p_complete then acc
+            else
+              match acc with
+              | Some best when best.Critpath.p_total >= p.Critpath.p_total ->
+                acc
+              | _ -> Some p)
+          None cp_report.Critpath.r_paths
+      in
+      match slowest with
+      | None -> prerr_endline "critpath: no complete path to export as DOT"
+      | Some p ->
+        write_file path (Critpath.dot_path p);
+        Printf.eprintf "wrote critical path of (r%d,p%d) to %s\n"
+          p.Critpath.p_round p.Critpath.p_source path)
+  in
+  let jsonl_arg = Common.replay_jsonl_arg in
+  let node_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "node" ] ~docv:"P"
+          ~doc:
+            "Reconstruct from process $(docv)'s vantage (default: the \
+             analyzer's observer).")
+  in
+  let top_arg =
+    Arg.(
+      value & opt int 3
+      & info [ "top" ] ~docv:"K"
+          ~doc:"Render waterfalls for the $(docv) slowest commits.")
+  in
+  let dot_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "dot" ] ~docv:"FILE"
+          ~doc:
+            "Write the slowest commit's causal chain as Graphviz to $(docv).")
+  in
+  Cmd.v
+    (Cmd.info "critpath"
+       ~doc:
+         "Reconstruct the cross-node causal critical path of every committed \
+          vertex from correlation-id tracing and attribute its end-to-end \
+          latency to segments: handler hold, retransmit stall, network \
+          transit, RBC quorum wait (naming the straggler), DAG-insert wait \
+          and ordering wait — with per-segment digests, straggler and \
+          slowest-link tables, ASCII waterfalls, and a cross-check against \
+          the protocol analyzer's stage histograms.")
+    Term.(
+      const run $ Common.term $ jsonl_arg $ node_arg $ top_arg
+      $ Common.json_flag_arg $ dot_arg)
 
 (* ---- explain (commit forensics) ---- *)
 
@@ -412,14 +541,7 @@ let explain_cmd =
                    stories)))
       else print_string (Forensics.summary fx ~node)
   in
-  let jsonl_arg =
-    Arg.(
-      value & opt (some string) None
-      & info [ "jsonl" ] ~docv:"FILE"
-          ~doc:
-            "Replay a trace dumped by `trace --jsonl` (or a swarm failure \
-             repro) instead of running a fresh simulation.")
-  in
+  let jsonl_arg = Common.replay_jsonl_arg in
   let node_arg =
     Arg.(
       value & opt (some int) None
@@ -441,9 +563,7 @@ let explain_cmd =
             "Explain the commit that ordered vertex (round $(b,R), process \
              $(b,P)).")
   in
-  let json_arg =
-    Arg.(value & flag & info [ "json" ] ~doc:"Emit JSON instead of text.")
-  in
+  let json_arg = Common.json_flag_arg in
   Cmd.v
     (Cmd.info "explain"
        ~doc:
@@ -505,9 +625,7 @@ let divergence_cmd =
       & info [ "node-b" ] ~docv:"P"
           ~doc:"Observer process in B (default: most certificates).")
   in
-  let json_arg =
-    Arg.(value & flag & info [ "json" ] ~doc:"Emit JSON instead of text.")
-  in
+  let json_arg = Common.json_flag_arg in
   Cmd.v
     (Cmd.info "divergence"
        ~doc:
@@ -956,18 +1074,14 @@ let monitor_cmd =
       & info [ "csv" ] ~docv:"FILE" ~doc:"Export the time series as CSV.")
   in
   let json_arg =
-    Arg.(
-      value & opt (some string) None
-      & info [ "json" ] ~docv:"FILE"
-          ~doc:"Export the time series, health states and verdict as JSON.")
+    Common.json_file_arg
+      ~doc:"Export the time series, health states and verdict as JSON."
   in
   let jsonl_arg =
-    Arg.(
-      value & opt (some string) None
-      & info [ "jsonl" ] ~docv:"FILE"
-          ~doc:
-            "Also trace the run and dump JSONL (health transitions appear as \
-             typed events).")
+    Common.dump_jsonl_arg
+      ~doc:
+        "Also trace the run and dump JSONL (health transitions appear as \
+         typed events)."
   in
   Cmd.v
     (Cmd.info "monitor"
@@ -1002,6 +1116,6 @@ let () =
        (Cmd.group ~default
           (Cmd.info "dagrider_run" ~version:"1.0.0"
              ~doc:"DAG-Rider simulation driver (PODC 2021 reproduction).")
-          [ run_cmd; trace_cmd; analyze_cmd; explain_cmd; divergence_cmd;
-            profile_cmd; monitor_cmd; dot_cmd; render_dag_cmd;
+          [ run_cmd; trace_cmd; analyze_cmd; critpath_cmd; explain_cmd;
+            divergence_cmd; profile_cmd; monitor_cmd; dot_cmd; render_dag_cmd;
             render_commit_cmd; experiments_cmd ]))

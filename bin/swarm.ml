@@ -206,7 +206,26 @@ let dump_trace (sc : Check.Scenario.t) =
   let report = Analyze.analyze ~config (Trace.events tracer) in
   List.iter
     (fun line -> if line <> "" then Printf.printf "  %s\n" line)
-    (String.split_on_char '\n' (Analyze.render_anomalies report))
+    (String.split_on_char '\n' (Analyze.render_anomalies report));
+  (* the critical path of the last committed wave: where did the final
+     commit's latency go before everything stopped? *)
+  let cp = Critpath.analyze (Trace.events tracer) in
+  match
+    List.find_opt
+      (fun p -> p.Critpath.p_complete)
+      (List.rev cp.Critpath.r_paths)
+  with
+  | None -> ()
+  | Some p ->
+    Printf.printf "  last committed wave (observer p%d):\n" cp.Critpath.r_observer;
+    List.iter
+      (fun line -> if line <> "" then Printf.printf "    %s\n" line)
+      (String.split_on_char '\n' (Critpath.waterfall p));
+    (match cp.Critpath.r_stragglers with
+    | (node, count, total) :: _ ->
+      Printf.printf "    slowest quorum member: p%d (%d commit(s), %.3f waited)\n"
+        node count total
+    | [] -> ())
 
 let print_failure (o : Check.Swarm.outcome) =
   Printf.printf "FAIL %s\n" (Check.Scenario.describe o.Check.Swarm.scenario);

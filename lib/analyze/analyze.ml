@@ -360,9 +360,10 @@ let feed t (e : Trace.event) =
     bump node;
     incr_cell t.attack_acts (node, strategy)
   | Trace.Engine_sample _ -> ()
-  | Trace.Health _ ->
-    (* monitor SLO transitions: the monitor owns their aggregation
-       (Monitor.health / verdict); the analyzer just passes them through *)
+  | Trace.Health _ | Trace.Tx_submitted _ | Trace.Block_assembled _ ->
+    (* monitor SLO transitions and workload lifecycle: the monitor and
+       the critical-path tracer own their aggregation; the analyzer
+       just passes them through *)
     ())
    with exn -> Prof.leave_reraise sp exn);
   Prof.leave sp

@@ -37,6 +37,13 @@ type vertex_class =
       (** leader committed by the lines-38-43 chain-back of the
           rendered commit *)
 
+val class_style : vertex_class -> string
+(** The Graphviz attribute suffix {!dot_classified} appends to a node of
+    the given class ([" [style=filled, fillcolor=gold]"] for
+    {!Committed_leader}, [""] for {!Plain}) — exposed so other renderers
+    (e.g. the critical-path tracer's DOT export) reuse the exact Figure
+    1/2 palette instead of restating color names. *)
+
 val dot_classified :
   ?classify:(Vertex.vref -> vertex_class) ->
   ?legend:bool ->

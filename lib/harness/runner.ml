@@ -125,6 +125,7 @@ type t = {
   latency : Metrics.Latency.t;
   analyzer : Analyze.t option; (* streaming trace consumer, iff traced *)
   forensics : Forensics.t option; (* certificate collector, iff traced *)
+  critpath : Critpath.t option; (* causal path collector, iff traced *)
   mempools : Workload.Mempool.t array option; (* iff workload-driven *)
   mctx : monitor_ctx option; (* iff a monitor is attached *)
   mutable started : bool;
@@ -220,12 +221,20 @@ let node_hooks ~options ~engine ~latency ~mempools ~mctx ~me =
         Metrics.Latency.proposed latency block ~now:(Sim.Engine.now engine);
         block
     | Some pools ->
-      fun ~round:_ ->
+      fun ~round ->
         let block = Workload.Mempool.assemble_block pools.(me) in
         (* an empty mempool still yields a vertex, just with no payload;
            "" is shared across nodes so it gets no latency record *)
         if block <> "" then
           Metrics.Latency.proposed latency block ~now:(Sim.Engine.now engine);
+        (match options.trace with
+        | Some tr ->
+          Trace.emit tr
+            (Trace.Block_assembled
+               { node = me;
+                 round;
+                 txs = List.length (Workload.Txgen.block_txs block) })
+        | None -> ());
         block
   in
   (a_deliver, on_commit, block_source)
@@ -296,6 +305,27 @@ let build options =
       let fx = Forensics.create () in
       Trace.add_sink tr (Forensics.feed fx);
       Some fx
+  in
+  (* the vantage point for observer-anchored collectors: the lowest
+     process no declared fault touches (mid-run silencing can still
+     corrupt it — acceptable, same caveat as the monitor's observer) *)
+  let vantage =
+    let declared = List.map fault_index options.faults in
+    let rec first i =
+      if i >= n then 0 else if List.mem i declared then first (i + 1) else i
+    in
+    first 0
+  in
+  (* ...and into the critical-path collector, streaming at the vantage
+     process so per-commit causal chains exist the moment each
+     a_deliver fires — segment gauges stay O(1) to read mid-run *)
+  let critpath =
+    match options.trace with
+    | None -> None
+    | Some tr ->
+      let cp = Critpath.create ~observer:vantage () in
+      Trace.add_sink tr (Critpath.feed cp);
+      Some cp
   in
   (* One transport stack per protocol; same engine/schedule/counters, so
      semantically a single multiplexed network. Direct mode builds the
@@ -474,15 +504,7 @@ let build options =
   let mctx =
     match options.monitor with
     | None -> None
-    | Some mon ->
-      (* the vantage point: the lowest process no declared fault touches
-         (mid-run silencing can still corrupt it — acceptable, the swarm
-         never monitors) *)
-      let declared = List.map fault_index options.faults in
-      let rec first i =
-        if i >= n then 0 else if List.mem i declared then first (i + 1) else i
-      in
-      Some { mc_mon = mon; mc_observer = first 0; mc_commits = ref 0 }
+    | Some mon -> Some { mc_mon = mon; mc_observer = vantage; mc_commits = ref 0 }
   in
   let attack_drivers : Attack.t option array = Array.make n None in
   let nodes =
@@ -633,9 +655,12 @@ let build options =
     for me = 0 to n - 1 do
       if not crashed.(me) then begin
         let rec inject () =
-          ignore
-            (Workload.Mempool.submit pools.(me)
-               (Workload.Txgen.next_tx gens.(me)));
+          let accepted =
+            Workload.Mempool.submit pools.(me) (Workload.Txgen.next_tx gens.(me))
+          in
+          (match options.trace with
+          | Some tr -> Trace.emit tr (Trace.Tx_submitted { node = me; accepted })
+          | None -> ignore accepted);
           Sim.Engine.schedule engine ~delay:period inject
         in
         Sim.Engine.schedule engine ~delay:period inject
@@ -688,6 +713,29 @@ let build options =
         (fun () -> float_of_int (sum Workload.Mempool.in_flight));
       Monitor.add_probe mon ~name:"mempool.rejected" ~kind:Monitor.Counter
         (fun () -> float_of_int (sum Workload.Mempool.rejected)));
+    (* critical-path SLO series: the live segment means the streaming
+       collector maintains — where each committed vertex's latency went *)
+    (match critpath with
+    | None -> ()
+    | Some cp ->
+      List.iter
+        (fun (name, kind) ->
+          Monitor.add_probe mon ~name ~kind (fun () ->
+              match List.assoc_opt name (Critpath.segment_means cp) with
+              | Some v -> v
+              | None -> 0.0))
+        ([ ("critpath.commits", Monitor.Counter);
+           ("critpath.reconciled", Monitor.Counter);
+           ("critpath.quorum-wait.mean", Monitor.Gauge);
+           ("critpath.transit.mean", Monitor.Gauge);
+           ("critpath.order-wait.mean", Monitor.Gauge);
+           ("critpath.total.mean", Monitor.Gauge) ]
+        @
+        (* per-tx mempool dwell only exists on workload-driven runs;
+           keep workload-free series free of the always-zero column *)
+        match mempools with
+        | None -> []
+        | Some _ -> [ ("critpath.mempool-wait.mean", Monitor.Gauge) ]));
     (match options.trace with
     | None -> ()
     | Some tr -> Monitor.set_trace mon tr);
@@ -712,6 +760,7 @@ let build options =
     latency;
     analyzer;
     forensics;
+    critpath;
     mempools;
     mctx;
     started = false }
@@ -955,6 +1004,25 @@ let metrics_snapshot t =
       (float_of_int (sum Workload.Mempool.retired));
     Metrics.Registry.set_gauge reg "mempool.rejected"
       (float_of_int (sum Workload.Mempool.rejected)));
+  (* tracer ring health: nonzero dropped_events means [Trace.events] is
+     a suffix of the run — replay-based tools should warn *)
+  (match t.options.trace with
+  | None -> ()
+  | Some tr ->
+    Metrics.Registry.set_gauge reg "trace.emitted"
+      (float_of_int (Trace.emitted tr));
+    Metrics.Registry.set_gauge reg "trace.dropped_events"
+      (float_of_int (Trace.dropped tr));
+    Metrics.Registry.set_gauge reg "trace.capacity"
+      (float_of_int (Trace.capacity tr));
+    Metrics.Registry.set_gauge reg "trace.occupancy"
+      (float_of_int (Trace.occupancy tr)));
+  (match t.critpath with
+  | None -> ()
+  | Some cp ->
+    List.iter
+      (fun (name, v) -> Metrics.Registry.set_gauge reg name v)
+      (Critpath.segment_means cp));
   let gcs = Gc.quick_stat () in
   Metrics.Registry.set_gauge reg "gc.minor_collections"
     (float_of_int gcs.Gc.minor_collections);
@@ -1006,6 +1074,11 @@ let analysis t =
 let analysis_report t = Option.map Analyze.report_to_json (analysis t)
 
 let forensics t = t.forensics
+
+let critpath t = t.critpath
+
+let critpath_report t =
+  Option.map (fun cp -> Critpath.finalize cp) t.critpath
 
 type attack_report = {
   ar_node : int;

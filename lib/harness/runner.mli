@@ -256,7 +256,12 @@ val metrics_snapshot : t -> Metrics.Registry.snapshot
     reason ([net.drops.*]), on workload-driven builds the mempool fleet
     gauges ([mempool.pending]/[in_flight]/[submitted]/[retired]/
     [rejected], summed across processes), and — on lossy builds — the
-    aggregated reliable-transport counters ([link.*]). *)
+    aggregated reliable-transport counters ([link.*]). Traced builds
+    additionally export the tracer's ring health
+    ([trace.emitted]/[trace.dropped_events]/[trace.capacity]/
+    [trace.occupancy] — nonzero [trace.dropped_events] means the
+    retained window is a suffix of the run) and the live critical-path
+    segment aggregates ([critpath.*], see {!Critpath.segment_means}). *)
 
 val analysis : t -> Analyze.report option
 (** The protocol analyzer's view of this run: [Some] iff the run was
@@ -270,6 +275,16 @@ val analysis : t -> Analyze.report option
 
 val analysis_report : t -> Stdx.Json.t option
 (** {!analysis} serialized via {!Analyze.report_to_json}. *)
+
+val critpath : t -> Critpath.t option
+(** The run's streaming critical-path collector: [Some] iff the run was
+    built with a tracer. Fed live through {!Trace.add_sink} with the
+    vantage process (lowest process no declared fault touches) as its
+    streaming observer, so per-commit causal paths are reconstructed
+    online — {!Critpath.segment_means} is cheap at any point mid-run. *)
+
+val critpath_report : t -> Critpath.report option
+(** {!Critpath.finalize} on the collector ([None] untraced). *)
 
 val forensics : t -> Forensics.t option
 (** The run's provenance-certificate collector: [Some] iff the run was

@@ -116,6 +116,7 @@ type outstanding = {
   o_kind : string;
   o_frame : frame;
   o_bits : int;
+  o_id : int; (* logical-message correlation id; every send copy reuses it *)
   mutable o_attempt : int;
 }
 
@@ -144,6 +145,13 @@ type 'msg t = {
 let tr_emit t kind =
   match t.trace with None -> () | Some tr -> Trace.emit tr kind
 
+(* receiver-side events happen inside the delivery of some frame: the
+   ambient cause IS that frame's correlation id *)
+let cur_mid t =
+  match t.trace with None -> -1 | Some tr -> Trace.current_cause tr
+
+let mid_opt id = if id >= 0 then Some id else None
+
 let stats t = t.s
 
 let retransmits_by_dst t =
@@ -166,7 +174,8 @@ let rec schedule_retry t ~dst ~seq ~timeout =
             t.s <- { t.s with gave_up = t.s.gave_up + 1 };
             tr_emit t
               (Trace.Drop
-                 { src = t.me; dst; msg_kind = o.o_kind; reason = "give-up" })
+                 { src = t.me; dst; msg_kind = o.o_kind; reason = "give-up";
+                   id = o.o_id })
           end
           else begin
             let sp = Prof.enter "link.retransmit" in
@@ -177,9 +186,9 @@ let rec schedule_retry t ~dst ~seq ~timeout =
                tr_emit t
                  (Trace.Retransmit
                     { src = t.me; dst; msg_kind = o.o_kind; seq;
-                      attempt = o.o_attempt });
-               Network.send t.net ~src:t.me ~dst ~kind:o.o_kind ~bits:o.o_bits
-                 o.o_frame;
+                      attempt = o.o_attempt; id = o.o_id });
+               Network.send ?mid:(mid_opt o.o_id) t.net ~src:t.me ~dst
+                 ~kind:o.o_kind ~bits:o.o_bits o.o_frame;
                let next =
                  Float.min (timeout *. t.config.backoff) t.config.max_rto
                in
@@ -197,13 +206,19 @@ let send t ~dst ~kind ~bits msg =
     t.next_seq.(dst) <- seq + 1;
     let bytes = t.encode msg in
     let frame = make_data ~seq ~kind ~bytes in
+    (* allocate the logical id here, not in Network.send, so retransmit
+       copies of this frame share it *)
+    let mid =
+      match t.trace with None -> -1 | Some tr -> Trace.fresh_id tr
+    in
     Hashtbl.replace t.unacked (dst, seq)
       { o_kind = kind;
         o_frame = frame;
         o_bits = bits + data_overhead_bits ~kind;
+        o_id = mid;
         o_attempt = 0 };
     t.s <- { t.s with data_sent = t.s.data_sent + 1 };
-    Network.send t.net ~src:t.me ~dst ~kind
+    Network.send ?mid:(mid_opt mid) t.net ~src:t.me ~dst ~kind
       ~bits:(bits + data_overhead_bits ~kind)
       frame;
     schedule_retry t ~dst ~seq ~timeout:t.config.rto
@@ -233,7 +248,9 @@ let on_frame t ~src frame =
     | Data { seq; kind; bytes; _ } ->
       if not (frame_intact frame) then begin
         t.s <- { t.s with corrupt_rejected = t.s.corrupt_rejected + 1 };
-        tr_emit t (Trace.Corrupt_reject { src; dst = t.me; msg_kind = kind })
+        tr_emit t
+          (Trace.Corrupt_reject
+             { src; dst = t.me; msg_kind = kind; id = cur_mid t })
         (* no ack: the sender's retransmission recovers the frame *)
       end
       else begin
@@ -245,7 +262,8 @@ let on_frame t ~src frame =
           t.s <- { t.s with dup_suppressed = t.s.dup_suppressed + 1 };
           tr_emit t
             (Trace.Drop
-               { src; dst = t.me; msg_kind = kind; reason = "duplicate" })
+               { src; dst = t.me; msg_kind = kind; reason = "duplicate";
+                 id = cur_mid t })
         end
         else
           match t.decode bytes with
@@ -255,14 +273,16 @@ let on_frame t ~src frame =
             t.s <- { t.s with decode_failures = t.s.decode_failures + 1 };
             tr_emit t
               (Trace.Drop
-                 { src; dst = t.me; msg_kind = kind; reason = "decode" })
+                 { src; dst = t.me; msg_kind = kind; reason = "decode";
+                   id = cur_mid t })
           | Some msg -> (
             match t.handler with
             | Some handler -> handler ~src msg
             | None ->
               tr_emit t
                 (Trace.Drop
-                   { src; dst = t.me; msg_kind = kind; reason = "no-handler" }))
+                   { src; dst = t.me; msg_kind = kind; reason = "no-handler";
+                     id = cur_mid t }))
       end
     | Ack { seq; _ } ->
       if not (frame_intact frame) then begin
@@ -270,7 +290,8 @@ let on_frame t ~src frame =
            let the (re-acked) retransmission settle the frame *)
         t.s <- { t.s with corrupt_rejected = t.s.corrupt_rejected + 1 };
         tr_emit t
-          (Trace.Corrupt_reject { src; dst = t.me; msg_kind = "link-ack" })
+          (Trace.Corrupt_reject
+             { src; dst = t.me; msg_kind = "link-ack"; id = cur_mid t })
       end
       else Hashtbl.remove t.unacked (src, seq)
    with e -> Prof.leave_reraise sp e);

@@ -51,20 +51,20 @@ let unregister t i =
   check_index t i "unregister";
   t.handlers.(i) <- None
 
-let note_drop t ~src ~dst ~kind ~reason =
+let note_drop ?(mid = -1) t ~src ~dst ~kind ~reason =
   (match Hashtbl.find_opt t.drops reason with
   | Some r -> incr r
   | None -> Hashtbl.add t.drops reason (ref 1));
   match t.trace with
   | None -> ()
   | Some tr ->
-    Trace.emit tr (Trace.Drop { src; dst; msg_kind = kind; reason })
+    Trace.emit tr (Trace.Drop { src; dst; msg_kind = kind; reason; id = mid })
 
 let drop_counts t =
   Hashtbl.fold (fun reason r acc -> (reason, !r) :: acc) t.drops []
   |> List.sort compare
 
-let deliver_later t ~src ~dst ~kind ~delay ~sent_op msg =
+let deliver_later t ~src ~dst ~kind ~delay ~sent_op ~mid msg =
   Sim.Engine.schedule t.engine ~delay (fun () ->
       (* adaptive adversary: drop messages a process sent before it was
          corrupted if they had not yet been delivered *)
@@ -73,35 +73,49 @@ let deliver_later t ~src ~dst ~kind ~delay ~sent_op msg =
         | Some since_op -> sent_op < since_op
         | None -> false
       in
-      if dropped then note_drop t ~src ~dst ~kind ~reason:"corrupted-src"
+      if dropped then note_drop t ~src ~dst ~kind ~reason:"corrupted-src" ~mid
       else
         match t.handlers.(dst) with
         | Some handler ->
           t.delivered <- t.delivered + 1;
           (match t.trace with
-          | None -> ()
-          | Some tr -> Trace.emit tr (Trace.Recv { src; dst; msg_kind = kind }));
-          handler ~src msg
-        | None -> note_drop t ~src ~dst ~kind ~reason:"no-handler")
+          | None -> handler ~src msg
+          | Some tr ->
+            Trace.emit tr (Trace.Recv { src; dst; msg_kind = kind; id = mid });
+            (* everything the handler emits — RBC phases, vertex
+               lifecycle, follow-up sends — is stamped with this
+               message's id as its cause *)
+            Trace.with_cause tr mid (fun () -> handler ~src msg))
+        | None -> note_drop t ~src ~dst ~kind ~reason:"no-handler" ~mid)
 
-let send t ~src ~dst ~kind ~bits msg =
+let send ?mid t ~src ~dst ~kind ~bits msg =
   check_index t src "send";
   check_index t dst "send";
   if bits < 0 then invalid_arg "Network.send: negative size";
   Metrics.Counters.record_send t.counters ~src ~kind ~bits;
+  (* correlation ids exist only when traced: the untraced path takes no
+     extra allocation and stays byte-identical *)
+  let mid =
+    match t.trace with
+    | None -> -1
+    | Some tr -> (
+      match mid with Some m -> m | None -> Trace.fresh_id tr)
+  in
   (match t.trace with
   | None -> ()
-  | Some tr -> Trace.emit tr (Trace.Send { src; dst; msg_kind = kind; bits }));
+  | Some tr ->
+    Trace.emit tr (Trace.Send { src; dst; msg_kind = kind; bits; id = mid }));
   let now = Sim.Engine.now t.engine in
   let sent_op = t.op_seq in
   t.op_seq <- sent_op + 1;
   match t.faults with
   | None ->
     let { Sched.delay } = t.sched.Sched.decide ~now ~src ~dst ~kind in
-    deliver_later t ~src ~dst ~kind ~delay ~sent_op msg
+    deliver_later t ~src ~dst ~kind ~delay ~sent_op ~mid msg
   | Some faults ->
     let verdict = faults.Faults.decide ~now ~src ~dst ~kind in
-    if verdict.Faults.drop then note_drop t ~src ~dst ~kind ~reason:"fault"
+    if verdict.Faults.drop then
+      note_drop t ~src ~dst ~kind ~reason:"fault" ~mid
     else begin
       (* corruption needs a representation-aware mutator; a network
          whose messages cannot be corrupted loses the message instead *)
@@ -112,17 +126,18 @@ let send t ~src ~dst ~kind ~bits msg =
           | Some corrupter -> (corrupter msg, false)
           | None -> (msg, true)
       in
-      if lost then note_drop t ~src ~dst ~kind ~reason:"corrupt"
+      if lost then note_drop t ~src ~dst ~kind ~reason:"corrupt" ~mid
       else begin
         let { Sched.delay } = t.sched.Sched.decide ~now ~src ~dst ~kind in
         deliver_later t ~src ~dst ~kind
           ~delay:(delay +. verdict.Faults.extra_delay)
-          ~sent_op msg;
+          ~sent_op ~mid msg;
         (* each duplicate re-queries the schedule, so copies race each
-           other — duplication doubles as reordering *)
+           other — duplication doubles as reordering; all copies carry
+           the one logical id *)
         for _ = 1 to verdict.Faults.duplicates do
           let { Sched.delay } = t.sched.Sched.decide ~now ~src ~dst ~kind in
-          deliver_later t ~src ~dst ~kind ~delay ~sent_op msg
+          deliver_later t ~src ~dst ~kind ~delay ~sent_op ~mid msg
         done
       end
     end

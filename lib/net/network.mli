@@ -60,10 +60,26 @@ val unregister : 'msg t -> int -> unit
     {!register} revives it.
     @raise Invalid_argument on a bad index. *)
 
-val send : 'msg t -> src:int -> dst:int -> kind:string -> bits:int -> 'msg -> unit
+val send :
+  ?mid:int ->
+  'msg t ->
+  src:int ->
+  dst:int ->
+  kind:string ->
+  bits:int ->
+  'msg ->
+  unit
 (** Asynchronous unicast; delivery is scheduled per the policy. Sends to
     self also go through the queue (a process never handles its own
-    message re-entrantly). *)
+    message re-entrantly).
+
+    When traced, the send carries a logical-message correlation id:
+    [mid] if given (how {!Link} keeps one id across retransmit copies of
+    the same frame), a {!Trace.fresh_id} otherwise. The {!Trace.Send},
+    {!Trace.Recv}, and {!Trace.Drop} events all carry it, and the
+    receiving handler runs under {!Trace.with_cause}, so every event it
+    emits names this message as its cause. Untraced, [mid] is ignored
+    and no id is allocated. *)
 
 val broadcast : 'msg t -> src:int -> kind:string -> bits:int -> 'msg -> unit
 (** Best-effort send to all [n] processes including the sender. This is

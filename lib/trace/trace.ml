@@ -1,15 +1,22 @@
 type kind =
-  | Send of { src : int; dst : int; msg_kind : string; bits : int }
-  | Recv of { src : int; dst : int; msg_kind : string }
-  | Drop of { src : int; dst : int; msg_kind : string; reason : string }
+  | Send of { src : int; dst : int; msg_kind : string; bits : int; id : int }
+  | Recv of { src : int; dst : int; msg_kind : string; id : int }
+  | Drop of {
+      src : int;
+      dst : int;
+      msg_kind : string;
+      reason : string;
+      id : int;
+    }
   | Retransmit of {
       src : int;
       dst : int;
       msg_kind : string;
       seq : int;
       attempt : int;
+      id : int;
     }
-  | Corrupt_reject of { src : int; dst : int; msg_kind : string }
+  | Corrupt_reject of { src : int; dst : int; msg_kind : string; id : int }
   | Rbc_phase of { node : int; origin : int; round : int; phase : string }
   | Vertex_created of { node : int; round : int }
   | Vertex_added of { node : int; round : int; source : int }
@@ -70,8 +77,10 @@ type kind =
     }
   | Engine_sample of { executed : int; pending : int }
   | Health of { check : string; ok : bool; value : float; threshold : float }
+  | Tx_submitted of { node : int; accepted : bool }
+  | Block_assembled of { node : int; round : int; txs : int }
 
-type event = { seq : int; time : float; kind : kind }
+type event = { seq : int; time : float; cause : int; kind : kind }
 
 type t = {
   capacity : int;
@@ -79,6 +88,8 @@ type t = {
   mutable emitted : int;
   mutable clock : unit -> float;
   mutable sinks : (event -> unit) list;
+  mutable next_id : int;
+  mutable cause : int;
 }
 
 let default_capacity = 1 lsl 16
@@ -89,16 +100,30 @@ let create ?(capacity = default_capacity) () =
     ring = Array.make capacity None;
     emitted = 0;
     clock = (fun () -> 0.0);
-    sinks = [] }
+    sinks = [];
+    next_id = 0;
+    cause = -1 }
 
 let set_clock t clock = t.clock <- clock
 
 let add_sink t sink = t.sinks <- t.sinks @ [ sink ]
 
+let fresh_id t =
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  id
+
+let current_cause t = t.cause
+
+let with_cause t cause f =
+  let saved = t.cause in
+  t.cause <- cause;
+  Fun.protect ~finally:(fun () -> t.cause <- saved) f
+
 let emit t kind =
   let seq = t.emitted in
   t.emitted <- seq + 1;
-  let e = { seq; time = t.clock (); kind } in
+  let e = { seq; time = t.clock (); cause = t.cause; kind } in
   t.ring.(seq mod t.capacity) <- Some e;
   match t.sinks with
   | [] -> ()
@@ -109,6 +134,8 @@ let emitted t = t.emitted
 let dropped t = max 0 (t.emitted - t.capacity)
 
 let capacity t = t.capacity
+
+let occupancy t = min t.emitted t.capacity
 
 let events t =
   let count = min t.emitted t.capacity in
@@ -141,7 +168,9 @@ let node_of = function
   | Sync_gave_up { node; _ }
   | Sync_reject { node; _ }
   | Sync_unavailable { node; _ }
-  | Attack_event { node; _ } -> Some node
+  | Attack_event { node; _ }
+  | Tx_submitted { node; _ }
+  | Block_assembled { node; _ } -> Some node
   | Engine_sample _ | Health _ -> None
 
 let kind_label = function
@@ -168,19 +197,25 @@ let kind_label = function
   | Attack_event _ -> "attack"
   | Engine_sample _ -> "engine-sample"
   | Health _ -> "health"
+  | Tx_submitted _ -> "tx-submitted"
+  | Block_assembled _ -> "block-assembled"
+
+let id_tag id = if id >= 0 then Printf.sprintf " #%d" id else ""
 
 let describe_kind = function
-  | Send { src; dst; msg_kind; bits } ->
-    Printf.sprintf "send p%d->p%d %s (%d bits)" src dst msg_kind bits
-  | Recv { src; dst; msg_kind } ->
-    Printf.sprintf "recv p%d->p%d %s" src dst msg_kind
-  | Drop { src; dst; msg_kind; reason } ->
-    Printf.sprintf "drop p%d->p%d %s (%s)" src dst msg_kind reason
-  | Retransmit { src; dst; msg_kind; seq; attempt } ->
-    Printf.sprintf "retransmit p%d->p%d %s seq=%d attempt=%d" src dst msg_kind
-      seq attempt
-  | Corrupt_reject { src; dst; msg_kind } ->
-    Printf.sprintf "corrupt frame rejected p%d->p%d %s" src dst msg_kind
+  | Send { src; dst; msg_kind; bits; id } ->
+    Printf.sprintf "send p%d->p%d %s (%d bits)%s" src dst msg_kind bits
+      (id_tag id)
+  | Recv { src; dst; msg_kind; id } ->
+    Printf.sprintf "recv p%d->p%d %s%s" src dst msg_kind (id_tag id)
+  | Drop { src; dst; msg_kind; reason; id } ->
+    Printf.sprintf "drop p%d->p%d %s (%s)%s" src dst msg_kind reason (id_tag id)
+  | Retransmit { src; dst; msg_kind; seq; attempt; id } ->
+    Printf.sprintf "retransmit p%d->p%d %s seq=%d attempt=%d%s" src dst
+      msg_kind seq attempt (id_tag id)
+  | Corrupt_reject { src; dst; msg_kind; id } ->
+    Printf.sprintf "corrupt frame rejected p%d->p%d %s%s" src dst msg_kind
+      (id_tag id)
   | Rbc_phase { node; origin; round; phase } ->
     Printf.sprintf "rbc p%d: instance (p%d,r%d) -> %s" node origin round phase
   | Vertex_created { node; round } ->
@@ -245,31 +280,48 @@ let describe_kind = function
     Printf.sprintf "health %s: %s (%.3g vs %.3g)" check
       (if ok then "OK" else "FAILING")
       value threshold
+  | Tx_submitted { node; accepted } ->
+    Printf.sprintf "p%d tx submitted%s" node
+      (if accepted then "" else " (rejected)")
+  | Block_assembled { node; round; txs } ->
+    Printf.sprintf "p%d assembled its r%d block (%d txs)" node round txs
 
 (* ---- JSONL ---- *)
 
-let event_to_json { seq; time; kind } =
+let event_to_json { seq; time; cause; kind } =
   let base = [ ("seq", Stdx.Json.Int seq); ("t", Stdx.Json.Float time) ] in
+  (* correlation fields are emitted only when set, so traces written
+     before they existed — and untraced-style events with no ids — keep
+     their exact byte shape *)
+  let base =
+    if cause >= 0 then base @ [ ("cause", Stdx.Json.Int cause) ] else base
+  in
   let ev name fields =
     Stdx.Json.Obj (base @ (("ev", Stdx.Json.String name) :: fields))
   in
   let i k v = (k, Stdx.Json.Int v) in
   let s k v = (k, Stdx.Json.String v) in
   let il k vs = (k, Stdx.Json.List (List.map (fun v -> Stdx.Json.Int v) vs)) in
+  let mid id = if id >= 0 then [ i "id" id ] else [] in
   match kind with
-  | Send { src; dst; msg_kind; bits } ->
-    ev "send" [ i "src" src; i "dst" dst; s "kind" msg_kind; i "bits" bits ]
-  | Recv { src; dst; msg_kind } ->
-    ev "recv" [ i "src" src; i "dst" dst; s "kind" msg_kind ]
-  | Drop { src; dst; msg_kind; reason } ->
+  | Send { src; dst; msg_kind; bits; id } ->
+    ev "send"
+      ([ i "src" src; i "dst" dst; s "kind" msg_kind; i "bits" bits ]
+      @ mid id)
+  | Recv { src; dst; msg_kind; id } ->
+    ev "recv" ([ i "src" src; i "dst" dst; s "kind" msg_kind ] @ mid id)
+  | Drop { src; dst; msg_kind; reason; id } ->
     ev "drop"
-      [ i "src" src; i "dst" dst; s "kind" msg_kind; s "reason" reason ]
-  | Retransmit { src; dst; msg_kind; seq; attempt } ->
+      ([ i "src" src; i "dst" dst; s "kind" msg_kind; s "reason" reason ]
+      @ mid id)
+  | Retransmit { src; dst; msg_kind; seq; attempt; id } ->
     ev "retransmit"
-      [ i "src" src; i "dst" dst; s "kind" msg_kind; i "mseq" seq;
-        i "attempt" attempt ]
-  | Corrupt_reject { src; dst; msg_kind } ->
-    ev "corrupt-reject" [ i "src" src; i "dst" dst; s "kind" msg_kind ]
+      ([ i "src" src; i "dst" dst; s "kind" msg_kind; i "mseq" seq;
+         i "attempt" attempt ]
+      @ mid id)
+  | Corrupt_reject { src; dst; msg_kind; id } ->
+    ev "corrupt-reject"
+      ([ i "src" src; i "dst" dst; s "kind" msg_kind ] @ mid id)
   | Rbc_phase { node; origin; round; phase } ->
     ev "rbc-phase"
       [ i "node" node; i "origin" origin; i "round" round; s "phase" phase ]
@@ -327,6 +379,10 @@ let event_to_json { seq; time; kind } =
       [ s "check" check; ("ok", Stdx.Json.Bool ok);
         ("value", Stdx.Json.Float value);
         ("threshold", Stdx.Json.Float threshold) ]
+  | Tx_submitted { node; accepted } ->
+    ev "tx-submitted" [ i "node" node; ("accepted", Stdx.Json.Bool accepted) ]
+  | Block_assembled { node; round; txs } ->
+    ev "block-assembled" [ i "node" node; i "round" round; i "txs" txs ]
 
 let event_of_json json =
   let ( let* ) r f = Result.bind r f in
@@ -336,6 +392,16 @@ let event_of_json json =
     | None -> Error (Printf.sprintf "missing or mistyped field %S" name)
   in
   let int_field name = field name Stdx.Json.to_int_opt in
+  (* correlation fields are absent in traces written before they
+     existed: default them rather than failing the line *)
+  let opt_int_field name =
+    match Stdx.Json.member name json with
+    | None -> Ok (-1)
+    | Some j -> (
+      match Stdx.Json.to_int_opt j with
+      | Some v -> Ok v
+      | None -> Error (Printf.sprintf "mistyped field %S" name))
+  in
   let str_field name = field name Stdx.Json.to_string_opt in
   let bool_field name = field name Stdx.Json.to_bool_opt in
   let int_list_field name =
@@ -350,6 +416,7 @@ let event_of_json json =
   in
   let* seq = int_field "seq" in
   let* time = field "t" Stdx.Json.to_float_opt in
+  let* cause = opt_int_field "cause" in
   let* ev = str_field "ev" in
   let* kind =
     match ev with
@@ -358,30 +425,35 @@ let event_of_json json =
       let* dst = int_field "dst" in
       let* msg_kind = str_field "kind" in
       let* bits = int_field "bits" in
-      Ok (Send { src; dst; msg_kind; bits })
+      let* id = opt_int_field "id" in
+      Ok (Send { src; dst; msg_kind; bits; id })
     | "recv" ->
       let* src = int_field "src" in
       let* dst = int_field "dst" in
       let* msg_kind = str_field "kind" in
-      Ok (Recv { src; dst; msg_kind })
+      let* id = opt_int_field "id" in
+      Ok (Recv { src; dst; msg_kind; id })
     | "drop" ->
       let* src = int_field "src" in
       let* dst = int_field "dst" in
       let* msg_kind = str_field "kind" in
       let* reason = str_field "reason" in
-      Ok (Drop { src; dst; msg_kind; reason })
+      let* id = opt_int_field "id" in
+      Ok (Drop { src; dst; msg_kind; reason; id })
     | "retransmit" ->
       let* src = int_field "src" in
       let* dst = int_field "dst" in
       let* msg_kind = str_field "kind" in
       let* seq = int_field "mseq" in
       let* attempt = int_field "attempt" in
-      Ok (Retransmit { src; dst; msg_kind; seq; attempt })
+      let* id = opt_int_field "id" in
+      Ok (Retransmit { src; dst; msg_kind; seq; attempt; id })
     | "corrupt-reject" ->
       let* src = int_field "src" in
       let* dst = int_field "dst" in
       let* msg_kind = str_field "kind" in
-      Ok (Corrupt_reject { src; dst; msg_kind })
+      let* id = opt_int_field "id" in
+      Ok (Corrupt_reject { src; dst; msg_kind; id })
     | "rbc-phase" ->
       let* node = int_field "node" in
       let* origin = int_field "origin" in
@@ -495,9 +567,18 @@ let event_of_json json =
       let* value = field "value" Stdx.Json.to_float_opt in
       let* threshold = field "threshold" Stdx.Json.to_float_opt in
       Ok (Health { check; ok; value; threshold })
+    | "tx-submitted" ->
+      let* node = int_field "node" in
+      let* accepted = bool_field "accepted" in
+      Ok (Tx_submitted { node; accepted })
+    | "block-assembled" ->
+      let* node = int_field "node" in
+      let* round = int_field "round" in
+      let* txs = int_field "txs" in
+      Ok (Block_assembled { node; round; txs })
     | other -> Error (Printf.sprintf "unknown event kind %S" other)
   in
-  Ok { seq; time; kind }
+  Ok { seq; time; cause; kind }
 
 let to_jsonl t =
   let buf = Buffer.create 4096 in

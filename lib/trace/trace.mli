@@ -17,11 +17,23 @@
     timeline renderer for eyeballs. *)
 
 type kind =
-  | Send of { src : int; dst : int; msg_kind : string; bits : int }
-      (** a message left [src] (kind tags as in {!Metrics.Counters}) *)
-  | Recv of { src : int; dst : int; msg_kind : string }
+  | Send of { src : int; dst : int; msg_kind : string; bits : int; id : int }
+      (** a message left [src] (kind tags as in {!Metrics.Counters}).
+          [id] is the logical-message correlation id ([-1] when the
+          sender allocated none): every wire event for one logical
+          message — its send, retransmit copies, delivery or drop —
+          carries the same id, and the handler that consumes it emits
+          its own events with [cause = id], so a causal chain can be
+          walked across nodes *)
+  | Recv of { src : int; dst : int; msg_kind : string; id : int }
       (** delivery at [dst]'s handler *)
-  | Drop of { src : int; dst : int; msg_kind : string; reason : string }
+  | Drop of {
+      src : int;
+      dst : int;
+      msg_kind : string;
+      reason : string;
+      id : int;
+    }
       (** a delivery that never reached a handler. Reasons used by the
           stack: "fault" (link-fault policy loss), "corrupt" (fault
           policy corruption with no corrupter installed), "corrupted-src"
@@ -36,10 +48,13 @@ type kind =
       msg_kind : string;
       seq : int;
       attempt : int;
+      id : int;
     }
       (** the reliable link timed out waiting for an ack and resent
-          frame [seq]; [attempt] counts from 1 *)
-  | Corrupt_reject of { src : int; dst : int; msg_kind : string }
+          frame [seq]; [attempt] counts from 1. [id] matches the
+          original send's correlation id, so backoff stalls attach to
+          the logical message they delayed *)
+  | Corrupt_reject of { src : int; dst : int; msg_kind : string; id : int }
       (** a frame failed its checksum at [dst] and was discarded (the
           sender will retransmit) *)
   | Rbc_phase of { node : int; origin : int; round : int; phase : string }
@@ -161,8 +176,25 @@ type kind =
           and [threshold] the declared bound it is compared against.
           Emitted on transitions only, so a trace shows exactly when a
           run went unhealthy and when it recovered. *)
+  | Tx_submitted of { node : int; accepted : bool }
+      (** a client transaction entered (or was rejected by) [node]'s
+          mempool; [accepted = false] means dedup or backpressure turned
+          it away. Emitted by the workload driver only when tracing. *)
+  | Block_assembled of { node : int; round : int; txs : int }
+      (** [node] drained [txs] transactions from its mempool into the
+          block of its round-[round] vertex (Algorithm 2 line 17's
+          proposal payload). With the built-in FIFO mempool, the [txs]
+          oldest accepted-and-unretired submissions of [node] are the
+          ones drained — which is what lets the critical-path tracer
+          attribute per-transaction mempool dwell from the event stream
+          alone. *)
 
-type event = { seq : int; time : float; kind : kind }
+type event = { seq : int; time : float; cause : int; kind : kind }
+(** [cause] is the correlation id of the message whose delivery handler
+    emitted this event, or [-1] when the event was emitted outside any
+    handler (or before correlation ids existed). It is stamped
+    automatically by {!emit} from the ambient cause installed by
+    {!with_cause} — individual call sites never thread it by hand. *)
 
 type t
 
@@ -189,6 +221,21 @@ val add_sink : t -> (event -> unit) -> unit
 
 val emit : t -> kind -> unit
 
+val fresh_id : t -> int
+(** Allocate the next logical-message correlation id (monotone from 0).
+    The transport allocates one per {e logical} message: retransmit
+    copies of a frame reuse the original's id. *)
+
+val with_cause : t -> int -> (unit -> 'a) -> 'a
+(** [with_cause t id f] runs [f] with the ambient cause set to [id];
+    every {!emit} inside [f]'s dynamic extent is stamped with
+    [cause = id]. The previous ambient cause is restored on exit, also
+    on exceptions, so nested deliveries attribute correctly. *)
+
+val current_cause : t -> int
+(** The ambient cause {!emit} would stamp right now ([-1] at top
+    level). *)
+
 val events : t -> event list
 (** Retained events, oldest first. *)
 
@@ -199,6 +246,10 @@ val dropped : t -> int
 (** Events lost to ring-buffer wrap: [max 0 (emitted - capacity)]. *)
 
 val capacity : t -> int
+
+val occupancy : t -> int
+(** Events currently retained in the ring:
+    [min emitted capacity]. *)
 
 val node_of : kind -> int option
 (** The process a kind is attributed to ([None] for engine samples). *)

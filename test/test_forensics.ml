@@ -235,6 +235,7 @@ let test_oracle_rejects_forgery () =
     Trace.
       { seq = 0;
         time = 0.0;
+        cause = -1;
         kind =
           Commit_cert
             { node;

@@ -359,23 +359,27 @@ let test_sync_response_flood_rejected () =
 let test_trace_roundtrip_loss_kinds () =
   let tr = Trace.create () in
   Trace.emit tr
-    (Trace.Drop { src = 1; dst = 2; msg_kind = "rbc-echo"; reason = "fault" });
+    (Trace.Drop
+       { src = 1; dst = 2; msg_kind = "rbc-echo"; reason = "fault"; id = 9 });
   Trace.emit tr
     (Trace.Retransmit
-       { src = 0; dst = 3; msg_kind = "link-data"; seq = 17; attempt = 4 });
+       { src = 0; dst = 3; msg_kind = "link-data"; seq = 17; attempt = 4;
+         id = 12 });
   Trace.emit tr
-    (Trace.Corrupt_reject { src = 2; dst = 0; msg_kind = "link-data" });
+    (Trace.Corrupt_reject { src = 2; dst = 0; msg_kind = "link-data"; id = -1 });
   let events = Trace.events tr in
   (match Trace.events_of_jsonl (Trace.to_jsonl tr) with
   | Error e -> Alcotest.fail ("parse failed: " ^ e)
   | Ok parsed -> checkb "loss kinds round-trip" true (parsed = events));
   checkb "drop attributed to destination" true
     (Trace.node_of
-       (Trace.Drop { src = 1; dst = 2; msg_kind = "x"; reason = "fault" })
+       (Trace.Drop
+          { src = 1; dst = 2; msg_kind = "x"; reason = "fault"; id = -1 })
     = Some 2);
   checkb "retransmit attributed to sender" true
     (Trace.node_of
-       (Trace.Retransmit { src = 0; dst = 3; msg_kind = "x"; seq = 1; attempt = 1 })
+       (Trace.Retransmit
+          { src = 0; dst = 3; msg_kind = "x"; seq = 1; attempt = 1; id = -1 })
     = Some 0)
 
 (* ---- harness runs over lossy links ---- *)
@@ -615,16 +619,20 @@ let test_analyzer_flags_targeted_loss () =
   (* one link far above the median, one with an exhausted retry budget *)
   for i = 1 to 30 do
     Trace.emit tr
-      (Trace.Retransmit { src = 2; dst = 1; msg_kind = "t"; seq = i; attempt = 1 })
+      (Trace.Retransmit
+         { src = 2; dst = 1; msg_kind = "t"; seq = i; attempt = 1; id = -1 })
   done;
   List.iter
     (fun (src, dst) ->
       Trace.emit tr
-        (Trace.Retransmit { src; dst; msg_kind = "t"; seq = 1; attempt = 1 }))
+        (Trace.Retransmit
+           { src; dst; msg_kind = "t"; seq = 1; attempt = 1; id = -1 }))
     [ (0, 1); (1, 0); (0, 2) ];
   Trace.emit tr
-    (Trace.Drop { src = 3; dst = 0; msg_kind = "t"; reason = "give-up" });
-  Trace.emit tr (Trace.Corrupt_reject { src = 0; dst = 3; msg_kind = "t" });
+    (Trace.Drop
+       { src = 3; dst = 0; msg_kind = "t"; reason = "give-up"; id = -1 });
+  Trace.emit tr
+    (Trace.Corrupt_reject { src = 0; dst = 3; msg_kind = "t"; id = -1 });
   let r = Analyze.analyze (Trace.events tr) in
   checki "retransmit events" 33 r.Analyze.r_retransmits;
   checki "corrupt rejects" 1 r.Analyze.r_corrupt_rejects;
